@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark runs its scenario once (``benchmark.pedantic`` with a
+single round — these are minutes-long simulations, not microbenchmarks),
+asserts the paper's qualitative shape, and renders the regenerated
+table/figure both to stdout and to ``benchmarks/output/``.
+"""
+
+import os
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Print a regenerated table/figure and persist it to output/."""
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    path = os.path.join(OUTPUT_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(f"\n===== {name} =====")
+    print(text)

@@ -1,0 +1,84 @@
+"""E11 (extension) — the Section V advanced-behavioural stack.
+
+The paper's future-work recommendation, implemented and measured:
+graph-based navigation analysis + mouse-trajectory biometrics, fused.
+
+Shapes asserted — the complementarity argument:
+
+* volume detection catches none of the three evasive campaigns;
+* navigation analysis catches the teleport-to-/hold attackers
+  (automated *and* manual spinner) but largely passes the evasive
+  scraper, whose browsing loops look like fare shopping;
+* biometrics catch the automated campaigns (synthetic curves, no
+  pointer events) but necessarily pass the *manual* spinner — a real
+  human moves like one;
+* the noisy-OR fusion catches every campaign with zero false
+  positives: each attack evades some detector, none evades all.
+"""
+
+from conftest import save_artifact
+
+from repro.analysis.reports import render_table
+from repro.scenarios.behavioural import (
+    BehaviouralConfig,
+    run_behavioural_stack,
+)
+
+CLASSES = ("scraper", "seat-spinner", "manual-spinner")
+
+
+def test_behavioural_stack(benchmark):
+    result = benchmark.pedantic(
+        run_behavioural_stack,
+        args=(BehaviouralConfig(),),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for name in ("volume", "navigation", "biometrics", "fusion"):
+        run = result.run_for(name)
+        rows.append(
+            [name]
+            + [
+                f"{run.recall_by_class.get(cls, 0.0):.2f}"
+                for cls in CLASSES
+            ]
+            + [f"{run.evaluation.false_positive_rate * 100:.2f}%"]
+        )
+    save_artifact(
+        "behavioural_stack",
+        render_table(
+            ["Detector"] + [f"recall:{c}" for c in CLASSES] + ["FPR"],
+            rows,
+            title=(
+                "Advanced behavioural detection "
+                f"(sessions: {result.session_counts_by_class})"
+            ),
+        ),
+    )
+
+    volume = result.run_for("volume").recall_by_class
+    navigation = result.run_for("navigation").recall_by_class
+    biometrics = result.run_for("biometrics").recall_by_class
+    fusion = result.run_for("fusion").recall_by_class
+
+    # Volume detection is blind to all three evasive campaigns.
+    for cls in CLASSES:
+        assert volume.get(cls, 0.0) <= 0.05, cls
+
+    # Navigation: nails the teleporters, largely passes the evasive
+    # scraper (its loops look like fare browsing).
+    assert navigation.get("seat-spinner", 0.0) >= 0.9
+    assert navigation.get("manual-spinner", 0.0) >= 0.9
+    assert navigation.get("scraper", 0.0) <= 0.5
+
+    # Biometrics: nails the automation, passes the human attacker.
+    assert biometrics.get("scraper", 0.0) >= 0.9
+    assert biometrics.get("seat-spinner", 0.0) >= 0.9
+    assert biometrics.get("manual-spinner", 0.0) <= 0.1
+
+    # Fusion: nobody escapes, nobody innocent is hit.
+    for cls in CLASSES:
+        assert fusion.get(cls, 0.0) >= 0.9, cls
+    assert result.run_for("fusion").evaluation.false_positive_rate < 0.01

@@ -1,0 +1,75 @@
+"""E4 — Case B: automated vs manual Seat Spinning detection (Section
+IV-B).
+
+Shape asserted:
+
+* the automated campaign (fixed lead name, rotating birthdate) is fully
+  covered by the repeated-name and birthdate-rotation heuristics;
+* the *manual* campaign (fixed name set permuted across bookings,
+  occasional misspellings) is covered by the name-set-permutation and
+  misspelling heuristics — despite triggering **zero** bot-style
+  volume alerts, the paper's "unique challenge";
+* legitimate bookings are essentially untouched (low false positives).
+"""
+
+from conftest import save_artifact
+
+from repro.analysis.reports import render_table
+from repro.scenarios.case_b import CaseBConfig, run_case_b
+
+
+def test_case_b_passenger_heuristics(benchmark):
+    result = benchmark.pedantic(
+        run_case_b, args=(CaseBConfig(),), rounds=1, iterations=1
+    )
+
+    save_artifact(
+        "case_b_passenger_heuristics",
+        render_table(
+            ["Metric", "Value"],
+            [
+                ["automated (Airline B) holds", result.automated_holds],
+                ["manual (Airline C) holds", result.manual_holds],
+                ["legit holds", result.legit_holds],
+                [
+                    "automated coverage",
+                    f"{result.automated_coverage * 100:.1f}%",
+                ],
+                ["manual coverage", f"{result.manual_coverage * 100:.1f}%"],
+                [
+                    "legit false-positive rate",
+                    f"{result.legit_false_positive_rate * 100:.2f}%",
+                ],
+                [
+                    "volume-detector recall (automated)",
+                    f"{result.volume_recall.get('seat-spinner', 0.0):.2f}",
+                ],
+                [
+                    "volume-detector recall (manual)",
+                    f"{result.volume_recall.get('manual-spinner', 0.0):.2f}",
+                ],
+                ["finding kinds", ", ".join(sorted(result.finding_kinds))],
+            ],
+            title="Case B: automated vs manual seat spinning",
+        ),
+    )
+
+    # Passenger-detail heuristics catch both campaigns.
+    assert result.automated_coverage > 0.95
+    assert result.manual_coverage > 0.9
+    # ... with minimal collateral damage.
+    assert result.legit_false_positive_rate < 0.03
+
+    # The right signatures fire for the right campaign.
+    assert "repeated-name" in result.finding_kinds
+    assert "birthdate-rotation" in result.finding_kinds      # automated
+    assert "name-set-permutation" in result.finding_kinds    # manual
+    assert "misspelling-cluster" in result.finding_kinds     # manual
+
+    # Conventional bot detection sees neither campaign.
+    assert result.volume_recall.get("seat-spinner", 0.0) < 0.2
+    assert result.volume_recall.get("manual-spinner", 0.0) < 0.2
+
+    # Both campaigns had real volume to find.
+    assert result.automated_holds > 200
+    assert result.manual_holds > 50

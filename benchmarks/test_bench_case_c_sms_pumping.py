@@ -1,0 +1,120 @@
+"""E5 — Case C operational comparison: how fast each protection posture
+notices (and strangles) the SMS-pumping campaign (Section IV-C).
+
+Paper facts reproduced in shape:
+
+* with only a *path-level* rate limit (the paper's actual posture),
+  detection happens late — only "after the total number of boarding
+  pass requests via SMS triggered the rate limit for the targeted
+  path" — and the emergency response is removing the SMS option, after
+  which "the attack ceased";
+* with per-booking-reference (+ per-profile) limits in place — the
+  missing control the paper calls out — the attack is throttled within
+  the hour and delivers two orders of magnitude fewer messages.
+"""
+
+import pytest
+from conftest import save_artifact
+
+from repro.analysis.reports import render_table
+from repro.scenarios.case_c import (
+    CaseCConfig,
+    PATH_LIMIT,
+    PER_REF,
+    run_case_c,
+)
+from repro.sim.clock import DAY, HOUR, format_duration
+
+
+@pytest.fixture(scope="module")
+def variant_results():
+    return {
+        variant: run_case_c(CaseCConfig(variant=variant))
+        for variant in (PATH_LIMIT, PER_REF)
+    }
+
+
+def test_case_c_detection_latency(benchmark, variant_results):
+    # Timing covers one additional full run of the path-limit variant.
+    benchmark.pedantic(
+        run_case_c,
+        args=(CaseCConfig(variant=PATH_LIMIT),),
+        rounds=1,
+        iterations=1,
+    )
+    path = variant_results[PATH_LIMIT]
+    per_ref = variant_results[PER_REF]
+
+    save_artifact(
+        "case_c_protection_variants",
+        render_table(
+            ["Metric", "path-limit only (paper)", "per-ref limits"],
+            [
+                [
+                    "detection latency",
+                    format_duration(path.detection_latency or 0.0),
+                    format_duration(per_ref.detection_latency or 0.0),
+                ],
+                [
+                    "attacker SMS delivered",
+                    path.attacker_sms_delivered,
+                    per_ref.attacker_sms_delivered,
+                ],
+                [
+                    "attacker attempts rate-limited",
+                    path.attacker_sms_attempts_blocked,
+                    per_ref.attacker_sms_attempts_blocked,
+                ],
+                [
+                    "SMS feature removed",
+                    "yes"
+                    if path.feature_disabled_at is not None
+                    else "no",
+                    "yes"
+                    if per_ref.feature_disabled_at is not None
+                    else "no",
+                ],
+                [
+                    "defender SMS spend ($)",
+                    f"{path.defender_sms_cost:.0f}",
+                    f"{per_ref.defender_sms_cost:.0f}",
+                ],
+                [
+                    "attacker net profit ($)",
+                    f"{path.attacker_ledger.net:.0f}",
+                    f"{per_ref.attacker_ledger.net:.0f}",
+                ],
+            ],
+            title="Case C: protection posture comparison",
+        ),
+    )
+
+    # Path-only detection is hours-to-days late...
+    assert path.detection_latency is not None
+    assert path.detection_latency > 4 * HOUR
+    # ... per-ref detection is near-immediate.
+    assert per_ref.detection_latency is not None
+    assert per_ref.detection_latency < 1 * HOUR
+    assert per_ref.detection_latency < path.detection_latency / 5
+
+    # Per-ref limits strangle delivery by >= 2 orders of magnitude
+    # relative to the unprotected campaign (~11k messages).
+    assert per_ref.attacker_sms_delivered < 500
+    assert path.attacker_sms_delivered > per_ref.attacker_sms_delivered
+
+    # The paper's emergency response fires in the path-limit posture
+    # and the attack then ceases (bot gives up on the dead feature).
+    assert path.feature_disabled_at is not None
+    last_delivery = max(
+        (
+            r.time
+            for r in path.world.sms.records
+            if r.delivered and r.client.actor_class == "sms-pumper"
+        ),
+        default=0.0,
+    )
+    assert last_delivery <= path.feature_disabled_at + 1.0
+
+    # Economic consequence: per-ref limits flip the attack unprofitable.
+    assert per_ref.attacker_ledger.net < path.attacker_ledger.net
+    assert per_ref.attacker_ledger.net < 50.0

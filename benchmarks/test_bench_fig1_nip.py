@@ -1,0 +1,58 @@
+"""E1 — regenerate Fig. 1: the Number-in-Party distribution across the
+average week, the attack week, and the post-cap week.
+
+Paper shapes asserted:
+
+* average week: NiP 1 > NiP 2 > everything else; NiP 6 is a ~1% tail;
+* attack week (no limitation): a sharp surge at NiP 6 — the seat
+  spinner's preferred party size — while the ordering of small parties
+  is preserved;
+* post-cap week (cap = 4): NiP 5+ vanish; NiP 4 surges because *both*
+  the attacker and legitimate large groups re-book at the cap.
+"""
+
+from conftest import save_artifact
+
+from repro.analysis.reports import render_weekly_nip
+from repro.scenarios.case_a import CaseAConfig, run_case_a
+
+
+def test_fig1_nip_distribution(benchmark):
+    result = benchmark.pedantic(
+        run_case_a, args=(CaseAConfig(),), rounds=1, iterations=1
+    )
+    average, attack, post_cap = result.week_shares
+
+    save_artifact(
+        "fig1_nip_distribution",
+        render_weekly_nip(
+            [
+                {n: week.get(n, 0.0) for n in range(1, 10)}
+                for week in result.week_shares
+            ],
+            ["average week", "attack week", "after NiP<=4 cap"],
+        ),
+    )
+
+    # -- average week: the paper's baseline shape --
+    assert average[1] > average[2] > average[3]
+    assert average.get(6, 0.0) < 0.03
+
+    # -- attack week: the NiP-6 surge --
+    surge_factor = attack[6] / max(average.get(6, 0.0), 1e-6)
+    assert surge_factor > 5.0, f"NiP-6 surge only {surge_factor:.1f}x"
+    assert attack[6] > 0.10
+    # Small parties keep their relative ordering underneath the surge.
+    assert attack[1] > attack[2] > attack[3]
+
+    # -- post-cap week: everyone folds to the cap --
+    assert result.cap_applied_at is not None
+    cap = result.config.cap_value
+    assert all(nip <= cap for nip in post_cap)
+    cap_surge = post_cap[cap] / max(average.get(cap, 0.0), 1e-6)
+    assert cap_surge > 3.0, f"NiP-4 rise only {cap_surge:.1f}x"
+    assert post_cap[cap] > attack.get(cap, 0.0)
+
+    # Sanity: every week has a real sample behind it.
+    for counts in result.week_counts:
+        assert sum(counts.values()) > 500

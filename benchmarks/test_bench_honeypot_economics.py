@@ -1,0 +1,104 @@
+"""E7 — honeypot / decoy-inventory mitigation (Section V's proposal).
+
+Blocking vs honeypot, same attack, same world, asserted shapes:
+
+* blocking triggers the arms race (dozens of rotations, fresh proxy
+  leases) and the attacker keeps denying real inventory between
+  rotations;
+* the honeypot ends the arms race — the attacker "believes to hold
+  items in a false environment", stops rotating entirely (zero
+  rotations, one proxy lease) — while real seats flow to legitimate
+  customers: more legit seats sold on the target flight, and the
+  attacker's real-seat displacement collapses.
+"""
+
+import pytest
+from conftest import save_artifact
+
+from repro.analysis.reports import render_table
+from repro.economics.reports import attacker_seat_seconds
+from repro.scenarios.case_a import CaseAConfig, TARGET_FLIGHT, run_case_a
+
+
+def _config(honeypot: bool) -> CaseAConfig:
+    # No NiP cap in either arm: isolate the blocking-vs-honeypot choice.
+    return CaseAConfig(honeypot_mode=honeypot, cap_at=None)
+
+
+@pytest.fixture(scope="module")
+def blocking_result():
+    return run_case_a(_config(honeypot=False))
+
+
+def test_honeypot_vs_blocking(benchmark, blocking_result):
+    honeypot_result = benchmark.pedantic(
+        run_case_a, args=(_config(honeypot=True),), rounds=1, iterations=1
+    )
+    blocking = blocking_result
+    honeypot = honeypot_result
+
+    displacement_blocking = attacker_seat_seconds(
+        blocking.world.reservations, TARGET_FLIGHT
+    )
+    displacement_honeypot = attacker_seat_seconds(
+        honeypot.world.reservations, TARGET_FLIGHT
+    )
+
+    save_artifact(
+        "honeypot_economics",
+        render_table(
+            ["Metric", "blocking", "honeypot"],
+            [
+                [
+                    "attacker rotations",
+                    blocking.attacker_rotations,
+                    honeypot.attacker_rotations,
+                ],
+                [
+                    "proxy leases bought",
+                    blocking.proxy_pool.leases_granted,
+                    honeypot.proxy_pool.leases_granted,
+                ],
+                [
+                    "real seat-hours denied",
+                    f"{displacement_blocking.attacker_seat_hours:.0f}",
+                    f"{displacement_honeypot.attacker_seat_hours:.0f}",
+                ],
+                [
+                    "shadow seats absorbed",
+                    blocking.shadow_seats_absorbed,
+                    honeypot.shadow_seats_absorbed,
+                ],
+                [
+                    "legit seats sold (target flight)",
+                    blocking.target_legit_confirmed_seats,
+                    honeypot.target_legit_confirmed_seats,
+                ],
+            ],
+            title="DoI mitigation: blocking vs decoy inventory",
+        ),
+    )
+
+    # The arms race exists under blocking and vanishes under honeypot.
+    assert blocking.attacker_rotations > 20
+    assert honeypot.attacker_rotations == 0
+    assert honeypot.proxy_pool.leases_granted < (
+        blocking.proxy_pool.leases_granted / 10
+    )
+
+    # The honeypot absorbs the attack into shadow inventory.
+    assert honeypot.shadow_seats_absorbed > 1_000
+    assert blocking.shadow_seats_absorbed == 0
+
+    # Real inventory damage collapses (a short pre-detection window of
+    # real holds is expected).
+    assert (
+        displacement_honeypot.attacker_seat_hours
+        < displacement_blocking.attacker_seat_hours / 5
+    )
+
+    # And legitimate customers actually get the seats.
+    assert (
+        honeypot.target_legit_confirmed_seats
+        > blocking.target_legit_confirmed_seats
+    )

@@ -1,0 +1,140 @@
+"""E12 — SMS quota exhaustion and collateral damage (Section II-B).
+
+"If the volume of SMS exceeds the application's quotas contracted with
+a network operator, legitimate users may be unable to leverage this
+feature ... This disruption can result in a significant drop in the
+application's reputation."
+
+Same week of legitimate SMS traffic, with and without the pumping
+campaign, under a contracted weekly quota with ~15% headroom:
+
+* without the attack, the quota is never touched — zero legitimate
+  rejections;
+* with the attack, the quota exhausts mid-week and *every* user is
+  locked out for the remainder — hundreds of genuine travellers lose
+  their OTPs and boarding passes.
+"""
+
+import pytest
+from conftest import save_artifact
+
+from repro.analysis.reports import render_table
+from repro.common import LEGIT
+from repro.identity.forge import (
+    BotIdentity,
+    FingerprintForge,
+    MIMICRY,
+    RotationPolicy,
+)
+from repro.identity.ip import ResidentialProxyPool
+from repro.scenarios.case_c import case_c_attack_weights
+from repro.scenarios.world import FlightSpec, WorldConfig, build_world
+from repro.sim.clock import DAY, HOUR, WEEK, format_duration
+from repro.sms.gateway import REJECT_QUOTA_EXHAUSTED
+from repro.traffic.sms_baseline import BaselineSmsConfig, BaselineSmsTraffic
+from repro.traffic.sms_pumper import SmsPumperBot, SmsPumperConfig
+
+BASELINE_PER_WEEK = 4000.0
+QUOTA = 4600           # ~15% headroom over the legitimate volume
+ATTACK_SMS_PER_HOUR = 9.0   # ~1500 over the week: blows the headroom
+
+
+def run_quota_week(with_attack: bool, seed: int = 6):
+    world = build_world(
+        WorldConfig(
+            seed=seed,
+            flights=[FlightSpec("SETUP", 30 * DAY, capacity=100)],
+            sms_weekly_quota=QUOTA,
+        )
+    )
+    BaselineSmsTraffic(
+        world.loop,
+        world.app,
+        world.rngs.stream("baseline"),
+        BaselineSmsConfig(sms_per_hour=BASELINE_PER_WEEK / (WEEK / HOUR)),
+    ).start(at=0.0)
+    if with_attack:
+        SmsPumperBot(
+            world.loop,
+            world.app,
+            BotIdentity(
+                FingerprintForge(MIMICRY),
+                RotationPolicy(mean_interval=5.3 * HOUR),
+                world.rngs.stream("pumper.identity"),
+            ),
+            ResidentialProxyPool(),
+            world.rngs.stream("pumper"),
+            SmsPumperConfig(
+                setup_flight="SETUP",
+                sms_per_hour=ATTACK_SMS_PER_HOUR,
+                target_weights=case_c_attack_weights(),
+            ),
+        ).start(at=0.0)
+    world.run_until(1 * WEEK)
+
+    legit_rejected = [
+        r
+        for r in world.sms.records
+        if r.client.actor_class == LEGIT
+        and r.reject_reason == REJECT_QUOTA_EXHAUSTED
+    ]
+    exhausted_at = min(
+        (
+            r.time
+            for r in world.sms.records
+            if r.reject_reason == REJECT_QUOTA_EXHAUSTED
+        ),
+        default=None,
+    )
+    return {
+        "legit_rejected": len(legit_rejected),
+        "exhausted_at": exhausted_at,
+        "quota_used": world.sms.quota_used_this_week,
+        "delivered": len(world.sms.delivered_records()),
+    }
+
+
+def _both():
+    return {
+        "baseline": run_quota_week(with_attack=False),
+        "attack": run_quota_week(with_attack=True),
+    }
+
+
+def test_quota_exhaustion_collateral(benchmark):
+    results = benchmark.pedantic(_both, rounds=1, iterations=1)
+    baseline = results["baseline"]
+    attack = results["attack"]
+
+    save_artifact(
+        "quota_collateral",
+        render_table(
+            ["Metric", "no attack", "with pumping"],
+            [
+                ["SMS delivered", baseline["delivered"],
+                 attack["delivered"]],
+                ["quota exhausted",
+                 "never"
+                 if baseline["exhausted_at"] is None
+                 else format_duration(baseline["exhausted_at"]),
+                 "never"
+                 if attack["exhausted_at"] is None
+                 else "at " + format_duration(attack["exhausted_at"])],
+                ["legitimate requests rejected",
+                 baseline["legit_rejected"], attack["legit_rejected"]],
+            ],
+            title=(
+                f"One week under a {QUOTA}-message quota "
+                f"(~{BASELINE_PER_WEEK:.0f} legitimate messages/week)"
+            ),
+        ),
+    )
+
+    # Without the attack the headroom holds.
+    assert baseline["exhausted_at"] is None
+    assert baseline["legit_rejected"] == 0
+
+    # With it, the quota dies mid-week and real users get locked out.
+    assert attack["exhausted_at"] is not None
+    assert attack["exhausted_at"] < 6.8 * DAY
+    assert attack["legit_rejected"] > 50

@@ -1,0 +1,138 @@
+"""E8 — the SMS-pumping profitability frontier (Section V's economic
+deterrence argument).
+
+Sweeps the carrier revenue-share kickback and the defender's posture:
+
+* with colluding carriers and no mitigation, attacker profit rises
+  monotonically with the revenue share and is clearly positive at the
+  shares real schemes pay;
+* at very low shares the attack barely covers proxy/ticket costs — the
+  profitability frontier crosses zero inside the sweep;
+* per-booking-reference rate limits starve revenue below costs;
+* the paper's proposed carrier-side *non-compensation policy* zeroes
+  the revenue stream entirely: the attack cannot be profitable at any
+  share.
+"""
+
+import pytest
+from conftest import save_artifact
+
+from repro.analysis.reports import render_table
+from repro.economics.reports import build_attacker_ledger
+from repro.identity.forge import (
+    BotIdentity,
+    FingerprintForge,
+    MIMICRY,
+    RotationPolicy,
+)
+from repro.identity.ip import ResidentialProxyPool
+from repro.scenarios.case_c import case_c_attack_weights
+from repro.scenarios.world import FlightSpec, WorldConfig, build_world
+from repro.sim.clock import DAY, HOUR
+from repro.sms.countries import high_cost_codes
+from repro.traffic.sms_pumper import SmsPumperBot, SmsPumperConfig
+from repro.web.ratelimit import RateLimitRule, key_by_booking_ref
+from repro.web.request import BOARDING_PASS_SMS
+
+NONE = "none"
+PER_REF = "per-ref"
+NON_COMPENSATION = "non-compensation"
+
+SHARES = (0.1, 0.3, 0.5, 0.7)
+
+
+def run_economics_point(
+    revenue_share: float, posture: str, seed: int = 9
+) -> float:
+    """Run a 3-day pumping campaign; return the attacker's net profit."""
+    world = build_world(
+        WorldConfig(
+            seed=seed,
+            flights=[FlightSpec("SETUP", 30 * DAY, capacity=100)],
+            colluding_countries=tuple(high_cost_codes()),
+            attacker_revenue_share=revenue_share,
+        )
+    )
+    if posture == NON_COMPENSATION:
+        for code in high_cost_codes():
+            world.telco.flag_carrier(code)
+        world.telco.enable_non_compensation_policy()
+    elif posture == PER_REF:
+        world.app.ratelimits.add_rule(
+            RateLimitRule(
+                rule_id="bp-per-ref",
+                key_fn=key_by_booking_ref,
+                limit=5,
+                window=1 * DAY,
+                paths=(BOARDING_PASS_SMS,),
+            )
+        )
+
+    proxy_pool = ResidentialProxyPool()
+    bot = SmsPumperBot(
+        world.loop,
+        world.app,
+        BotIdentity(
+            FingerprintForge(MIMICRY),
+            RotationPolicy(mean_interval=5.3 * HOUR),
+            world.rngs.stream("pumper.identity"),
+        ),
+        proxy_pool,
+        world.rngs.stream("pumper"),
+        SmsPumperConfig(
+            setup_flight="SETUP",
+            sms_per_hour=150.0,
+            target_weights=case_c_attack_weights(),
+        ),
+    )
+    bot.start(at=0.0)
+    world.run_until(3 * DAY)
+    ledger = build_attacker_ledger(
+        world.app, proxy_pools=[proxy_pool], attacker_actors=[bot.name]
+    )
+    return ledger.net
+
+
+def _sweep():
+    results = {}
+    for share in SHARES:
+        results[(share, NONE)] = run_economics_point(share, NONE)
+    results[(0.5, PER_REF)] = run_economics_point(0.5, PER_REF)
+    results[(0.7, NON_COMPENSATION)] = run_economics_point(
+        0.7, NON_COMPENSATION
+    )
+    return results
+
+
+def test_sms_pumping_profitability_frontier(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    save_artifact(
+        "sms_economics_frontier",
+        render_table(
+            ["Revenue share", "Posture", "Attacker net ($, 3 days)"],
+            [
+                [share, posture, f"{net:+.2f}"]
+                for (share, posture), net in sorted(results.items())
+            ],
+            title="SMS pumping profitability frontier",
+        ),
+    )
+
+    unmitigated = [results[(share, NONE)] for share in SHARES]
+    # Profit is monotone in the kickback share...
+    assert unmitigated == sorted(unmitigated)
+    # ... clearly positive at real-world shares ...
+    assert results[(0.5, NONE)] > 50.0
+    assert results[(0.7, NONE)] > results[(0.5, NONE)]
+    # ... and the frontier crosses zero inside the sweep.
+    assert unmitigated[0] < unmitigated[-1]
+    assert unmitigated[0] < 50.0
+
+    # Per-ref limits starve the revenue below cost at a profitable share.
+    assert results[(0.5, PER_REF)] < 0.0
+    assert results[(0.5, PER_REF)] < results[(0.5, NONE)]
+
+    # Non-compensation kills profitability even at the highest share.
+    assert results[(0.7, NON_COMPENSATION)] < 0.0
+    assert results[(0.7, NON_COMPENSATION)] < results[(0.1, NONE)]

@@ -1,0 +1,76 @@
+"""E2 — regenerate Table I: top-10 destination countries by SMS surge
+during the pumping attack, plus the paper's campaign-level facts
+(42 destination countries, ~25% global SMS increase).
+
+Shape asserted: the six high-cost destinations (UZ, IR, KG, JO, NG, KH)
+dominate the table with four-to-six-digit surge percentages, in the
+paper's order, far above the four large markets (SG, GB, CN, TH) whose
+surges stay double-digit.
+"""
+
+from conftest import save_artifact
+
+from repro.analysis.reports import format_percent, render_table
+from repro.scenarios.case_c import (
+    CaseCConfig,
+    TABLE1_ORDER,
+    TABLE1_SURGES,
+    run_case_c,
+)
+
+HIGH_COST_SIX = ("UZ", "IR", "KG", "JO", "NG", "KH")
+MARKET_FOUR = ("SG", "GB", "CN", "TH")
+
+
+def test_table1_country_surges(benchmark):
+    result = benchmark.pedantic(
+        run_case_c, args=(CaseCConfig(),), rounds=1, iterations=1
+    )
+    rows = result.table1_rows()
+
+    save_artifact(
+        "table1_sms_country_surges",
+        render_table(
+            ["Country", "Baseline/wk", "Attack wk", "Increase",
+             "Paper"],
+            [
+                [
+                    surge.country_code,
+                    surge.baseline_count,
+                    surge.window_count,
+                    format_percent(surge.surge_percent),
+                    format_percent(
+                        TABLE1_SURGES.get(surge.country_code, 0.0)
+                    ),
+                ]
+                for surge in rows
+            ],
+            title=(
+                "Table I: top 10 countries by SMS surge "
+                f"(global increase {result.global_increase_percent:.1f}%, "
+                f"{result.countries_targeted} countries targeted)"
+            ),
+        ),
+    )
+
+    # The table reproduces the paper's exact ordering.
+    assert tuple(surge.country_code for surge in rows) == TABLE1_ORDER
+
+    surges = {s.country_code: s.surge_percent for s in rows}
+    # High-cost six: enormous surges, ordered, within ~2x of the paper.
+    for code in HIGH_COST_SIX:
+        assert surges[code] > 1_000.0, code
+        paper = TABLE1_SURGES[code]
+        assert paper / 2.5 < surges[code] < paper * 2.5, code
+    # Large markets: modest double-digit surges.
+    for code in MARKET_FOUR:
+        assert 5.0 < surges[code] < 150.0, code
+    # The cliff between the two groups is orders of magnitude.
+    assert min(surges[c] for c in HIGH_COST_SIX) > 10 * max(
+        surges[c] for c in MARKET_FOUR
+    )
+
+    # Campaign-level facts.
+    assert result.countries_targeted == 42
+    assert 15.0 < result.global_increase_percent < 35.0
+    assert result.attacker_sms_delivered > 5_000

@@ -1,0 +1,62 @@
+"""Detector-family shootout on mixed traffic (the Section III argument).
+
+One world, four simultaneous campaigns (scraper, seat spinner, manual
+spinner, SMS pumper) plus legitimate traffic; five detector families
+judge the same session log.  Prints the recall matrix that is the
+paper's core empirical claim: conventional bot detection catches the
+scraper and misses functional abuse.
+
+Run:  python examples/detector_shootout.py
+"""
+
+from repro.analysis.reports import render_table
+from repro.scenarios.detectors import (
+    DetectorComparisonConfig,
+    run_detector_comparison,
+)
+
+CLASSES = ("scraper", "seat-spinner", "manual-spinner", "sms-pumper")
+
+
+def main() -> None:
+    print("running 4 days of mixed traffic + training a supervised "
+          "classifier on a disjoint world...\n")
+    result = run_detector_comparison(DetectorComparisonConfig())
+
+    rows = []
+    for name in ("volume", "logistic", "kmeans", "fingerprint",
+                 "abuse-pipeline"):
+        run = result.run_for(name)
+        rows.append(
+            [name]
+            + [f"{run.recall_by_class.get(cls, 0.0):.2f}"
+               for cls in CLASSES]
+            + [f"{run.evaluation.precision:.2f}",
+               f"{run.evaluation.false_positive_rate * 100:.2f}%"]
+        )
+
+    print(render_table(
+        ["Detector"] + [f"recall:{c}" for c in CLASSES]
+        + ["precision", "FPR"],
+        rows,
+        title=(
+            "Session-level detection "
+            f"(ground truth sessions: {result.session_counts_by_class})"
+        ),
+    ))
+
+    print(
+        "\nreading the matrix:\n"
+        "  * volume/kmeans/fingerprint nail the classic scraper and\n"
+        "    miss every functional-abuse campaign (low volume, mimicry\n"
+        "    fingerprints, rotation-shredded sessions);\n"
+        "  * the supervised classifier generalises to DoI funnels but\n"
+        "    still misses single-request pumper sessions;\n"
+        "  * the abuse pipeline (passenger details + booking-ref\n"
+        "    linking) catches what the others cannot — and ignores the\n"
+        "    scraper, which is the conventional stack's job."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Honeypot / decoy-inventory mitigation (the paper's Section V idea).
+
+Runs the same Seat Spinning campaign twice — once against classic
+fingerprint blocking, once against a decoy shadow inventory — and
+compares what the paper predicts: with the honeypot, "attackers waste
+resources believing to hold items in a false environment while
+legitimate users remain unaffected ... their need to rotate
+fingerprints or adjust tactics diminishes".
+
+Run:  python examples/honeypot_decoy.py
+"""
+
+from repro.analysis.reports import render_table
+from repro.economics.reports import attacker_seat_seconds
+from repro.scenarios.case_a import CaseAConfig, TARGET_FLIGHT, run_case_a
+
+
+def main() -> None:
+    print("running the campaign against BLOCKING defences...")
+    blocking = run_case_a(CaseAConfig(honeypot_mode=False, cap_at=None))
+    print("running the campaign against the HONEYPOT...\n")
+    honeypot = run_case_a(CaseAConfig(honeypot_mode=True, cap_at=None))
+
+    displaced_blocking = attacker_seat_seconds(
+        blocking.world.reservations, TARGET_FLIGHT
+    ).attacker_seat_hours
+    displaced_honeypot = attacker_seat_seconds(
+        honeypot.world.reservations, TARGET_FLIGHT
+    ).attacker_seat_hours
+
+    print(render_table(
+        ["Metric", "blocking", "honeypot"],
+        [
+            ["attacker fingerprint rotations",
+             blocking.attacker_rotations, honeypot.attacker_rotations],
+            ["attacker proxy leases",
+             blocking.proxy_pool.leases_granted,
+             honeypot.proxy_pool.leases_granted],
+            ["real seat-hours denied to customers",
+             f"{displaced_blocking:.0f}", f"{displaced_honeypot:.0f}"],
+            ["seats absorbed by shadow inventory",
+             blocking.shadow_seats_absorbed,
+             honeypot.shadow_seats_absorbed],
+            ["seats sold to legit customers (target flight)",
+             blocking.target_legit_confirmed_seats,
+             honeypot.target_legit_confirmed_seats],
+        ],
+        title="Blocking vs decoy inventory, same attack",
+    ))
+
+    print(
+        "\nwith blocking, every rule teaches the attacker to rotate; "
+        "with the decoy, the attacker sees nothing but success — and "
+        "holds nothing at all."
+    )
+
+
+if __name__ == "__main__":
+    main()

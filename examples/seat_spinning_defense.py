@@ -1,0 +1,70 @@
+"""Case A walkthrough: the Seat Spinning arms race on Airline A.
+
+Reproduces the paper's Section IV-A end to end — Fig. 1's three weekly
+NiP distributions, the NiP cap and the attacker's adaptation, the
+fingerprint-blocking arms race with its ~5.3 h rotation cadence, and
+the attack's self-imposed stop two days before departure.
+
+Run:  python examples/seat_spinning_defense.py
+"""
+
+from repro.analysis.reports import render_table, render_weekly_nip
+from repro.scenarios.case_a import CaseAConfig, run_case_a
+from repro.sim.clock import DAY, format_duration
+
+
+def main() -> None:
+    print("running the 3-week Case A scenario (this takes a few "
+          "seconds)...\n")
+    result = run_case_a(CaseAConfig())
+
+    # -- Fig. 1 ---------------------------------------------------------------
+    print(render_weekly_nip(
+        [
+            {n: week.get(n, 0.0) for n in range(1, 10)}
+            for week in result.week_shares
+        ],
+        ["average week", "attack week", "after NiP<=4 cap"],
+    ))
+
+    average, attack, post_cap = result.week_shares
+    print(f"\nNiP-6 share: {average.get(6, 0) * 100:.1f}% -> "
+          f"{attack[6] * 100:.1f}% during the attack "
+          f"({attack[6] / max(average.get(6, 0), 1e-6):.0f}x)")
+    print(f"NiP-4 share: {average.get(4, 0) * 100:.1f}% -> "
+          f"{post_cap[4] * 100:.1f}% after the cap "
+          "(attacker AND legitimate groups fold to the cap)")
+
+    # -- the arms race ------------------------------------------------------------
+    interval = result.measured_rotation_interval
+    print("\n" + render_table(
+        ["Arms-race metric", "Measured", "Paper"],
+        [
+            ["fingerprint rotations", result.attacker_rotations, "-"],
+            ["mean rotation interval", format_duration(interval),
+             "5h18m (5.3 h)"],
+            ["block rules deployed", len(result.rule_effectiveness), "-"],
+            ["mean rule effective window",
+             format_duration(result.mean_rule_window or 0), "hours"],
+            ["attacker holds despite blocking",
+             result.attacker_holds_created, "attack sustained"],
+        ],
+        title="Fingerprint-blocking arms race",
+    ))
+
+    # -- the ending ---------------------------------------------------------------
+    quiet = result.departure_time - (result.last_attack_hold_time or 0)
+    print(f"\nthe attack went quiet {format_duration(quiet)} before "
+          f"departure (attacker's stop margin: "
+          f"{format_duration(result.config.stop_before_departure)}) — "
+          "exactly the pattern Amadeus observed.")
+
+    if result.attacker_nip_adaptations:
+        first = result.attacker_nip_adaptations[0][0]
+        lag = first - (result.cap_applied_at or 0)
+        print(f"cap-to-adaptation lag: {format_duration(lag)} "
+              "(the attacker probed 6 -> 5 -> 4 almost immediately).")
+
+
+if __name__ == "__main__":
+    main()

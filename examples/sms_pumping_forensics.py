@@ -1,0 +1,99 @@
+"""Case C walkthrough: SMS Pumping forensics on Airline D.
+
+Runs a scaled-down pumping campaign against the global SMS baseline and
+performs the analysis a fraud team would:
+
+1. the Table-I-style per-country surge table,
+2. identity linking — booking references reunite the campaign across
+   thousands of rotated fingerprints and geo-matched proxy exits,
+3. the money: what the attack cost the airline and earned the attacker,
+4. what changes under the per-booking-reference limit the paper
+   recommends.
+
+Run:  python examples/sms_pumping_forensics.py
+"""
+
+from repro.analysis.reports import format_percent, render_table
+from repro.core.detection.rotation import link_sms_records
+from repro.scenarios.case_c import (
+    CaseCConfig,
+    PER_REF,
+    run_case_c,
+)
+from repro.sim.clock import format_duration
+
+
+def main() -> None:
+    print("running a 1/5-scale Case C campaign (two simulated weeks)...\n")
+    result = run_case_c(CaseCConfig(seed=2, baseline_weekly_total=10_000))
+
+    # -- 1. the surge table ----------------------------------------------------
+    rows = result.table1_rows(top=10, min_window=20)
+    print(render_table(
+        ["Country", "Baseline/wk", "Attack wk", "Increase"],
+        [
+            [s.country_code, s.baseline_count, s.window_count,
+             format_percent(s.surge_percent)]
+            for s in rows
+        ],
+        title=(
+            "Top destination-country surges "
+            f"(global +{result.global_increase_percent:.0f}%, "
+            f"{result.countries_targeted} countries)"
+        ),
+    ))
+
+    # -- 2. identity linking -----------------------------------------------------
+    delivered = result.world.sms.delivered_records()
+    entities = [
+        entity
+        for entity in link_sms_records(delivered, min_cluster=20)
+        if entity.rotates_identity
+    ]
+    print("\nidentity linking over the SMS log:")
+    for entity in entities[:3]:
+        print(
+            f"  entity: {entity.record_count} sends, "
+            f"{entity.distinct_fingerprints} fingerprints, "
+            f"{entity.distinct_ips} IPs, active "
+            f"{format_duration(entity.span)} "
+            f"(rotation ~every "
+            f"{format_duration(entity.mean_rotation_interval)})"
+        )
+    if entities:
+        print("  -> a handful of booking references anchor the whole "
+              "campaign: rotation cannot scrub them.")
+
+    # -- 3. the money ---------------------------------------------------------------
+    ledger = result.attacker_ledger
+    print("\n" + render_table(
+        ["Attacker ledger", "USD"],
+        [[category, f"{amount:+.2f}"]
+         for category, amount in sorted(ledger.by_category().items())]
+        + [["NET", f"{ledger.net:+.2f}"]],
+        title="Attack economics (unprotected)",
+    ))
+    print(f"defender SMS spend: ${result.defender_sms_cost:.2f}")
+
+    # -- 4. the recommended control ----------------------------------------------------
+    print("\nre-running with per-booking-reference + per-profile "
+          "limits in place...")
+    protected = run_case_c(
+        CaseCConfig(seed=2, baseline_weekly_total=10_000, variant=PER_REF)
+    )
+    print(render_table(
+        ["Metric", "unprotected", "per-ref limits"],
+        [
+            ["attacker SMS delivered", result.attacker_sms_delivered,
+             protected.attacker_sms_delivered],
+            ["detection latency", "-",
+             format_duration(protected.detection_latency or 0)],
+            ["attacker net ($)", f"{result.attacker_ledger.net:+.0f}",
+             f"{protected.attacker_ledger.net:+.0f}"],
+        ],
+        title="The control the paper says was missing",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Analysis helpers: distributions, evaluation, report rendering."""
+
+from .distributions import (
+    nip_counts,
+    nip_shares,
+    share_of,
+    weekly_nip_table,
+)
+from .evaluation import (
+    BinaryEvaluation,
+    evaluate_verdicts,
+    false_positive_sessions,
+    recall_by_class,
+)
+from .reports import (
+    format_percent,
+    render_distribution,
+    render_table,
+    render_weekly_nip,
+)
+
+__all__ = [
+    "nip_counts",
+    "nip_shares",
+    "share_of",
+    "weekly_nip_table",
+    "BinaryEvaluation",
+    "evaluate_verdicts",
+    "false_positive_sessions",
+    "recall_by_class",
+    "format_percent",
+    "render_distribution",
+    "render_table",
+    "render_weekly_nip",
+]

@@ -1,0 +1,60 @@
+"""Distribution helpers over booking records (Fig. 1 machinery)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from ..booking.reservation import BookingRecord
+
+
+def nip_counts(
+    records: Sequence[BookingRecord],
+    start: float = float("-inf"),
+    end: float = float("inf"),
+    flight_id: str = "",
+) -> Dict[int, int]:
+    """Count held reservations by Number-in-Party inside a window."""
+    counter: Counter = Counter()
+    for record in records:
+        if record.outcome != "held":
+            continue
+        if not start <= record.time < end:
+            continue
+        if flight_id and record.flight_id != flight_id:
+            continue
+        counter[record.nip] += 1
+    return dict(counter)
+
+
+def nip_shares(counts: Mapping[int, int]) -> Dict[int, float]:
+    """Normalise NiP counts into shares (empty input -> empty output)."""
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {nip: count / total for nip, count in sorted(counts.items())}
+
+
+def share_of(counts: Mapping[int, int], nip: int) -> float:
+    """Share of one party size in a count table (0 when absent)."""
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    return counts.get(nip, 0) / total
+
+
+def weekly_nip_table(
+    records: Sequence[BookingRecord],
+    week_starts: Iterable[float],
+    week_length: float,
+    max_nip: int = 9,
+) -> List[Dict[int, float]]:
+    """Per-week NiP share rows — the three stacked bars of Fig. 1."""
+    rows = []
+    for start in week_starts:
+        counts = nip_counts(records, start, start + week_length)
+        shares = nip_shares(counts)
+        rows.append(
+            {nip: shares.get(nip, 0.0) for nip in range(1, max_nip + 1)}
+        )
+    return rows

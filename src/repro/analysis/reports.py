@@ -1,0 +1,96 @@
+"""Plain-text rendering of tables and distributions.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output readable without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def format_percent(value: float, decimals: int = 0) -> str:
+    """Render a percentage with thousands separators (Table I style).
+
+    >>> format_percent(160209.3)
+    '160,209%'
+    """
+    if value == float("inf"):
+        return "inf%"
+    return f"{value:,.{decimals}f}%"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width ASCII table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells; expected {columns}"
+            )
+    # Flatten any embedded line breaks: a cell must stay on one line or
+    # the fixed-width layout falls apart.
+    def clean(value: object) -> str:
+        return " ".join(str(value).split()) or str(value).strip() or ""
+
+    cells = [[clean(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells))
+        if cells
+        else len(headers[i])
+        for i in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        header.ljust(widths[i]) for i, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in cells:
+        lines.append(
+            " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def render_distribution(
+    shares: Mapping[int, float],
+    title: str = "",
+    width: int = 50,
+) -> str:
+    """Horizontal ASCII bars for a discrete share distribution
+    (one Fig. 1 stacked bar, unrolled)."""
+    lines = [title] if title else []
+    peak = max(shares.values(), default=0.0)
+    for key in sorted(shares):
+        share = shares[key]
+        bar = "#" * int(round(share / peak * width)) if peak > 0 else ""
+        lines.append(f"{key:>3}  {share * 100:6.2f}%  {bar}")
+    return "\n".join(lines)
+
+
+def render_weekly_nip(
+    rows: Sequence[Dict[int, float]],
+    labels: Sequence[str],
+) -> str:
+    """Fig. 1 as a table: one column per week, one row per NiP."""
+    if len(rows) != len(labels):
+        raise ValueError(
+            f"{len(rows)} rows but {len(labels)} labels"
+        )
+    nips = sorted({nip for row in rows for nip in row})
+    headers = ["NiP"] + list(labels)
+    table_rows: List[List[object]] = []
+    for nip in nips:
+        table_rows.append(
+            [nip]
+            + [f"{row.get(nip, 0.0) * 100:6.2f}%" for row in rows]
+        )
+    return render_table(headers, table_rows, title="Number in Party shares")

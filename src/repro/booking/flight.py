@@ -1,0 +1,109 @@
+"""Flights and seat inventory.
+
+A :class:`Flight` owns a :class:`SeatInventory` that tracks three seat
+populations: confirmed (paid), held (temporarily reserved, the feature
+Seat Spinning abuses) and available.  The invariant
+
+``confirmed + held + available == capacity``
+
+is enforced on every transition and checked by the property-based test
+suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .seatmap import SeatMap
+
+
+class InventoryError(Exception):
+    """Raised on impossible inventory transitions (a caller bug)."""
+
+
+@dataclass
+class SeatInventory:
+    """Seat accounting for one flight."""
+
+    capacity: int
+    confirmed: int = 0
+    held: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise ValueError(f"negative capacity: {self.capacity}")
+
+    @property
+    def available(self) -> int:
+        """Seats neither confirmed nor under an active hold."""
+        return self.capacity - self.confirmed - self.held
+
+    @property
+    def load_factor(self) -> float:
+        """Fraction of capacity that is confirmed or held (0 if empty)."""
+        if self.capacity == 0:
+            return 1.0
+        return (self.confirmed + self.held) / self.capacity
+
+    def take_hold(self, seats: int) -> None:
+        """Move ``seats`` from available to held."""
+        if seats < 1:
+            raise InventoryError(f"hold size must be >= 1: {seats}")
+        if seats > self.available:
+            raise InventoryError(
+                f"cannot hold {seats} seats; only {self.available} available"
+            )
+        self.held += seats
+
+    def release_hold(self, seats: int) -> None:
+        """Move ``seats`` from held back to available (expiry / cancel)."""
+        if seats < 1 or seats > self.held:
+            raise InventoryError(
+                f"cannot release {seats} held seats; {self.held} held"
+            )
+        self.held -= seats
+
+    def confirm_hold(self, seats: int) -> None:
+        """Move ``seats`` from held to confirmed (payment completed)."""
+        if seats < 1 or seats > self.held:
+            raise InventoryError(
+                f"cannot confirm {seats} held seats; {self.held} held"
+            )
+        self.held -= seats
+        self.confirmed += seats
+
+
+@dataclass
+class Flight:
+    """One scheduled flight with its seat inventory.
+
+    ``seat_map`` is optional: when present, holds reserve *specific*
+    seats (enabling seat-level attacks such as middle-seat hoarding)
+    and must agree with ``capacity``.
+    """
+
+    flight_id: str
+    airline: str
+    origin: str
+    destination: str
+    departure_time: float
+    capacity: int
+    seat_map: Optional[SeatMap] = None
+    inventory: SeatInventory = field(init=False)
+
+    def __post_init__(self) -> None:
+        if (
+            self.seat_map is not None
+            and self.seat_map.capacity != self.capacity
+        ):
+            raise ValueError(
+                f"seat map has {self.seat_map.capacity} seats but "
+                f"capacity is {self.capacity}"
+            )
+        self.inventory = SeatInventory(capacity=self.capacity)
+
+    @property
+    def sold_out(self) -> bool:
+        """True when no seat can currently be held or bought."""
+        return self.inventory.available == 0

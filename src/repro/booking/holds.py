@@ -1,0 +1,148 @@
+"""Temporary seat holds with time-to-live expiry.
+
+The hold is the feature Seat Spinning abuses: "once a seat is selected
+on a flight, it is temporarily reserved for the passenger for a specific
+duration — ranging from 30 minutes to several hours — before payment is
+required" (Section IV-A).  :class:`HoldStore` owns every hold's
+lifecycle and runs TTL expiry off a heap so sweeps are O(expired) rather
+than O(all).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..common import ClientRef
+from .passengers import Passenger
+from .seatmap import Seat
+
+# Hold lifecycle states.
+ACTIVE = "active"
+EXPIRED = "expired"
+CONFIRMED = "confirmed"
+CANCELLED = "cancelled"
+
+
+@dataclass
+class Hold:
+    """One temporary reservation of ``nip`` seats on a flight.
+
+    ``shadow`` marks honeypot holds: they look identical to the client
+    but were never backed by real inventory (Section V's decoy
+    environment proposal).
+    """
+
+    hold_id: str
+    flight_id: str
+    nip: int
+    passengers: Tuple[Passenger, ...]
+    client: ClientRef
+    created_at: float
+    expires_at: float
+    price_quoted: float
+    shadow: bool = False
+    #: Specific seats reserved (empty unless the flight has a seat map).
+    seats: Tuple[Seat, ...] = ()
+    status: str = field(default=ACTIVE)
+    closed_at: Optional[float] = None
+
+    @property
+    def is_active(self) -> bool:
+        return self.status == ACTIVE
+
+    @property
+    def held_duration(self) -> float:
+        """Seconds the hold was (or has been) active."""
+        end = self.closed_at if self.closed_at is not None else self.expires_at
+        return max(end - self.created_at, 0.0)
+
+
+class HoldStore:
+    """Registry of all holds with heap-based TTL expiry.
+
+    ``expire_due(now)`` transitions every active hold whose
+    ``expires_at <= now`` to ``EXPIRED`` and returns them so the caller
+    (the reservation system) can release the underlying seats.
+    """
+
+    def __init__(self) -> None:
+        self._holds: Dict[str, Hold] = {}
+        self._expiry_heap: List[Tuple[float, str]] = []
+        self._ids = itertools.count(1)
+
+    def new_hold_id(self) -> str:
+        return f"H{next(self._ids):08d}"
+
+    def add(self, hold: Hold) -> None:
+        if hold.hold_id in self._holds:
+            raise ValueError(f"duplicate hold id {hold.hold_id!r}")
+        self._holds[hold.hold_id] = hold
+        heapq.heappush(self._expiry_heap, (hold.expires_at, hold.hold_id))
+
+    def get(self, hold_id: str) -> Hold:
+        try:
+            return self._holds[hold_id]
+        except KeyError:
+            raise KeyError(f"unknown hold id {hold_id!r}") from None
+
+    def __contains__(self, hold_id: str) -> bool:
+        return hold_id in self._holds
+
+    def __len__(self) -> int:
+        return len(self._holds)
+
+    def all_holds(self) -> List[Hold]:
+        return list(self._holds.values())
+
+    def active_holds(self) -> List[Hold]:
+        return [hold for hold in self._holds.values() if hold.is_active]
+
+    def active_for_flight(self, flight_id: str) -> List[Hold]:
+        return [
+            hold
+            for hold in self._holds.values()
+            if hold.is_active and hold.flight_id == flight_id
+        ]
+
+    def close(self, hold_id: str, status: str, now: float) -> Hold:
+        """Transition an active hold to a terminal status."""
+        if status not in (EXPIRED, CONFIRMED, CANCELLED):
+            raise ValueError(f"not a terminal hold status: {status!r}")
+        hold = self.get(hold_id)
+        if not hold.is_active:
+            raise ValueError(
+                f"hold {hold_id} is {hold.status}, cannot move to {status}"
+            )
+        hold.status = status
+        hold.closed_at = now
+        return hold
+
+    def expire_due(self, now: float) -> List[Hold]:
+        """Expire every active hold whose TTL has elapsed.
+
+        Stale heap entries (for holds already confirmed or cancelled)
+        are discarded lazily.
+        """
+        expired: List[Hold] = []
+        while self._expiry_heap and self._expiry_heap[0][0] <= now:
+            _, hold_id = heapq.heappop(self._expiry_heap)
+            hold = self._holds[hold_id]
+            if hold.is_active:
+                # The hold logically ended at its own deadline even when
+                # the sweep runs later (lazy expiry must not inflate
+                # held_duration accounting).
+                self.close(hold_id, EXPIRED, hold.expires_at)
+                expired.append(hold)
+        return expired
+
+    def next_expiry(self) -> Optional[float]:
+        """Time of the earliest still-pending expiry, or None."""
+        while self._expiry_heap:
+            expires_at, hold_id = self._expiry_heap[0]
+            if self._holds[hold_id].is_active:
+                return expires_at
+            heapq.heappop(self._expiry_heap)
+        return None

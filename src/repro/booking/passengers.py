@@ -1,0 +1,273 @@
+"""Passenger records and name generation.
+
+Seat holds require passenger details (name, surname, birthdate, email —
+Section IV-B), and the paper's detection heuristics key on exactly those
+details: gibberish names, repeated names with rotating birthdates, and
+fixed name sets re-ordered across bookings with occasional misspellings.
+
+This module provides the :class:`Passenger` record plus generators for
+each style of passenger data observed in the paper:
+
+* :func:`sample_genuine_passenger` — plausible names from a name pool,
+* :func:`sample_gibberish_passenger` — random keyboard-mash entries,
+* :func:`misspell` — single-character typos used by manual attackers.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+FIRST_NAMES = [
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+    "Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+    "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Luca",
+    "Giulia", "Marco", "Sofia", "Ahmed", "Fatima", "Wei", "Mei", "Hiroshi",
+    "Yuki", "Pierre", "Camille", "Hans", "Anna", "Carlos", "Lucia", "Ivan",
+    "Olga", "Raj", "Priya", "Chen", "Li", "Omar", "Leila", "Kofi", "Ama",
+    "Daniel", "Laura", "Matthew", "Emily", "Anthony", "Emma", "Mark",
+    "Olivia", "Steven", "Sophia", "Andrew", "Isabella", "Paul", "Mia",
+    "Joshua", "Charlotte", "Kenneth", "Amelia", "Kevin", "Harper", "Brian",
+    "Evelyn", "George", "Abigail", "Timothy", "Ella", "Ronald", "Grace",
+    "Jason", "Chloe", "Edward", "Victoria", "Jeffrey", "Lily", "Ryan",
+    "Hannah", "Jacob", "Zoe", "Gary", "Nora", "Nicholas", "Aria", "Eric",
+    "Layla", "Jonathan", "Nina", "Stephen", "Elena", "Larry", "Clara",
+    "Justin", "Alice", "Scott", "Julia", "Brandon", "Eva", "Benjamin",
+    "Ruby", "Samuel", "Stella", "Gregory", "Ines", "Frank", "Lea",
+    "Alexander", "Maya", "Patrick", "Sara", "Raymond", "Irene", "Jack",
+    "Nadia", "Dennis", "Amira", "Jerry", "Yasmin", "Tyler", "Aisha",
+    "Aaron", "Zara", "Jose", "Elif", "Adam", "Selin", "Nathan", "Mariam",
+    "Henry", "Rania", "Douglas", "Dana", "Zachary", "Lina", "Peter",
+    "Hana", "Kyle", "Noor", "Ethan", "Salma", "Walter", "Dalia",
+]
+
+LAST_NAMES = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Rossi", "Ferrari", "Esposito",
+    "Bianchi", "Mueller", "Schmidt", "Schneider", "Fischer", "Dubois",
+    "Martin", "Bernard", "Petit", "Tanaka", "Suzuki", "Takahashi", "Wang",
+    "Zhang", "Liu", "Chen", "Singh", "Kumar", "Patel", "Hassan", "Ali",
+    "Ibrahim", "Okafor", "Mensah", "Silva", "Santos", "Oliveira", "Ivanov",
+    "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Taylor",
+    "Moore", "Jackson", "White", "Harris", "Thompson", "Lewis", "Clark",
+    "Robinson", "Walker", "Young", "Allen", "King", "Wright", "Torres",
+    "Nguyen", "Hill", "Flores", "Green", "Adams", "Nelson", "Baker",
+    "Hall", "Rivera", "Campbell", "Mitchell", "Carter", "Roberts",
+    "Gomez", "Phillips", "Evans", "Turner", "Diaz", "Parker", "Cruz",
+    "Edwards", "Collins", "Reyes", "Stewart", "Morris", "Morales",
+    "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan", "Cooper",
+    "Peterson", "Bailey", "Reed", "Kelly", "Howard", "Ramos", "Kim",
+    "Cox", "Ward", "Richardson", "Watson", "Brooks", "Chavez", "Wood",
+    "James", "Bennett", "Gray", "Mendoza", "Ruiz", "Hughes", "Price",
+    "Alvarez", "Castillo", "Sanders", "Patil", "Myers", "Long", "Ross",
+    "Foster", "Jimenez", "Weber", "Wagner", "Becker", "Hoffmann",
+    "Keller", "Richter", "Klein", "Wolf", "Neumann", "Braun", "Zimmer",
+]
+
+EMAIL_DOMAINS = [
+    "gmail.com", "yahoo.com", "outlook.com", "hotmail.com", "icloud.com",
+    "mail.com", "proton.me",
+]
+
+
+@dataclass(frozen=True)
+class Passenger:
+    """One passenger on a reservation.
+
+    ``birthdate`` is an ISO ``YYYY-MM-DD`` string: detection heuristics
+    treat it as an opaque rotating token, so no date arithmetic is
+    needed.
+    """
+
+    first_name: str
+    last_name: str
+    birthdate: str
+    email: str
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.first_name} {self.last_name}"
+
+    @property
+    def name_key(self) -> Tuple[str, str]:
+        """Case-folded (first, last) pair used by detection heuristics."""
+        return (self.first_name.lower(), self.last_name.lower())
+
+
+def sample_birthdate(rng: random.Random) -> str:
+    """A plausible adult birthdate."""
+    year = rng.randint(1950, 2006)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+def email_for(first_name: str, last_name: str, rng: random.Random) -> str:
+    domain = rng.choice(EMAIL_DOMAINS)
+    separator = rng.choice([".", "_", ""])
+    suffix = str(rng.randint(1, 999)) if rng.random() < 0.4 else ""
+    return (
+        f"{first_name.lower()}{separator}{last_name.lower()}{suffix}@{domain}"
+    )
+
+
+def sample_genuine_passenger(rng: random.Random) -> Passenger:
+    """A passenger with a plausible name drawn from the name pools."""
+    first = rng.choice(FIRST_NAMES)
+    last = rng.choice(LAST_NAMES)
+    return Passenger(
+        first_name=first,
+        last_name=last,
+        birthdate=sample_birthdate(rng),
+        email=email_for(first, last, rng),
+    )
+
+
+def sample_genuine_party(rng: random.Random, size: int) -> List[Passenger]:
+    """A party of ``size`` genuine passengers, usually sharing a surname.
+
+    Real multi-passenger bookings are dominated by families and couples,
+    so with high probability everyone shares the lead passenger's
+    surname.
+    """
+    if size < 1:
+        raise ValueError(f"party size must be >= 1: {size}")
+    lead = sample_genuine_passenger(rng)
+    party = [lead]
+    shared_surname = rng.random() < 0.7
+    for _ in range(size - 1):
+        member = sample_genuine_passenger(rng)
+        if shared_surname:
+            member = Passenger(
+                first_name=member.first_name,
+                last_name=lead.last_name,
+                birthdate=member.birthdate,
+                email=member.email,
+            )
+        party.append(member)
+    return party
+
+
+def _gibberish_token(rng: random.Random, low: int = 5, high: int = 9) -> str:
+    length = rng.randint(low, high)
+    return "".join(rng.choice(string.ascii_lowercase) for _ in range(length))
+
+
+def sample_gibberish_passenger(rng: random.Random) -> Passenger:
+    """Random keyboard-mash passenger data.
+
+    Matches the paper's example of entirely random entries
+    ("Name: affjgdui, Surname: ddfjrei, Email: ddfjrei@...").
+    """
+    first = _gibberish_token(rng)
+    last = _gibberish_token(rng)
+    return Passenger(
+        first_name=first,
+        last_name=last,
+        birthdate=sample_birthdate(rng),
+        email=f"{last}@{rng.choice(EMAIL_DOMAINS)}",
+    )
+
+
+def misspell(name: str, rng: random.Random) -> str:
+    """Introduce one human-style typo: swap, drop or double a character.
+
+    Used by the manual seat spinner (Section IV-B: "few entries
+    contained slight misspellings of names and surnames, suggesting
+    manual input").
+    """
+    if len(name) < 3:
+        return name
+    kind = rng.choice(["swap", "drop", "double"])
+    position = rng.randint(1, len(name) - 2)
+    if kind == "swap":
+        chars = list(name)
+        chars[position], chars[position + 1] = (
+            chars[position + 1],
+            chars[position],
+        )
+        return "".join(chars)
+    if kind == "drop":
+        return name[:position] + name[position + 1:]
+    return name[:position] + name[position] + name[position:]
+
+
+def _name_trigrams() -> frozenset:
+    """Trigram inventory of plausible names (built once at import).
+
+    Serves as the "dictionary of name-like letter sequences" a real
+    fraud team would derive from historical passenger data.
+    """
+    trigrams = set()
+    for name in FIRST_NAMES + LAST_NAMES:
+        lowered = f"^{name.lower()}$"
+        for i in range(len(lowered) - 2):
+            trigrams.add(lowered[i:i + 3])
+    return frozenset(trigrams)
+
+
+_NAME_TRIGRAMS = _name_trigrams()
+
+
+def gibberish_score(token: str) -> float:
+    """Heuristic [0, 1] score of how keyboard-mash-like a token looks.
+
+    Blends three signals: deviation from the vowel ratio of real names,
+    long consonant runs, and the fraction of the token's trigrams never
+    seen in plausible names.  Genuine names score near 0; uniform
+    random lowercase strings score well above 0.35; a misspelled real
+    name lands in between (a couple of unseen trigrams only).
+    """
+    cleaned = "".join(ch for ch in token.lower() if ch.isalpha())
+    if len(cleaned) < 3:
+        return 0.0
+    vowels = sum(1 for ch in cleaned if ch in "aeiouy")
+    vowel_ratio = vowels / len(cleaned)
+    # Penalty for deviating from the ~0.42 vowel ratio of real names.
+    vowel_penalty = min(abs(vowel_ratio - 0.42) / 0.42, 1.0)
+    longest_consonant_run = 0
+    current = 0
+    for ch in cleaned:
+        if ch in "aeiouy":
+            current = 0
+        else:
+            current += 1
+            longest_consonant_run = max(longest_consonant_run, current)
+    run_penalty = min(max(longest_consonant_run - 2, 0) / 3.0, 1.0)
+    wrapped = f"^{cleaned}$"
+    token_trigrams = [
+        wrapped[i:i + 3] for i in range(len(wrapped) - 2)
+    ]
+    unseen = sum(1 for tri in token_trigrams if tri not in _NAME_TRIGRAMS)
+    trigram_penalty = unseen / len(token_trigrams)
+    return (
+        0.25 * vowel_penalty
+        + 0.25 * run_penalty
+        + 0.5 * trigram_penalty
+    )
+
+
+def edit_distance(a: str, b: str) -> int:
+    """Levenshtein distance (iterative two-row implementation)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(
+                min(
+                    previous[j] + 1,       # deletion
+                    current[j - 1] + 1,    # insertion
+                    previous[j - 1] + cost,  # substitution
+                )
+            )
+        previous = current
+    return previous[-1]

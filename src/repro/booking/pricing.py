@@ -1,0 +1,49 @@
+"""Dynamic seat pricing.
+
+Fares rise with the flight's load factor (confirmed + held seats).
+Because *held* seats count, Denial-of-Inventory attackers can
+manipulate prices in both directions (Section II-A: "attackers
+strategically hold reservations and items at lower fares ... to force
+price drops before making a legitimate purchase" — or, by hoarding,
+drive prices up to resell).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .flight import Flight
+
+
+@dataclass(frozen=True)
+class PricingEngine:
+    """Convex load-factor pricing: ``base * (1 + alpha * load ** beta)``.
+
+    With the defaults, an empty flight sells at ``base_fare`` and a full
+    one at ``base_fare * (1 + alpha)``; convexity (``beta > 1``) makes
+    the last seats much more expensive than the first, as real revenue
+    management does.
+    """
+
+    base_fare: float = 120.0
+    alpha: float = 2.0
+    beta: float = 2.2
+
+    def __post_init__(self) -> None:
+        if self.base_fare <= 0:
+            raise ValueError(f"base_fare must be positive: {self.base_fare}")
+        if self.alpha < 0 or self.beta <= 0:
+            raise ValueError(
+                f"invalid pricing shape: alpha={self.alpha} beta={self.beta}"
+            )
+
+    def price_at_load(self, load_factor: float) -> float:
+        """Per-seat fare at a given load factor (clamped to [0, 1])."""
+        load = min(max(load_factor, 0.0), 1.0)
+        return self.base_fare * (1.0 + self.alpha * load ** self.beta)
+
+    def quote(self, flight: Flight, seats: int) -> float:
+        """Total fare quote for ``seats`` seats at the current load."""
+        if seats < 1:
+            raise ValueError(f"seats must be >= 1: {seats}")
+        return self.price_at_load(flight.inventory.load_factor) * seats

@@ -1,0 +1,198 @@
+"""Seat maps: per-seat inventory for seat-level Seat Spinning.
+
+The paper's manual case study traces back to a publicised trick
+("'Genius' plane hack allows passengers to avoid dreaded middle seat
+without paying", cited as [11]): hold the *middle seat* of your row so
+nobody can buy it, then let the hold lapse at departure.  Modelling
+that requires seats, not just counts.
+
+:class:`SeatMap` tracks individual seats in a single-aisle 3-3 cabin
+(letters ABC-DEF: A/F window, C/D aisle, B/E middle) with the same
+available/held/confirmed lifecycle as :class:`~repro.booking.flight.
+SeatInventory`, plus preference-driven seat picking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+# Seat position kinds.
+WINDOW = "window"
+MIDDLE = "middle"
+AISLE = "aisle"
+
+#: Letter -> position kind in the default 3-3 layout.
+_POSITION_BY_LETTER: Dict[str, str] = {
+    "A": WINDOW,
+    "B": MIDDLE,
+    "C": AISLE,
+    "D": AISLE,
+    "E": MIDDLE,
+    "F": WINDOW,
+}
+
+# Seat states.
+AVAILABLE = "available"
+HELD = "held"
+CONFIRMED = "confirmed"
+
+# Picking preferences.
+ANY = "any"
+WINDOW_AISLE = "window-aisle"   # what normal passengers want
+MIDDLE_BLOCK = "middle-block"   # the middle-seat hoarding trick
+TOGETHER = "together"           # adjacent seats in one row
+
+PREFERENCES = (ANY, WINDOW_AISLE, MIDDLE_BLOCK, TOGETHER)
+
+
+@dataclass(frozen=True)
+class Seat:
+    """One physical seat."""
+
+    row: int
+    letter: str
+
+    @property
+    def label(self) -> str:
+        return f"{self.row}{self.letter}"
+
+    @property
+    def position(self) -> str:
+        return _POSITION_BY_LETTER[self.letter]
+
+
+class SeatMapError(Exception):
+    """Raised on impossible seat transitions (a caller bug)."""
+
+
+class SeatMap:
+    """Per-seat state for one cabin."""
+
+    def __init__(self, rows: int) -> None:
+        if rows < 1:
+            raise ValueError(f"rows must be >= 1: {rows}")
+        self.rows = rows
+        self._state: Dict[Seat, str] = {}
+        for row in range(1, rows + 1):
+            for letter in "ABCDEF":
+                self._state[Seat(row, letter)] = AVAILABLE
+
+    @property
+    def capacity(self) -> int:
+        return len(self._state)
+
+    def state_of(self, seat: Seat) -> str:
+        try:
+            return self._state[seat]
+        except KeyError:
+            raise SeatMapError(f"no such seat {seat.label}") from None
+
+    def seats_in_state(self, state: str) -> List[Seat]:
+        return sorted(
+            (seat for seat, s in self._state.items() if s == state),
+            key=lambda seat: (seat.row, seat.letter),
+        )
+
+    def available_count(self) -> int:
+        return sum(1 for s in self._state.values() if s == AVAILABLE)
+
+    # -- picking ------------------------------------------------------------
+
+    def pick(self, count: int, preference: str = ANY) -> List[Seat]:
+        """Choose ``count`` available seats honouring ``preference``.
+
+        Picking is deterministic (front-of-cabin first) so simulations
+        stay reproducible.  When the preference cannot be fully
+        satisfied the pick falls back to any available seats — real
+        booking engines do the same rather than fail the sale.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1: {count}")
+        if preference not in PREFERENCES:
+            raise ValueError(
+                f"unknown preference {preference!r}; expected {PREFERENCES}"
+            )
+        available = self.seats_in_state(AVAILABLE)
+        if count > len(available):
+            raise SeatMapError(
+                f"cannot pick {count} seats; {len(available)} available"
+            )
+        if preference == TOGETHER:
+            block = self._adjacent_block(available, count)
+            if block is not None:
+                return block
+            preference = ANY  # fall back: no adjacent block left
+        ordering = {
+            ANY: (WINDOW, AISLE, MIDDLE),
+            WINDOW_AISLE: (WINDOW, AISLE, MIDDLE),
+            MIDDLE_BLOCK: (MIDDLE, WINDOW, AISLE),
+        }[preference]
+        ranked = sorted(
+            available,
+            key=lambda seat: (
+                ordering.index(seat.position),
+                seat.row,
+                seat.letter,
+            ),
+        )
+        return ranked[:count]
+
+    @staticmethod
+    def _adjacent_block(
+        available: Sequence[Seat], count: int
+    ) -> Optional[List[Seat]]:
+        """First run of ``count`` adjacent same-row seats, if any."""
+        by_row: Dict[int, List[Seat]] = {}
+        for seat in available:
+            by_row.setdefault(seat.row, []).append(seat)
+        for row in sorted(by_row):
+            seats = sorted(by_row[row], key=lambda s: s.letter)
+            letters = [s.letter for s in seats]
+            for start in range(len(seats) - count + 1):
+                run = letters[start:start + count]
+                expected = [
+                    chr(ord(run[0]) + offset) for offset in range(count)
+                ]
+                if run == expected:
+                    return seats[start:start + count]
+        return None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def hold(self, seats: Sequence[Seat]) -> None:
+        for seat in seats:
+            if self.state_of(seat) != AVAILABLE:
+                raise SeatMapError(
+                    f"seat {seat.label} is {self.state_of(seat)}"
+                )
+        for seat in seats:
+            self._state[seat] = HELD
+
+    def release(self, seats: Sequence[Seat]) -> None:
+        for seat in seats:
+            if self.state_of(seat) != HELD:
+                raise SeatMapError(
+                    f"cannot release {seat.label}: {self.state_of(seat)}"
+                )
+        for seat in seats:
+            self._state[seat] = AVAILABLE
+
+    def confirm(self, seats: Sequence[Seat]) -> None:
+        for seat in seats:
+            if self.state_of(seat) != HELD:
+                raise SeatMapError(
+                    f"cannot confirm {seat.label}: {self.state_of(seat)}"
+                )
+        for seat in seats:
+            self._state[seat] = CONFIRMED
+
+    # -- analysis -------------------------------------------------------------
+
+    def position_share(
+        self, seats: Sequence[Seat], position: str
+    ) -> float:
+        """Fraction of ``seats`` in the given position kind."""
+        if not seats:
+            return 0.0
+        return sum(1 for s in seats if s.position == position) / len(seats)

@@ -1,0 +1,43 @@
+"""Shared record types used across substrates.
+
+:class:`ClientRef` is the identity bundle a server-side component sees
+for one request: network address, fingerprint, authenticated profile —
+plus, for simulation scoring only, the ground-truth actor label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Ground-truth actor classes used for evaluation.
+LEGIT = "legit"
+SEAT_SPINNER = "seat-spinner"
+MANUAL_SPINNER = "manual-spinner"
+SMS_PUMPER = "sms-pumper"
+SCRAPER = "scraper"
+
+ATTACK_CLASSES = (SEAT_SPINNER, MANUAL_SPINNER, SMS_PUMPER, SCRAPER)
+
+
+@dataclass(frozen=True)
+class ClientRef:
+    """What the server can attribute a request to.
+
+    ``actor`` / ``actor_class`` are ground-truth labels attached by the
+    traffic generators.  Detection code must never read them; they exist
+    solely so the evaluation harness can compute precision/recall.
+    """
+
+    ip_address: str
+    ip_country: str
+    ip_residential: bool
+    fingerprint_id: str
+    user_agent: str
+    profile_id: str = ""
+    actor: str = ""
+    actor_class: str = LEGIT
+
+    @property
+    def is_attacker(self) -> bool:
+        """Ground truth — for scoring only, never for detection."""
+        return self.actor_class != LEGIT

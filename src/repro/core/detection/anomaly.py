@@ -1,0 +1,334 @@
+"""Statistical anomaly detection over booking and SMS aggregates.
+
+The detection layer that actually caught the paper's attacks:
+
+* :class:`NipDistributionMonitor` — compares the observed
+  Number-in-Party distribution against a baseline week (Fig. 1's
+  signal: the NiP-6 bar tripling during the attack),
+* :class:`SmsSurgeMonitor` — per-destination-country volume ratios
+  against a baseline window (Table I's surge percentages),
+* :class:`EwmaMonitor` — generic exponentially-weighted rate anomaly
+  for time series.
+
+The chi-square survival function is implemented from scratch
+(regularised incomplete gamma, series + continued fraction) so the
+library core needs nothing beyond NumPy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+# --------------------------------------------------------------------------
+# Special functions (Numerical-Recipes-style incomplete gamma).
+# --------------------------------------------------------------------------
+
+def _lower_gamma_series(s: float, x: float) -> float:
+    """Regularised lower incomplete gamma P(s, x) via its series."""
+    term = 1.0 / s
+    total = term
+    denominator = s
+    for _ in range(500):
+        denominator += 1.0
+        term *= x / denominator
+        total += term
+        if abs(term) < abs(total) * 1e-14:
+            break
+    return total * math.exp(-x + s * math.log(x) - math.lgamma(s))
+
+def _upper_gamma_fraction(s: float, x: float) -> float:
+    """Regularised upper incomplete gamma Q(s, x) via Lentz's continued
+    fraction (valid for x > s + 1)."""
+    tiny = 1e-300
+    b = x + 1.0 - s
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, 500):
+        a_n = -i * (i - s)
+        b += 2.0
+        d = a_n * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + a_n / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-14:
+            break
+    return h * math.exp(-x + s * math.log(x) - math.lgamma(s))
+
+def regularized_gamma_q(s: float, x: float) -> float:
+    """Q(s, x) = 1 - P(s, x); the upper regularised incomplete gamma."""
+    if s <= 0:
+        raise ValueError(f"s must be positive: {s}")
+    if x < 0:
+        raise ValueError(f"x must be >= 0: {x}")
+    if x == 0:
+        return 1.0
+    if x < s + 1.0:
+        return 1.0 - _lower_gamma_series(s, x)
+    return _upper_gamma_fraction(s, x)
+
+def chi_square_sf(statistic: float, dof: int) -> float:
+    """Chi-square survival function (p-value of the statistic)."""
+    if dof < 1:
+        raise ValueError(f"dof must be >= 1: {dof}")
+    if statistic < 0:
+        raise ValueError(f"statistic must be >= 0: {statistic}")
+    return regularized_gamma_q(dof / 2.0, statistic / 2.0)
+
+
+# --------------------------------------------------------------------------
+# Distribution distances.
+# --------------------------------------------------------------------------
+
+def _normalise(distribution: Mapping[int, float]) -> Dict[int, float]:
+    total = float(sum(distribution.values()))
+    if total <= 0:
+        raise ValueError("distribution has no mass")
+    return {key: value / total for key, value in distribution.items()}
+
+def jensen_shannon(
+    p: Mapping[int, float], q: Mapping[int, float]
+) -> float:
+    """Jensen–Shannon divergence (base-2, in [0, 1]) of two discrete
+    distributions given as {outcome: weight} mappings."""
+    p_norm = _normalise(p)
+    q_norm = _normalise(q)
+    support = set(p_norm) | set(q_norm)
+    divergence = 0.0
+    for outcome in support:
+        p_i = p_norm.get(outcome, 0.0)
+        q_i = q_norm.get(outcome, 0.0)
+        m_i = 0.5 * (p_i + q_i)
+        if p_i > 0:
+            divergence += 0.5 * p_i * math.log2(p_i / m_i)
+        if q_i > 0:
+            divergence += 0.5 * q_i * math.log2(q_i / m_i)
+    return divergence
+
+
+# --------------------------------------------------------------------------
+# NiP distribution monitor (Fig. 1's detection signal).
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class NipAnomaly:
+    """Result of one NiP-distribution evaluation."""
+
+    sample_size: int
+    jsd: float
+    chi_square: float
+    p_value: float
+    #: Party sizes whose observed share exceeds baseline by the surge
+    #: factor (the "sharp increase in reservations for groups of six").
+    surging_nips: tuple
+    alarm: bool
+
+
+@dataclass
+class NipDistributionMonitor:
+    """Detects distributional shift in Number-in-Party.
+
+    ``baseline`` is the average-week NiP mixture.  ``evaluate`` takes
+    observed counts for a window and alarms when the chi-square test
+    rejects at ``alpha`` *and* the JSD exceeds a practical floor (pure
+    significance on huge samples would alarm on trivia).
+    """
+
+    baseline: Mapping[int, float]
+    min_samples: int = 100
+    alpha: float = 1e-4
+    jsd_floor: float = 0.005
+    surge_factor: float = 2.0
+    surge_min_count: int = 10
+
+    def evaluate(self, observed_counts: Mapping[int, int]) -> NipAnomaly:
+        sample_size = int(sum(observed_counts.values()))
+        if sample_size < self.min_samples:
+            return NipAnomaly(sample_size, 0.0, 0.0, 1.0, (), False)
+
+        baseline = _normalise(self.baseline)
+        support = sorted(set(baseline) | set(observed_counts))
+        # Chi-square goodness of fit against the baseline mixture.
+        statistic = 0.0
+        dof = 0
+        floor = 1e-9
+        for nip in support:
+            expected = baseline.get(nip, floor) * sample_size
+            if expected < 1.0:
+                expected = 1.0  # guard tiny expected cells
+            observed = observed_counts.get(nip, 0)
+            statistic += (observed - expected) ** 2 / expected
+            dof += 1
+        dof = max(dof - 1, 1)
+        p_value = chi_square_sf(statistic, dof)
+
+        observed_shares = {
+            nip: count / sample_size
+            for nip, count in observed_counts.items()
+        }
+        jsd = jensen_shannon(baseline, observed_shares)
+
+        surging = tuple(
+            nip
+            for nip in sorted(observed_counts)
+            if observed_counts[nip] >= self.surge_min_count
+            and observed_shares[nip]
+            > self.surge_factor * baseline.get(nip, floor)
+        )
+        alarm = p_value < self.alpha and jsd >= self.jsd_floor
+        return NipAnomaly(
+            sample_size=sample_size,
+            jsd=jsd,
+            chi_square=statistic,
+            p_value=p_value,
+            surging_nips=surging,
+            alarm=alarm,
+        )
+
+
+# --------------------------------------------------------------------------
+# SMS country surge monitor (Table I's detection signal).
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CountrySurge:
+    """Before/after volume comparison for one destination country."""
+
+    country_code: str
+    baseline_count: int
+    window_count: int
+
+    @property
+    def surge_percent(self) -> float:
+        """Percentage increase over baseline (Table I's metric).
+
+        A zero baseline with nonzero window volume is reported as an
+        infinite surge.
+        """
+        if self.baseline_count == 0:
+            return math.inf if self.window_count > 0 else 0.0
+        return (
+            (self.window_count - self.baseline_count)
+            / self.baseline_count
+            * 100.0
+        )
+
+
+@dataclass
+class SmsSurgeMonitor:
+    """Per-country SMS volume surge detection against a baseline window."""
+
+    surge_alarm_percent: float = 500.0
+    min_window_count: int = 20
+
+    def evaluate(
+        self,
+        baseline_counts: Mapping[str, int],
+        window_counts: Mapping[str, int],
+    ) -> List[CountrySurge]:
+        """Surges for every country seen in either window, sorted by
+        descending surge percentage."""
+        countries = set(baseline_counts) | set(window_counts)
+        surges = [
+            CountrySurge(
+                country_code=country,
+                baseline_count=int(baseline_counts.get(country, 0)),
+                window_count=int(window_counts.get(country, 0)),
+            )
+            for country in countries
+        ]
+        surges.sort(
+            key=lambda s: (-s.surge_percent, -s.window_count, s.country_code)
+        )
+        return surges
+
+    def alarming(
+        self,
+        baseline_counts: Mapping[str, int],
+        window_counts: Mapping[str, int],
+    ) -> List[CountrySurge]:
+        """Only the surges that cross the alarm thresholds."""
+        return [
+            surge
+            for surge in self.evaluate(baseline_counts, window_counts)
+            if surge.window_count >= self.min_window_count
+            and surge.surge_percent >= self.surge_alarm_percent
+        ]
+
+    @staticmethod
+    def global_increase_percent(
+        baseline_counts: Mapping[str, int],
+        window_counts: Mapping[str, int],
+    ) -> float:
+        """Overall volume increase (the paper's "around 25%")."""
+        baseline_total = sum(baseline_counts.values())
+        window_total = sum(window_counts.values())
+        if baseline_total == 0:
+            return math.inf if window_total else 0.0
+        return (window_total - baseline_total) / baseline_total * 100.0
+
+
+# --------------------------------------------------------------------------
+# Generic EWMA rate monitor.
+# --------------------------------------------------------------------------
+
+class EwmaMonitor:
+    """Exponentially-weighted moving average anomaly detector.
+
+    Feed scalar observations in time order; :meth:`update` returns True
+    when the new value deviates from the smoothed mean by more than
+    ``z_threshold`` smoothed standard deviations (after a warm-up).
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.2,
+        z_threshold: float = 4.0,
+        warmup: int = 10,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1]: {alpha}")
+        if warmup < 1:
+            raise ValueError(f"warmup must be >= 1: {warmup}")
+        self.alpha = alpha
+        self.z_threshold = z_threshold
+        self.warmup = warmup
+        self._mean: Optional[float] = None
+        self._variance = 0.0
+        self._observations = 0
+
+    def update(self, value: float) -> bool:
+        """Ingest one observation; True when it is anomalous."""
+        self._observations += 1
+        if self._mean is None:
+            self._mean = value
+            return False
+        deviation = value - self._mean
+        anomalous = False
+        if self._observations > self.warmup:
+            std = math.sqrt(self._variance)
+            if std > 0 and abs(deviation) > self.z_threshold * std:
+                anomalous = True
+        # Anomalous points still update the state (slowly poisoning the
+        # baseline — a documented limitation of EWMA defenses).
+        self._mean += self.alpha * deviation
+        self._variance = (1 - self.alpha) * (
+            self._variance + self.alpha * deviation * deviation
+        )
+        return anomalous
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self._mean is not None else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self._variance)

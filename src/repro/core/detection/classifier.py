@@ -1,0 +1,153 @@
+"""Logistic-regression session classifier (from scratch, NumPy).
+
+The supervised end of the behaviour-based spectrum (Section III-A):
+train on labelled sessions, predict bot probability from the session
+feature vector.  Implemented directly — standardisation, L2-regularised
+cross-entropy, batch gradient descent — so the library has no ML
+dependencies and the training procedure is fully deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ...web.logs import Session
+from .features import feature_matrix
+from .verdict import Verdict
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    # Clipped for numerical stability at extreme logits.
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -35.0, 35.0)))
+
+
+@dataclass
+class TrainingReport:
+    """Convergence summary returned by :meth:`LogisticSessionClassifier.fit`."""
+
+    iterations: int
+    final_loss: float
+    training_accuracy: float
+
+
+class LogisticSessionClassifier:
+    """L2-regularised logistic regression over session features.
+
+    Subjects are session ids.  ``threshold`` converts probability to the
+    binary ``is_bot`` verdict.
+    """
+
+    name = "logistic-behaviour"
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        l2: float = 1e-3,
+        max_iterations: int = 2000,
+        tolerance: float = 1e-7,
+        threshold: float = 0.5,
+    ) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise ValueError(f"threshold must be in (0, 1): {threshold}")
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.threshold = threshold
+        self._weights: Optional[np.ndarray] = None
+        self._bias = 0.0
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    @property
+    def fitted(self) -> bool:
+        return self._weights is not None
+
+    def _standardise(self, matrix: np.ndarray) -> np.ndarray:
+        assert self._mean is not None and self._std is not None
+        return (matrix - self._mean) / self._std
+
+    def fit(
+        self, sessions: Sequence[Session], labels: Sequence[bool]
+    ) -> TrainingReport:
+        """Train on labelled sessions (True = bot)."""
+        if len(sessions) != len(labels):
+            raise ValueError(
+                f"{len(sessions)} sessions but {len(labels)} labels"
+            )
+        if len(sessions) < 2:
+            raise ValueError("need at least two training sessions")
+        matrix = feature_matrix(list(sessions))
+        target = np.asarray(labels, dtype=float)
+        if len(set(labels)) < 2:
+            raise ValueError("training labels must contain both classes")
+
+        self._mean = matrix.mean(axis=0)
+        std = matrix.std(axis=0)
+        std[std == 0.0] = 1.0
+        self._std = std
+        x = self._standardise(matrix)
+
+        n_samples, n_features = x.shape
+        weights = np.zeros(n_features)
+        bias = 0.0
+        previous_loss = np.inf
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            probabilities = _sigmoid(x @ weights + bias)
+            gradient_w = (
+                x.T @ (probabilities - target) / n_samples
+                + self.l2 * weights
+            )
+            gradient_b = float(np.mean(probabilities - target))
+            weights -= self.learning_rate * gradient_w
+            bias -= self.learning_rate * gradient_b
+            eps = 1e-12
+            loss = float(
+                -np.mean(
+                    target * np.log(probabilities + eps)
+                    + (1 - target) * np.log(1 - probabilities + eps)
+                )
+                + 0.5 * self.l2 * float(weights @ weights)
+            )
+            if abs(previous_loss - loss) < self.tolerance:
+                break
+            previous_loss = loss
+
+        self._weights = weights
+        self._bias = bias
+        predictions = self.predict_proba(list(sessions)) >= self.threshold
+        accuracy = float(np.mean(predictions == (target >= 0.5)))
+        return TrainingReport(
+            iterations=iterations,
+            final_loss=previous_loss,
+            training_accuracy=accuracy,
+        )
+
+    def predict_proba(self, sessions: Sequence[Session]) -> np.ndarray:
+        if not self.fitted:
+            raise RuntimeError("classifier is not fitted")
+        matrix = feature_matrix(list(sessions))
+        if matrix.shape[0] == 0:
+            return np.zeros(0)
+        x = self._standardise(matrix)
+        assert self._weights is not None
+        return _sigmoid(x @ self._weights + self._bias)
+
+    def judge_all(self, sessions: Sequence[Session]) -> List[Verdict]:
+        probabilities = self.predict_proba(sessions)
+        verdicts = []
+        for session, probability in zip(sessions, probabilities):
+            verdicts.append(
+                Verdict(
+                    subject_id=session.session_id,
+                    detector=self.name,
+                    score=float(probability),
+                    is_bot=bool(probability >= self.threshold),
+                    reasons=("model-probability",),
+                )
+            )
+        return verdicts

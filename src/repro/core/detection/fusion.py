@@ -1,0 +1,91 @@
+"""Verdict fusion across detector families.
+
+Section V's conclusion is that no single signal class survives contact
+with advanced functional abuse: fingerprinting, behaviour analysis and
+anomaly detection have to be *combined*.  :class:`FusionDetector`
+implements the standard noisy-OR combination: each detector family
+contributes independent evidence, weighted by how much its verdicts are
+trusted, and the fused bot-probability is
+
+``1 - prod(1 - weight_d * score_d)``
+
+so any single confident detector can convict, several weak signals
+accumulate, and a detector that saw nothing contributes nothing.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from .verdict import Verdict
+
+#: Default trust weights per detector family.  Knowledge-based rules
+#: are precise when they fire; volume thresholds are precise but narrow;
+#: statistical detectors get partial trust.
+DEFAULT_WEIGHTS: Dict[str, float] = {
+    "fingerprint-rules": 0.95,
+    "volume-threshold": 0.9,
+    "mouse-biometrics": 0.9,
+    "navigation-graph": 0.6,
+    "logistic-behaviour": 0.7,
+    "kmeans-behaviour": 0.5,
+}
+
+
+@dataclass
+class FusionDetector:
+    """Noisy-OR fusion of per-subject verdicts from many detectors."""
+
+    weights: Dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_WEIGHTS)
+    )
+    default_weight: float = 0.5
+    threshold: float = 0.5
+
+    name = "fusion"
+
+    def __post_init__(self) -> None:
+        for detector, weight in self.weights.items():
+            if not 0.0 <= weight <= 1.0:
+                raise ValueError(
+                    f"weight for {detector!r} must be in [0, 1]: {weight}"
+                )
+        if not 0.0 < self.threshold < 1.0:
+            raise ValueError(
+                f"threshold must be in (0, 1): {self.threshold}"
+            )
+
+    def weight_for(self, detector: str) -> float:
+        return self.weights.get(detector, self.default_weight)
+
+    def fuse(
+        self, verdict_sets: Sequence[Sequence[Verdict]]
+    ) -> List[Verdict]:
+        """Combine verdicts (grouped however the caller likes) into one
+        fused verdict per subject id."""
+        survival: Dict[str, float] = defaultdict(lambda: 1.0)
+        reasons: Dict[str, List[str]] = defaultdict(list)
+        for verdicts in verdict_sets:
+            for verdict in verdicts:
+                weight = self.weight_for(verdict.detector)
+                survival[verdict.subject_id] *= (
+                    1.0 - weight * verdict.score
+                )
+                if verdict.is_bot:
+                    reasons[verdict.subject_id].append(verdict.detector)
+
+        fused = []
+        for subject_id in sorted(survival):
+            score = 1.0 - survival[subject_id]
+            fused.append(
+                Verdict(
+                    subject_id=subject_id,
+                    detector=self.name,
+                    score=min(max(score, 0.0), 1.0),
+                    is_bot=score >= self.threshold,
+                    reasons=tuple(dict.fromkeys(reasons[subject_id])),
+                )
+            )
+        return fused

@@ -1,0 +1,121 @@
+"""Geo-velocity ("impossible travel") detection.
+
+The Case C attacker leased residential exits *geo-matched to each
+destination number's country* — which perfectly defeats per-request
+geo-consistency checks, but creates a different artifact: one booking
+reference (or profile) requesting boarding passes from dozens of
+countries within hours.  No passenger travels like that.
+
+:class:`GeoVelocityDetector` scans SMS-send records grouped by a stable
+key (booking reference or profile id) and flags keys whose request
+origins span too many countries inside a sliding window.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ...sms.gateway import SmsRecord
+from .verdict import Verdict
+
+
+@dataclass
+class GeoVelocityConfig:
+    """Thresholds for the impossible-travel rule.
+
+    A genuine traveller might legitimately appear from 2-3 countries in
+    a day (home connection, airport Wi-Fi, roaming); dozens is physics
+    violation.
+    """
+
+    window: float = 24.0 * 3600.0
+    max_countries_per_window: int = 3
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError(f"window must be positive: {self.window}")
+        if self.max_countries_per_window < 1:
+            raise ValueError(
+                "max_countries_per_window must be >= 1: "
+                f"{self.max_countries_per_window}"
+            )
+
+
+class GeoVelocityDetector:
+    """Flags booking references / profiles with impossible travel.
+
+    Subjects are the grouping keys (booking reference by default).
+    """
+
+    name = "geo-velocity"
+
+    def __init__(
+        self, config: GeoVelocityConfig = GeoVelocityConfig()
+    ) -> None:
+        self.config = config
+
+    @staticmethod
+    def _key(record: SmsRecord) -> str:
+        return record.booking_ref or record.client.profile_id
+
+    def judge_records(
+        self, records: Sequence[SmsRecord]
+    ) -> List[Verdict]:
+        """One verdict per grouping key seen in the records.
+
+        A key is flagged when any ``window``-long span contains request
+        origins from more than ``max_countries_per_window`` countries.
+        """
+        by_key: Dict[str, List[Tuple[float, str]]] = defaultdict(list)
+        for record in records:
+            key = self._key(record)
+            if key:
+                by_key[key].append((record.time, record.client.ip_country))
+
+        verdicts = []
+        for key in sorted(by_key):
+            events = sorted(by_key[key])
+            peak = self._peak_countries(events)
+            is_bot = peak > self.config.max_countries_per_window
+            score = min(
+                peak / (self.config.max_countries_per_window * 4), 1.0
+            )
+            verdicts.append(
+                Verdict(
+                    subject_id=key,
+                    detector=self.name,
+                    score=score if is_bot else min(score, 0.49),
+                    is_bot=is_bot,
+                    reasons=(
+                        (f"{peak}-countries-in-window",) if is_bot else ()
+                    ),
+                )
+            )
+        return verdicts
+
+    def _peak_countries(
+        self, events: Sequence[Tuple[float, str]]
+    ) -> int:
+        """Maximum distinct origin countries in any sliding window."""
+        peak = 0
+        start = 0
+        window_counts: Dict[str, int] = defaultdict(int)
+        for end, (time, country) in enumerate(events):
+            window_counts[country] += 1
+            while events[start][0] < time - self.config.window:
+                old_country = events[start][1]
+                window_counts[old_country] -= 1
+                if window_counts[old_country] == 0:
+                    del window_counts[old_country]
+                start += 1
+            peak = max(peak, len(window_counts))
+        return peak
+
+    def flagged_keys(self, records: Sequence[SmsRecord]) -> List[str]:
+        return [
+            verdict.subject_id
+            for verdict in self.judge_records(records)
+            if verdict.is_bot
+        ]

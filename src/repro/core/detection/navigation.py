@@ -1,0 +1,176 @@
+"""Graph-based navigation analysis (the Section V research direction).
+
+The paper recommends "local behavioral modeling, such as graph-based
+navigation analysis" as a way to catch abuse that volume metrics miss.
+This module implements the classic version: a first-order Markov model
+of endpoint transitions fitted on (mostly) legitimate sessions, scoring
+each new session by the likelihood of its navigation path.
+
+The signal it exposes: legitimate visitors walk the funnel
+(search → details → hold → pay); functional-abuse bots teleport
+straight to the feature they exploit (START → hold, hold → hold, ...),
+which are low-probability transitions under the fitted model.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...web.logs import Session
+from .verdict import Verdict
+
+#: Synthetic states bracketing every session path.
+START = "<start>"
+END = "<end>"
+
+
+def session_path(session: Session) -> List[str]:
+    """The session's endpoint sequence, bracketed by START/END."""
+    return [START] + [entry.path for entry in session.entries] + [END]
+
+
+class NavigationModel:
+    """First-order Markov model over endpoint transitions.
+
+    Laplace-smoothed so unseen transitions get small but finite
+    probability; ``mean_log_likelihood`` is length-normalised, which
+    keeps long and short sessions comparable.
+    """
+
+    def __init__(self, smoothing: float = 0.5) -> None:
+        if smoothing <= 0:
+            raise ValueError(f"smoothing must be positive: {smoothing}")
+        self.smoothing = smoothing
+        self._transition_counts: Dict[str, Dict[str, float]] = defaultdict(
+            lambda: defaultdict(float)
+        )
+        self._state_totals: Dict[str, float] = defaultdict(float)
+        self._states: set = set()
+        self._fitted = False
+
+    @property
+    def fitted(self) -> bool:
+        return self._fitted
+
+    def fit(self, sessions: Sequence[Session]) -> None:
+        """Count transitions over the training sessions."""
+        if not sessions:
+            raise ValueError("cannot fit a navigation model on nothing")
+        for session in sessions:
+            path = session_path(session)
+            for source, target in zip(path, path[1:]):
+                self._transition_counts[source][target] += 1.0
+                self._state_totals[source] += 1.0
+                self._states.add(source)
+                self._states.add(target)
+        self._fitted = True
+
+    def transition_probability(self, source: str, target: str) -> float:
+        """Smoothed P(target | source)."""
+        if not self._fitted:
+            raise RuntimeError("navigation model is not fitted")
+        vocabulary = max(len(self._states), 2)
+        count = self._transition_counts.get(source, {}).get(target, 0.0)
+        total = self._state_totals.get(source, 0.0)
+        return (count + self.smoothing) / (
+            total + self.smoothing * vocabulary
+        )
+
+    def mean_log_likelihood(self, session: Session) -> float:
+        """Mean per-transition log2-likelihood of the session's path."""
+        path = session_path(session)
+        total = 0.0
+        steps = 0
+        for source, target in zip(path, path[1:]):
+            total += math.log2(self.transition_probability(source, target))
+            steps += 1
+        return total / max(steps, 1)
+
+    def rarest_transition(
+        self, session: Session
+    ) -> Tuple[str, str, float]:
+        """The least likely transition in the session's path."""
+        path = session_path(session)
+        worst = (path[0], path[1], 1.0)
+        for source, target in zip(path, path[1:]):
+            probability = self.transition_probability(source, target)
+            if probability < worst[2]:
+                worst = (source, target, probability)
+        return worst
+
+
+@dataclass
+class NavigationDetectorConfig:
+    """Threshold calibration for :class:`NavigationDetector`.
+
+    The decision threshold is set from the training data itself: the
+    ``calibration_percentile``-th percentile of training-session
+    likelihoods (training traffic is assumed mostly legitimate, so a
+    low percentile keeps false positives at roughly that rate).
+    """
+
+    smoothing: float = 0.5
+    calibration_percentile: float = 1.0
+
+
+class NavigationDetector:
+    """Flags sessions whose navigation path is improbable.
+
+    Subjects are session ids.
+    """
+
+    name = "navigation-graph"
+
+    def __init__(
+        self, config: NavigationDetectorConfig = NavigationDetectorConfig()
+    ) -> None:
+        self.config = config
+        self.model = NavigationModel(smoothing=config.smoothing)
+        self._threshold: Optional[float] = None
+
+    @property
+    def threshold(self) -> Optional[float]:
+        return self._threshold
+
+    def fit(self, sessions: Sequence[Session]) -> None:
+        """Fit the model and calibrate the decision threshold."""
+        self.model.fit(sessions)
+        scores = sorted(
+            self.model.mean_log_likelihood(session) for session in sessions
+        )
+        index = int(
+            len(scores) * self.config.calibration_percentile / 100.0
+        )
+        index = min(max(index, 0), len(scores) - 1)
+        self._threshold = scores[index]
+
+    def judge(self, session: Session) -> Verdict:
+        if self._threshold is None:
+            raise RuntimeError("navigation detector is not fitted")
+        likelihood = self.model.mean_log_likelihood(session)
+        is_bot = likelihood < self._threshold
+        reasons: Tuple[str, ...] = ()
+        if is_bot:
+            source, target, probability = self.model.rarest_transition(
+                session
+            )
+            reasons = (
+                f"improbable-transition:{source}->{target}"
+                f"@{probability:.4f}",
+            )
+        # Score: how far below the threshold, squashed into [0, 1].
+        gap = self._threshold - likelihood
+        score = 1.0 / (1.0 + math.exp(-gap)) if is_bot else 0.0
+        return Verdict(
+            subject_id=session.session_id,
+            detector=self.name,
+            score=min(max(score, 0.0), 1.0),
+            is_bot=is_bot,
+            reasons=reasons,
+        )
+
+    def judge_all(self, sessions: Sequence[Session]) -> List[Verdict]:
+        return [self.judge(session) for session in sessions]

@@ -1,0 +1,107 @@
+"""Seat-level abuse heuristics.
+
+On flights with seat maps, *which* seats a client keeps holding is a
+behavioural signal of its own: genuine passengers want windows and
+aisles; the middle-seat hoarding trick (paper citation [11]) produces
+clients whose holds are overwhelmingly middle seats — the seats nobody
+chooses voluntarily.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ...booking.holds import Hold
+from ...booking.seatmap import MIDDLE
+from .verdict import Verdict
+
+
+@dataclass
+class SeatHoardingConfig:
+    """Thresholds for the middle-seat hoarding rule."""
+
+    #: Minimum seats held (with assignments) before judging a client.
+    min_seats: int = 6
+    #: Minimum distinct holds: hoarding is a pattern *across bookings*;
+    #: one unlucky family assigned leftover middle seats must not trip.
+    min_holds: int = 3
+    #: Middle-seat share above which the pattern is flagged (genuine
+    #: random assignment gives ~1/3; voluntary choice gives far less).
+    middle_share_threshold: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.min_seats < 1:
+            raise ValueError(f"min_seats must be >= 1: {self.min_seats}")
+        if self.min_holds < 1:
+            raise ValueError(f"min_holds must be >= 1: {self.min_holds}")
+        if not 0.0 < self.middle_share_threshold <= 1.0:
+            raise ValueError(
+                "middle_share_threshold must be in (0, 1]: "
+                f"{self.middle_share_threshold}"
+            )
+
+
+class SeatHoardingDetector:
+    """Flags clients whose seat holds concentrate on middle seats.
+
+    Subjects are fingerprint ids (the stable identity across one
+    manual attacker's bookings — Section IV-B notes they used only one
+    or two personal devices).
+    """
+
+    name = "seat-hoarding"
+
+    def __init__(
+        self, config: SeatHoardingConfig = SeatHoardingConfig()
+    ) -> None:
+        self.config = config
+
+    def judge_holds(self, holds: Sequence[Hold]) -> List[Verdict]:
+        """One verdict per fingerprint id with enough seat data."""
+        seats_by_client: Dict[str, List] = defaultdict(list)
+        holds_by_client: Dict[str, int] = defaultdict(int)
+        for hold in holds:
+            if hold.seats:
+                seats_by_client[hold.client.fingerprint_id].extend(
+                    hold.seats
+                )
+                holds_by_client[hold.client.fingerprint_id] += 1
+        verdicts = []
+        for fingerprint_id in sorted(seats_by_client):
+            seats = seats_by_client[fingerprint_id]
+            if len(seats) < self.config.min_seats:
+                continue
+            if holds_by_client[fingerprint_id] < self.config.min_holds:
+                continue
+            middle_share = sum(
+                1 for seat in seats if seat.position == MIDDLE
+            ) / len(seats)
+            is_bot = (
+                middle_share >= self.config.middle_share_threshold
+            )
+            verdicts.append(
+                Verdict(
+                    subject_id=fingerprint_id,
+                    detector=self.name,
+                    score=min(middle_share, 1.0),
+                    is_bot=is_bot,
+                    reasons=(
+                        (
+                            f"middle-seat-share-{middle_share:.0%}"
+                            f"-over-{len(seats)}-seats",
+                        )
+                        if is_bot
+                        else ()
+                    ),
+                )
+            )
+        return verdicts
+
+    def flagged_fingerprints(self, holds: Sequence[Hold]) -> List[str]:
+        return [
+            verdict.subject_id
+            for verdict in self.judge_holds(holds)
+            if verdict.is_bot
+        ]

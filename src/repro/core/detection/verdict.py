@@ -1,0 +1,32 @@
+"""Common detector output type.
+
+Every detector in :mod:`repro.core.detection` — whatever signal family
+it works on — emits :class:`Verdict` objects so downstream code
+(mitigation controller, evaluation harness) can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One detector's judgement about one subject.
+
+    ``subject_id`` identifies what was judged (a session id, a
+    fingerprint id, a hold id, ...) — detectors document which.
+    ``score`` is in [0, 1]; ``is_bot`` applies the detector's own
+    threshold.  ``reasons`` are human-readable rule identifiers.
+    """
+
+    subject_id: str
+    detector: str
+    score: float
+    is_bot: bool
+    reasons: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.score <= 1.0:
+            raise ValueError(f"score must be in [0, 1]: {self.score}")

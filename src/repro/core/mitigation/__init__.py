@@ -1,0 +1,45 @@
+"""Mitigation core: policies, block rules, honeypot, controller.
+
+* :mod:`~repro.core.mitigation.policies` — reversible defensive
+  changes (NiP cap, rate limits, restrictions, CAPTCHA, SMS toggles),
+* :mod:`~repro.core.mitigation.blocking` — fingerprint/IP block rules
+  with effectiveness auditing,
+* :mod:`~repro.core.mitigation.honeypot` — decoy-inventory routing,
+* :mod:`~repro.core.mitigation.controller` — the closed detect-and-
+  respond loop driving the arms race scenarios.
+"""
+
+from .blocking import BlockRuleManager, RuleEffectiveness
+from .controller import (
+    ControllerConfig,
+    MitigationAction,
+    MitigationController,
+)
+from .honeypot import HoneypotManager
+from .policies import (
+    CaptchaPolicy,
+    FeatureRestrictionPolicy,
+    HoldTtlPolicy,
+    MitigationPolicy,
+    NipCapPolicy,
+    RateLimitPolicy,
+    SmsFeatureTogglePolicy,
+    loyalty_members_only,
+)
+
+__all__ = [
+    "BlockRuleManager",
+    "RuleEffectiveness",
+    "ControllerConfig",
+    "MitigationAction",
+    "MitigationController",
+    "HoneypotManager",
+    "CaptchaPolicy",
+    "FeatureRestrictionPolicy",
+    "HoldTtlPolicy",
+    "MitigationPolicy",
+    "NipCapPolicy",
+    "RateLimitPolicy",
+    "SmsFeatureTogglePolicy",
+    "loyalty_members_only",
+]

@@ -1,0 +1,116 @@
+"""Fingerprint block-rule management and effectiveness measurement.
+
+Wraps the application's edge block list with the bookkeeping the Case A
+analysis needs: which rules were deployed when, when each stopped
+matching (the attacker rotated past it), and the resulting
+effectiveness-window statistics — the paper's measured "average of
+5.3 hours" per rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ...identity.fingerprint import Fingerprint
+from ...web.application import WebApplication
+from ..detection.fingerprint_rules import (
+    block_by_attribute_combo,
+    block_by_fingerprint_id,
+    block_by_ip,
+)
+
+
+@dataclass(frozen=True)
+class RuleEffectiveness:
+    """Lifetime summary of one block rule."""
+
+    rule_id: str
+    deployed_at: float
+    last_matched_at: Optional[float]
+    matches: int
+
+    @property
+    def effective_window(self) -> Optional[float]:
+        """Seconds between deployment and the last observed match.
+
+        ``None`` when the rule never matched (deployed too late or too
+        narrow).  For a rotating attacker this window is the time the
+        rule actually bit before rotation made it dead weight.
+        """
+        if self.last_matched_at is None:
+            return None
+        return self.last_matched_at - self.deployed_at
+
+
+class BlockRuleManager:
+    """Deploys and audits fingerprint/IP block rules on the edge."""
+
+    def __init__(self, app: WebApplication) -> None:
+        self.app = app
+        self._blocked_fingerprints: Set[str] = set()
+        self._blocked_ips: Set[str] = set()
+        self._counter = 0
+
+    # -- deployment -----------------------------------------------------------
+
+    def block_fingerprint_id(self, fingerprint_id: str) -> Optional[str]:
+        """Deploy an exact fingerprint-id block (None if already blocked)."""
+        if fingerprint_id in self._blocked_fingerprints:
+            return None
+        self._blocked_fingerprints.add(fingerprint_id)
+        self._counter += 1
+        rule_id = f"fp-block-{self._counter:04d}"
+        self.app.add_block_rule(
+            rule_id, block_by_fingerprint_id(fingerprint_id)
+        )
+        return rule_id
+
+    def block_attribute_combo(self, reference: Fingerprint) -> str:
+        """Deploy a broader attribute-combination block."""
+        self._counter += 1
+        rule_id = f"combo-block-{self._counter:04d}"
+        self.app.add_block_rule(rule_id, block_by_attribute_combo(reference))
+        return rule_id
+
+    def block_ip(self, ip_address: str) -> Optional[str]:
+        if ip_address in self._blocked_ips:
+            return None
+        self._blocked_ips.add(ip_address)
+        self._counter += 1
+        rule_id = f"ip-block-{self._counter:04d}"
+        self.app.add_block_rule(rule_id, block_by_ip(ip_address))
+        return rule_id
+
+    @property
+    def rules_deployed(self) -> int:
+        return self._counter
+
+    def is_blocked(self, fingerprint_id: str) -> bool:
+        return fingerprint_id in self._blocked_fingerprints
+
+    # -- auditing -------------------------------------------------------------
+
+    def effectiveness(self) -> List[RuleEffectiveness]:
+        """Per-rule effectiveness windows from edge bookkeeping."""
+        return [
+            RuleEffectiveness(
+                rule_id=rule.rule_id,
+                deployed_at=rule.deployed_at,
+                last_matched_at=rule.last_matched_at,
+                matches=rule.matches,
+            )
+            for rule in self.app.block_rules()
+        ]
+
+    def mean_effective_window(self) -> Optional[float]:
+        """Mean effectiveness window across rules that ever matched —
+        directly comparable to the paper's 5.3 h figure."""
+        windows = [
+            summary.effective_window
+            for summary in self.effectiveness()
+            if summary.effective_window is not None
+        ]
+        if not windows:
+            return None
+        return sum(windows) / len(windows)

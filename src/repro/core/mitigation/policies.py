@@ -1,0 +1,185 @@
+"""Deployable mitigation policies (Section V's best-practice toolbox).
+
+Each policy is a reversible change to the application or a substrate:
+
+* :class:`NipCapPolicy` — cap passengers per reservation (the Fig. 1
+  mitigation),
+* :class:`RateLimitPolicy` — ad-hoc rate limiting on any key dimension,
+* :class:`FeatureRestrictionPolicy` — limit high-risk features to
+  trusted (e.g. loyalty) users,
+* :class:`CaptchaPolicy` — extra anti-bot friction at critical points,
+* :class:`SmsFeatureTogglePolicy` — remove an SMS feature outright
+  (the Case C emergency response),
+* :class:`HoldTtlPolicy` — shorten the seat-hold duration.
+
+All policies share the tiny :class:`MitigationPolicy` interface so the
+controller can deploy and roll back uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Optional, Tuple
+
+from ...identity.captcha import CaptchaGateModel
+from ...web.application import WebApplication
+from ...web.ratelimit import KeyFunction, RateLimitRule
+from ...web.request import Request
+
+
+class MitigationPolicy(ABC):
+    """A reversible defensive change."""
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.applied = False
+
+    @abstractmethod
+    def apply(self, app: WebApplication) -> None:
+        """Deploy the policy (idempotent: re-applying is an error)."""
+
+    @abstractmethod
+    def revert(self, app: WebApplication) -> None:
+        """Roll the policy back."""
+
+    def _mark_applied(self) -> None:
+        if self.applied:
+            raise RuntimeError(f"policy {self.label!r} already applied")
+        self.applied = True
+
+    def _mark_reverted(self) -> None:
+        if not self.applied:
+            raise RuntimeError(f"policy {self.label!r} is not applied")
+        self.applied = False
+
+
+class NipCapPolicy(MitigationPolicy):
+    """Cap the maximum Number-in-Party."""
+
+    def __init__(self, cap: int) -> None:
+        super().__init__(label=f"nip-cap-{cap}")
+        if cap < 1:
+            raise ValueError(f"cap must be >= 1: {cap}")
+        self.cap = cap
+        self._previous: Optional[int] = None
+
+    def apply(self, app: WebApplication) -> None:
+        self._mark_applied()
+        self._previous = app.reservations.max_nip
+        app.reservations.set_max_nip(self.cap)
+
+    def revert(self, app: WebApplication) -> None:
+        self._mark_reverted()
+        assert self._previous is not None
+        app.reservations.set_max_nip(self._previous)
+
+
+class RateLimitPolicy(MitigationPolicy):
+    """Add one keyed sliding-window rate-limit rule."""
+
+    def __init__(
+        self,
+        rule_id: str,
+        key_fn: KeyFunction,
+        limit: int,
+        window: float,
+        paths: Tuple[str, ...] = (),
+    ) -> None:
+        super().__init__(label=f"rate-limit:{rule_id}")
+        self.rule = RateLimitRule(
+            rule_id=rule_id,
+            key_fn=key_fn,
+            limit=limit,
+            window=window,
+            paths=paths,
+        )
+
+    def apply(self, app: WebApplication) -> None:
+        self._mark_applied()
+        app.ratelimits.add_rule(self.rule)
+
+    def revert(self, app: WebApplication) -> None:
+        self._mark_reverted()
+        app.ratelimits.remove_rule(self.rule.rule_id)
+
+
+def loyalty_members_only(request: Request) -> bool:
+    """Access predicate: authenticated loyalty-programme members only."""
+    return request.client.profile_id.startswith("loyal")
+
+
+class FeatureRestrictionPolicy(MitigationPolicy):
+    """Restrict a path to trusted users."""
+
+    def __init__(
+        self,
+        path: str,
+        allowed: Callable[[Request], bool] = loyalty_members_only,
+    ) -> None:
+        super().__init__(label=f"restrict:{path}")
+        self.path = path
+        self.allowed = allowed
+
+    def apply(self, app: WebApplication) -> None:
+        self._mark_applied()
+        app.restrict_path(self.path, self.allowed)
+
+    def revert(self, app: WebApplication) -> None:
+        self._mark_reverted()
+        app.unrestrict_path(self.path)
+
+
+class CaptchaPolicy(MitigationPolicy):
+    """Gate a path behind a CAPTCHA challenge."""
+
+    def __init__(
+        self, path: str, model: Optional[CaptchaGateModel] = None
+    ) -> None:
+        super().__init__(label=f"captcha:{path}")
+        self.path = path
+        self.model = model or CaptchaGateModel()
+
+    def apply(self, app: WebApplication) -> None:
+        self._mark_applied()
+        app.add_captcha(self.path, self.model)
+
+    def revert(self, app: WebApplication) -> None:
+        self._mark_reverted()
+        app.remove_captcha(self.path)
+
+
+class SmsFeatureTogglePolicy(MitigationPolicy):
+    """Disable an SMS feature kind at the gateway."""
+
+    def __init__(self, kind: str) -> None:
+        super().__init__(label=f"sms-off:{kind}")
+        self.kind = kind
+
+    def apply(self, app: WebApplication) -> None:
+        self._mark_applied()
+        app.sms.disable_kind(self.kind)
+
+    def revert(self, app: WebApplication) -> None:
+        self._mark_reverted()
+        app.sms.enable_kind(self.kind)
+
+
+class HoldTtlPolicy(MitigationPolicy):
+    """Shorten (or otherwise change) the seat-hold TTL."""
+
+    def __init__(self, ttl: float) -> None:
+        super().__init__(label=f"hold-ttl-{ttl:.0f}s")
+        if ttl <= 0:
+            raise ValueError(f"ttl must be positive: {ttl}")
+        self.ttl = ttl
+        self._previous: Optional[float] = None
+
+    def apply(self, app: WebApplication) -> None:
+        self._mark_applied()
+        self._previous = app.reservations.hold_ttl
+        app.reservations.set_hold_ttl(self.ttl)
+
+    def revert(self, app: WebApplication) -> None:
+        self._mark_reverted()
+        assert self._previous is not None
+        app.reservations.set_hold_ttl(self._previous)

@@ -1,0 +1,95 @@
+"""Double-entry-lite ledgers for attacker and defender economics.
+
+Section V's strongest deterrent is economic: "making them economically
+unviable".  To reason about that quantitatively the simulation keeps
+money on both sides:
+
+* the attacker pays for residential proxy leases, CAPTCHA solves and
+  setup tickets, and earns carrier revenue-share kickbacks;
+* the defender pays per delivered SMS and loses revenue to seats an
+  attacker keeps out of circulation.
+
+:class:`Ledger` is the shared bookkeeping primitive; the module-level
+builders assemble each side's ledger from live simulation objects.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+# Standard ledger categories.
+PROXY_COSTS = "proxy-leases"
+CAPTCHA_COSTS = "captcha-solves"
+TICKET_COSTS = "setup-tickets"
+SMS_REVENUE_SHARE = "sms-revenue-share"
+SMS_DELIVERY_COSTS = "sms-delivery"
+LOST_SEAT_REVENUE = "lost-seat-revenue"
+CHARGEBACKS = "stolen-card-chargebacks"
+INFRASTRUCTURE = "infrastructure"
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One money movement.  Positive = income, negative = expense."""
+
+    category: str
+    amount: float
+    memo: str = ""
+
+
+class Ledger:
+    """Append-only categorised ledger."""
+
+    def __init__(self, owner: str) -> None:
+        self.owner = owner
+        self._entries: List[LedgerEntry] = []
+
+    def add(self, category: str, amount: float, memo: str = "") -> None:
+        self._entries.append(LedgerEntry(category, amount, memo))
+
+    def income(self, category: str, amount: float, memo: str = "") -> None:
+        if amount < 0:
+            raise ValueError(f"income must be >= 0: {amount}")
+        self.add(category, amount, memo)
+
+    def expense(self, category: str, amount: float, memo: str = "") -> None:
+        if amount < 0:
+            raise ValueError(f"expense must be >= 0: {amount}")
+        self.add(category, -amount, memo)
+
+    def entries(self) -> List[LedgerEntry]:
+        return list(self._entries)
+
+    def total(self, category: str) -> float:
+        return sum(
+            entry.amount
+            for entry in self._entries
+            if entry.category == category
+        )
+
+    def by_category(self) -> Dict[str, float]:
+        totals: Dict[str, float] = defaultdict(float)
+        for entry in self._entries:
+            totals[entry.category] += entry.amount
+        return dict(totals)
+
+    @property
+    def net(self) -> float:
+        return sum(entry.amount for entry in self._entries)
+
+    @property
+    def total_income(self) -> float:
+        return sum(e.amount for e in self._entries if e.amount > 0)
+
+    @property
+    def total_expenses(self) -> float:
+        return -sum(e.amount for e in self._entries if e.amount < 0)
+
+    def roi(self) -> float:
+        """Return on investment: net / expenses (0 when no expenses)."""
+        expenses = self.total_expenses
+        if expenses == 0:
+            return 0.0
+        return self.net / expenses

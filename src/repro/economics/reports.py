@@ -1,0 +1,143 @@
+"""Assemble attacker/defender ledgers from live simulation objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..booking.holds import CONFIRMED
+from ..booking.reservation import ReservationSystem
+from ..common import ATTACK_CLASSES
+from ..sms.gateway import SmsGateway
+from ..web.application import WebApplication
+from .ledger import (
+    CAPTCHA_COSTS,
+    CHARGEBACKS,
+    LOST_SEAT_REVENUE,
+    Ledger,
+    PROXY_COSTS,
+    SMS_DELIVERY_COSTS,
+    SMS_REVENUE_SHARE,
+    TICKET_COSTS,
+)
+
+
+def build_attacker_ledger(
+    app: WebApplication,
+    proxy_pools: Iterable = (),
+    attacker_actors: Optional[Iterable[str]] = None,
+    stolen_card_cost: float = 15.0,
+) -> Ledger:
+    """Attacker-side ledger for a finished scenario.
+
+    * expenses: residential proxy leases, CAPTCHA solver fees, and —
+      because setup tickets are bought with *stolen* cards (Section
+      IV-C) — a per-ticket card-acquisition cost rather than the fare's
+      face value (the fare lands on the defender as a chargeback);
+    * income: carrier revenue-share kickbacks settled by the telco
+      network for attacker-controlled numbers.
+    """
+    ledger = Ledger(owner="attacker")
+    for pool in proxy_pools:
+        if pool.total_cost > 0:
+            ledger.expense(
+                PROXY_COSTS,
+                pool.total_cost,
+                memo=f"{pool.leases_granted} leases",
+            )
+    actor_filter = set(attacker_actors) if attacker_actors else None
+    for actor, cost in sorted(app.captcha_costs_by_actor.items()):
+        if actor_filter is not None and actor not in actor_filter:
+            continue
+        ledger.expense(CAPTCHA_COSTS, cost, memo=actor)
+    tickets_bought = sum(
+        1
+        for hold in app.reservations.holds.all_holds()
+        if hold.status == CONFIRMED
+        and hold.client.actor_class in ATTACK_CLASSES
+    )
+    if tickets_bought > 0:
+        ledger.expense(
+            TICKET_COSTS,
+            tickets_bought * stolen_card_cost,
+            memo=f"{tickets_bought} stolen cards",
+        )
+    revenue = app.sms.telco.total_attacker_revenue()
+    if revenue > 0:
+        ledger.income(SMS_REVENUE_SHARE, revenue, memo="carrier kickbacks")
+    return ledger
+
+
+@dataclass(frozen=True)
+class SeatDisplacement:
+    """Inventory impact of a DoI campaign on one flight."""
+
+    flight_id: str
+    attacker_seat_seconds: float
+    capacity: int
+
+    @property
+    def attacker_seat_hours(self) -> float:
+        return self.attacker_seat_seconds / 3600.0
+
+
+def attacker_seat_seconds(
+    reservations: ReservationSystem, flight_id: str
+) -> SeatDisplacement:
+    """Seat-seconds the attacker kept out of circulation on a flight.
+
+    Sums ``nip * held_duration`` over *real* (non-shadow) attacker
+    holds — honeypot holds absorbed into the shadow inventory do not
+    displace anything, which is precisely the honeypot's point.
+    """
+    total = 0.0
+    for hold in reservations.holds.all_holds():
+        if hold.flight_id != flight_id or hold.shadow:
+            continue
+        if hold.client.actor_class in ATTACK_CLASSES:
+            total += hold.nip * hold.held_duration
+    return SeatDisplacement(
+        flight_id=flight_id,
+        attacker_seat_seconds=total,
+        capacity=reservations.flight(flight_id).capacity,
+    )
+
+
+def build_defender_ledger(
+    app: WebApplication,
+    seat_hour_value: float = 8.0,
+    doi_flights: Iterable[str] = (),
+) -> Ledger:
+    """Defender-side ledger.
+
+    * SMS delivery costs come straight from the gateway settlements;
+    * lost seat revenue approximates DoI damage as ``seat-hours blocked
+      by attackers x seat_hour_value`` (a conservative proxy for sales
+      displaced near departure).
+    """
+    ledger = Ledger(owner="defender")
+    sms_cost = app.sms.telco.total_app_owner_cost()
+    if sms_cost > 0:
+        delivered = len(app.sms.delivered_records())
+        ledger.expense(
+            SMS_DELIVERY_COSTS, sms_cost, memo=f"{delivered} messages"
+        )
+    chargebacks = sum(
+        hold.price_quoted
+        for hold in app.reservations.holds.all_holds()
+        if hold.status == CONFIRMED
+        and hold.client.actor_class in ATTACK_CLASSES
+    )
+    if chargebacks > 0:
+        ledger.expense(
+            CHARGEBACKS, chargebacks, memo="fraudulent ticket purchases"
+        )
+    for flight_id in doi_flights:
+        displacement = attacker_seat_seconds(app.reservations, flight_id)
+        if displacement.attacker_seat_hours > 0:
+            ledger.expense(
+                LOST_SEAT_REVENUE,
+                displacement.attacker_seat_hours * seat_hour_value,
+                memo=flight_id,
+            )
+    return ledger

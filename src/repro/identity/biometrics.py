@@ -1,0 +1,426 @@
+"""Behavioural biometrics: mouse-movement trajectories.
+
+Section V of the paper points at "biometric indicators (e.g., mouse
+trajectory tracking)" as the promising future direction for functional-
+abuse detection, citing the mouse-dynamics bot-detection literature
+[41]-[44].  This module supplies that substrate:
+
+* :class:`HumanMotionModel` — generates trajectories with the motor
+  signatures real pointer data shows: curved paths, asymmetric
+  speed bells, tremor, overshoot-and-correct endings, think pauses;
+* :class:`BotMotionModel` — the automation signatures: no pointer at
+  all (headless), straight constant-speed segments, replayed recordings
+  (identical trajectories), or synthetic curves that are *too* smooth;
+* :func:`trajectory_features` — the standard kinematic feature vector
+  (straightness, speed variability, jerk, pauses, tremor energy);
+* :class:`BiometricDetector` — scores trajectories human-vs-bot and
+  catches replay attacks by trajectory fingerprinting.
+
+Coordinates are CSS pixels on a 1280x800 viewport; timestamps are
+seconds from trajectory start.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.detection.verdict import Verdict
+
+VIEWPORT_W = 1280
+VIEWPORT_H = 800
+
+
+@dataclass(frozen=True)
+class MousePoint:
+    """One pointer sample."""
+
+    time: float
+    x: float
+    y: float
+
+
+@dataclass(frozen=True)
+class MouseTrajectory:
+    """A pointer path between two UI targets."""
+
+    points: Tuple[MousePoint, ...]
+
+    def __post_init__(self) -> None:
+        times = [p.time for p in self.points]
+        if times != sorted(times):
+            raise ValueError("trajectory timestamps must be sorted")
+
+    @property
+    def duration(self) -> float:
+        if len(self.points) < 2:
+            return 0.0
+        return self.points[-1].time - self.points[0].time
+
+    @property
+    def path_length(self) -> float:
+        total = 0.0
+        for a, b in zip(self.points, self.points[1:]):
+            total += math.hypot(b.x - a.x, b.y - a.y)
+        return total
+
+    @property
+    def displacement(self) -> float:
+        if len(self.points) < 2:
+            return 0.0
+        first, last = self.points[0], self.points[-1]
+        return math.hypot(last.x - first.x, last.y - first.y)
+
+    def shape_hash(self, grid: int = 24) -> str:
+        """Quantised shape digest used for replay detection.
+
+        Two captures of the *same recording* hash identically; two
+        genuinely human movements essentially never do.
+        """
+        cells = []
+        for point in self.points:
+            cells.append(
+                (int(point.x) // grid, int(point.y) // grid)
+            )
+        deduplicated = [cells[0]] if cells else []
+        for cell in cells[1:]:
+            if cell != deduplicated[-1]:
+                deduplicated.append(cell)
+        payload = ";".join(f"{cx},{cy}" for cx, cy in deduplicated)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _bezier(
+    p0: Tuple[float, float],
+    p1: Tuple[float, float],
+    p2: Tuple[float, float],
+    p3: Tuple[float, float],
+    t: float,
+) -> Tuple[float, float]:
+    """Cubic Bezier point."""
+    mt = 1.0 - t
+    x = (
+        mt ** 3 * p0[0]
+        + 3 * mt ** 2 * t * p1[0]
+        + 3 * mt * t ** 2 * p2[0]
+        + t ** 3 * p3[0]
+    )
+    y = (
+        mt ** 3 * p0[1]
+        + 3 * mt ** 2 * t * p1[1]
+        + 3 * mt * t ** 2 * p2[1]
+        + t ** 3 * p3[1]
+    )
+    return x, y
+
+
+def _minimum_jerk_profile(t: float) -> float:
+    """Minimum-jerk position profile s(t) on [0, 1] — the asymmetric
+    bell-shaped speed curve characteristic of human reaching."""
+    return 10 * t ** 3 - 15 * t ** 4 + 6 * t ** 5
+
+
+class HumanMotionModel:
+    """Generates human-like pointer trajectories.
+
+    Each instance carries a per-user motor signature (curvature bias,
+    tremor amplitude, speed) so trajectories from one user are similar
+    in style yet never identical.
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self.curvature_bias = rng.uniform(-0.25, 0.25)
+        self.tremor = rng.uniform(0.6, 2.2)       # tremor amplitude (px)
+        self.speed = rng.uniform(700.0, 1400.0)   # px/s peak-ish
+
+    def _random_target(self) -> Tuple[float, float]:
+        return (
+            self._rng.uniform(40, VIEWPORT_W - 40),
+            self._rng.uniform(40, VIEWPORT_H - 40),
+        )
+
+    def move(
+        self,
+        start: Optional[Tuple[float, float]] = None,
+        end: Optional[Tuple[float, float]] = None,
+        sample_rate: float = 60.0,
+    ) -> MouseTrajectory:
+        """One human movement from ``start`` to ``end``."""
+        rng = self._rng
+        p0 = start if start is not None else self._random_target()
+        p3 = end if end is not None else self._random_target()
+        distance = math.hypot(p3[0] - p0[0], p3[1] - p0[1])
+        distance = max(distance, 10.0)
+        duration = max(distance / self.speed, 0.15) * rng.uniform(0.85, 1.3)
+
+        # Curved control points perpendicular to the line of motion.
+        dx, dy = p3[0] - p0[0], p3[1] - p0[1]
+        norm = math.hypot(dx, dy) or 1.0
+        perp = (-dy / norm, dx / norm)
+        bow = distance * (self.curvature_bias + rng.uniform(-0.12, 0.12))
+        p1 = (
+            p0[0] + dx * 0.3 + perp[0] * bow,
+            p0[1] + dy * 0.3 + perp[1] * bow,
+        )
+        p2 = (
+            p0[0] + dx * 0.7 + perp[0] * bow * rng.uniform(0.4, 1.2),
+            p0[1] + dy * 0.7 + perp[1] * bow * rng.uniform(0.4, 1.2),
+        )
+
+        count = max(int(duration * sample_rate), 8)
+        points: List[MousePoint] = []
+        for index in range(count + 1):
+            t = index / count
+            s = _minimum_jerk_profile(t)
+            x, y = _bezier(p0, p1, p2, p3, s)
+            x += rng.gauss(0.0, self.tremor)
+            y += rng.gauss(0.0, self.tremor)
+            points.append(MousePoint(t * duration, x, y))
+
+        # Overshoot-and-correct ending (common in real pointer data).
+        if distance > 120 and rng.random() < 0.6:
+            overshoot = rng.uniform(3.0, 14.0)
+            t_end = duration
+            points.append(
+                MousePoint(
+                    t_end + 0.03,
+                    p3[0] + perp[0] * overshoot,
+                    p3[1] + perp[1] * overshoot,
+                )
+            )
+            points.append(
+                MousePoint(t_end + 0.09, p3[0], p3[1])
+            )
+        return MouseTrajectory(tuple(points))
+
+
+#: Bot motion modes.
+NO_MOUSE = "no-mouse"
+LINEAR = "linear"
+REPLAY = "replay"
+SYNTHETIC_CURVE = "synthetic-curve"
+
+_BOT_MODES = (NO_MOUSE, LINEAR, REPLAY, SYNTHETIC_CURVE)
+
+
+class BotMotionModel:
+    """Generates automation-style pointer data (or none at all)."""
+
+    def __init__(
+        self,
+        mode: str,
+        rng: random.Random,
+        replay_source: Optional[MouseTrajectory] = None,
+    ) -> None:
+        if mode not in _BOT_MODES:
+            raise ValueError(
+                f"unknown bot motion mode {mode!r}; expected {_BOT_MODES}"
+            )
+        self.mode = mode
+        self._rng = rng
+        if mode == REPLAY:
+            if replay_source is None:
+                # Ship with one "recorded" human movement.
+                replay_source = HumanMotionModel(rng).move()
+            self._replay_source = replay_source
+
+    def move(self) -> Optional[MouseTrajectory]:
+        """One bot 'movement' (None when the bot emits no mouse events)."""
+        rng = self._rng
+        if self.mode == NO_MOUSE:
+            return None
+        if self.mode == REPLAY:
+            return self._replay_source
+        start = (rng.uniform(0, VIEWPORT_W), rng.uniform(0, VIEWPORT_H))
+        end = (rng.uniform(0, VIEWPORT_W), rng.uniform(0, VIEWPORT_H))
+        if self.mode == LINEAR:
+            # Straight line, perfectly uniform sampling and speed.
+            count = 24
+            duration = 0.4
+            points = tuple(
+                MousePoint(
+                    index / count * duration,
+                    start[0] + (end[0] - start[0]) * index / count,
+                    start[1] + (end[1] - start[1]) * index / count,
+                )
+                for index in range(count + 1)
+            )
+            return MouseTrajectory(points)
+        # SYNTHETIC_CURVE: a Bezier with *zero* tremor and a perfectly
+        # symmetric speed profile — smooth, but inhumanly clean.
+        mid = (
+            (start[0] + end[0]) / 2 + 60.0,
+            (start[1] + end[1]) / 2 - 60.0,
+        )
+        count = 30
+        duration = 0.5
+        points = []
+        for index in range(count + 1):
+            t = index / count
+            x, y = _bezier(start, mid, mid, end, t)
+            points.append(MousePoint(t * duration, x, y))
+        return MouseTrajectory(tuple(points))
+
+
+@dataclass(frozen=True)
+class TrajectoryFeatures:
+    """Kinematic features of one trajectory."""
+
+    straightness: float       # path length / displacement (1.0 = line)
+    speed_cv: float           # coefficient of variation of speed
+    mean_speed: float
+    jerk_energy: float        # mean squared speed change
+    tremor_energy: float      # high-frequency perpendicular deviation
+    point_count: int
+
+
+def trajectory_features(trajectory: MouseTrajectory) -> TrajectoryFeatures:
+    """Compute the kinematic feature bundle used by the detector."""
+    points = trajectory.points
+    if len(points) < 3:
+        return TrajectoryFeatures(1.0, 0.0, 0.0, 0.0, 0.0, len(points))
+
+    displacement = max(trajectory.displacement, 1e-9)
+    straightness = trajectory.path_length / displacement
+
+    speeds = []
+    for a, b in zip(points, points[1:]):
+        dt = max(b.time - a.time, 1e-6)
+        speeds.append(math.hypot(b.x - a.x, b.y - a.y) / dt)
+    mean_speed = sum(speeds) / len(speeds)
+    if mean_speed > 0:
+        variance = sum((s - mean_speed) ** 2 for s in speeds) / len(speeds)
+        speed_cv = math.sqrt(variance) / mean_speed
+    else:
+        speed_cv = 0.0
+
+    jerk = 0.0
+    for s0, s1 in zip(speeds, speeds[1:]):
+        jerk += (s1 - s0) ** 2
+    jerk_energy = jerk / max(len(speeds) - 1, 1)
+
+    # Tremor: mean absolute *third* difference of position.  Third
+    # differences vanish for smooth low-order curves (a cubic Bezier's
+    # are a tiny constant) but are dominated by motor noise in real
+    # pointer data — this is what separates a too-perfect synthetic
+    # curve from a human one.
+    tremor = 0.0
+    for a, b, c, d in zip(points, points[1:], points[2:], points[3:]):
+        tremor += abs(d.x - 3 * c.x + 3 * b.x - a.x) + abs(
+            d.y - 3 * c.y + 3 * b.y - a.y
+        )
+    tremor_energy = tremor / max(len(points) - 3, 1)
+
+    return TrajectoryFeatures(
+        straightness=straightness,
+        speed_cv=speed_cv,
+        mean_speed=mean_speed,
+        jerk_energy=jerk_energy,
+        tremor_energy=tremor_energy,
+        point_count=len(points),
+    )
+
+
+@dataclass
+class BiometricThresholds:
+    """Decision thresholds for :class:`BiometricDetector`.
+
+    A trajectory is bot-like when it is too straight, too uniform in
+    speed, or too tremor-free; a *session* is bot-like when it has no
+    pointer data at all or repeats identical trajectory shapes.
+    """
+
+    max_straightness_for_line: float = 1.02
+    min_speed_cv: float = 0.12
+    min_tremor_energy: float = 1.0
+    #: Identical shape hashes within one subject before calling replay.
+    replay_repeats: int = 3
+
+
+class BiometricDetector:
+    """Judges pointer data per subject (e.g. per session).
+
+    Subjects are caller-chosen ids; feed each subject's trajectories
+    (possibly none) and read a verdict.
+    """
+
+    name = "mouse-biometrics"
+
+    def __init__(
+        self, thresholds: BiometricThresholds = BiometricThresholds()
+    ) -> None:
+        self.thresholds = thresholds
+
+    def judge_trajectory(self, trajectory: MouseTrajectory) -> List[str]:
+        """Per-trajectory bot indicators (empty list = human-like)."""
+        features = trajectory_features(trajectory)
+        reasons = []
+        if features.straightness <= (
+            self.thresholds.max_straightness_for_line
+        ):
+            reasons.append("perfectly-straight-path")
+        if features.speed_cv < self.thresholds.min_speed_cv:
+            reasons.append("uniform-speed")
+        if features.tremor_energy < self.thresholds.min_tremor_energy:
+            reasons.append("no-motor-tremor")
+        return reasons
+
+    def judge_subject(
+        self,
+        subject_id: str,
+        trajectories: Sequence[Optional[MouseTrajectory]],
+    ) -> Verdict:
+        """Judge one subject from all its (possibly absent) pointer data."""
+        present = [t for t in trajectories if t is not None]
+        if not present:
+            return Verdict(
+                subject_id=subject_id,
+                detector=self.name,
+                score=0.9,
+                is_bot=True,
+                reasons=("no-pointer-events",),
+            )
+
+        # Indicator weights: missing motor tremor is decisive on its
+        # own (clean separation from human data); geometric indicators
+        # alone are only suggestive — a short, confident human flick
+        # can be straight and fast.
+        weights = {
+            "no-motor-tremor": 1.0,
+            "perfectly-straight-path": 0.45,
+            "uniform-speed": 0.45,
+        }
+        shape_counts: Dict[str, int] = {}
+        total_weight = 0.0
+        reasons: List[str] = []
+        for trajectory in present:
+            trajectory_reasons = self.judge_trajectory(trajectory)
+            total_weight += min(
+                sum(weights[reason] for reason in trajectory_reasons),
+                1.0,
+            )
+            for reason in trajectory_reasons:
+                if reason not in reasons:
+                    reasons.append(reason)
+            digest = trajectory.shape_hash()
+            shape_counts[digest] = shape_counts.get(digest, 0) + 1
+
+        max_repeats = max(shape_counts.values())
+        if max_repeats >= self.thresholds.replay_repeats:
+            reasons.append("replayed-trajectory")
+        score = min(
+            total_weight / len(present)
+            + (0.8 if "replayed-trajectory" in reasons else 0.0),
+            1.0,
+        )
+        return Verdict(
+            subject_id=subject_id,
+            detector=self.name,
+            score=score,
+            is_bot=score >= 0.5,
+            reasons=tuple(reasons),
+        )

@@ -1,0 +1,74 @@
+"""CAPTCHA challenges and solver-service economics.
+
+Section V of the paper recommends CAPTCHAs at critical points not
+because bots cannot pass them — commercial solver services solve them
+for a fee — but because "these measures add cost and complexity to
+automated attacks".  The model therefore has two sides:
+
+* outcome: humans pass with high probability after a delay; bots pass
+  only by paying a solver service, with its own latency and failure
+  rate;
+* cost: every bot solve is charged to the attacker's ledger, which the
+  economics benchmarks use to find the profitability frontier.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CaptchaOutcome:
+    """Result of one CAPTCHA presentation."""
+
+    passed: bool
+    latency: float
+    cost_to_client: float
+
+
+@dataclass
+class CaptchaGateModel:
+    """Behavioural model of a CAPTCHA challenge at an endpoint.
+
+    Defaults approximate published figures: humans pass ~96% of the
+    time in a few seconds; solver services charge roughly $1-3 per
+    thousand solves and take tens of seconds.
+    """
+
+    human_pass_rate: float = 0.96
+    human_mean_latency: float = 6.0
+    solver_pass_rate: float = 0.92
+    solver_mean_latency: float = 25.0
+    solver_cost_per_solve: float = 0.002
+
+    def __post_init__(self) -> None:
+        for name in ("human_pass_rate", "solver_pass_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]: {value}")
+
+    def present_to_human(self, rng: random.Random) -> CaptchaOutcome:
+        """A genuine user attempts the challenge (no monetary cost)."""
+        passed = rng.random() < self.human_pass_rate
+        latency = rng.expovariate(1.0 / self.human_mean_latency)
+        return CaptchaOutcome(passed=passed, latency=latency, cost_to_client=0.0)
+
+    def present_to_bot(
+        self, rng: random.Random, uses_solver_service: bool = True
+    ) -> CaptchaOutcome:
+        """A bot attempts the challenge.
+
+        Without a solver service the bot simply fails (we do not model
+        CAPTCHA-breaking ML).  With one, it pays per attempt whether or
+        not the solve succeeds — solver services bill on submission.
+        """
+        if not uses_solver_service:
+            return CaptchaOutcome(passed=False, latency=1.0, cost_to_client=0.0)
+        passed = rng.random() < self.solver_pass_rate
+        latency = rng.expovariate(1.0 / self.solver_mean_latency)
+        return CaptchaOutcome(
+            passed=passed,
+            latency=latency,
+            cost_to_client=self.solver_cost_per_solve,
+        )

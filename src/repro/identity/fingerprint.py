@@ -1,0 +1,313 @@
+"""Browser fingerprints and a realistic fingerprint population model.
+
+Knowledge-based bot detection (paper Section III-B) works on the
+attributes a website can observe about a client: user agent, OS, screen
+geometry, languages, rendering hashes (canvas / WebGL), hardware hints
+and automation artifacts such as ``navigator.webdriver``.
+
+This module defines:
+
+* :class:`Fingerprint` — an immutable record of those attributes with a
+  stable ``fingerprint_id`` hash,
+* :class:`FingerprintPopulation` — a generative model of *genuine* user
+  fingerprints with realistic cross-attribute correlations (Safari only
+  on Apple platforms, touch only on mobile, screen sizes tied to device
+  class, ...),
+* :func:`consistency_check` — the inconsistency detector that flags
+  fingerprints whose attributes could not co-occur on real hardware
+  (the "FP-inconsistent" style check the paper cites).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+# Device classes used to correlate attributes.
+DESKTOP = "desktop"
+MOBILE = "mobile"
+
+#: Operating systems per device class with genuine market-like weights.
+_OS_BY_CLASS: Dict[str, List[Tuple[str, float]]] = {
+    DESKTOP: [("Windows", 0.62), ("macOS", 0.24), ("Linux", 0.14)],
+    MOBILE: [("Android", 0.68), ("iOS", 0.32)],
+}
+
+#: Browsers valid per OS (Safari is Apple-only; Edge is not on mobile here).
+_BROWSERS_BY_OS: Dict[str, List[Tuple[str, float]]] = {
+    "Windows": [("Chrome", 0.66), ("Edge", 0.20), ("Firefox", 0.14)],
+    "macOS": [("Safari", 0.48), ("Chrome", 0.42), ("Firefox", 0.10)],
+    "Linux": [("Chrome", 0.55), ("Firefox", 0.45)],
+    "Android": [("Chrome", 0.88), ("Firefox", 0.12)],
+    "iOS": [("Safari", 0.85), ("Chrome", 0.15)],
+}
+
+#: Plausible screen geometries per device class.
+_SCREENS_BY_CLASS: Dict[str, List[Tuple[int, int]]] = {
+    DESKTOP: [
+        (1920, 1080),
+        (1366, 768),
+        (1536, 864),
+        (2560, 1440),
+        (1440, 900),
+        (3840, 2160),
+    ],
+    MOBILE: [(390, 844), (412, 915), (375, 812), (414, 896), (360, 800)],
+}
+
+_LANGUAGES = [
+    "en-US",
+    "en-GB",
+    "fr-FR",
+    "de-DE",
+    "es-ES",
+    "it-IT",
+    "pt-BR",
+    "zh-CN",
+    "ja-JP",
+    "ar-SA",
+    "ru-RU",
+    "th-TH",
+]
+
+_TIMEZONES = [
+    "America/New_York",
+    "Europe/London",
+    "Europe/Paris",
+    "Europe/Berlin",
+    "Asia/Singapore",
+    "Asia/Shanghai",
+    "Asia/Bangkok",
+    "Asia/Tokyo",
+    "Asia/Dubai",
+    "America/Sao_Paulo",
+]
+
+#: Browser major-version ranges current at simulation time.
+_VERSION_RANGES: Dict[str, Tuple[int, int]] = {
+    "Chrome": (118, 126),
+    "Firefox": (118, 127),
+    "Safari": (16, 17),
+    "Edge": (118, 126),
+}
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """An observable client fingerprint.
+
+    Instances are immutable; "rotating" a fingerprint means creating a
+    new instance.  ``fingerprint_id`` is a stable digest of all
+    attributes, matching how real anti-bot systems key their verdicts.
+    """
+
+    browser: str
+    browser_version: int
+    os: str
+    device_class: str
+    screen_width: int
+    screen_height: int
+    language: str
+    timezone: str
+    hardware_concurrency: int
+    device_memory_gb: int
+    touch_points: int
+    plugins_count: int
+    canvas_hash: str
+    webgl_hash: str
+    webdriver: bool = False
+    headless_ua: bool = False
+
+    @property
+    def fingerprint_id(self) -> str:
+        """Stable 16-hex-digit digest of every observable attribute."""
+        payload = "|".join(
+            str(value)
+            for value in (
+                self.browser,
+                self.browser_version,
+                self.os,
+                self.device_class,
+                self.screen_width,
+                self.screen_height,
+                self.language,
+                self.timezone,
+                self.hardware_concurrency,
+                self.device_memory_gb,
+                self.touch_points,
+                self.plugins_count,
+                self.canvas_hash,
+                self.webgl_hash,
+                self.webdriver,
+                self.headless_ua,
+            )
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    @property
+    def user_agent(self) -> str:
+        """A synthetic but structurally realistic User-Agent string."""
+        headless = "Headless" if self.headless_ua else ""
+        return (
+            f"Mozilla/5.0 ({self.os}) {headless}{self.browser}/"
+            f"{self.browser_version}.0"
+        )
+
+    def with_changes(self, **changes: object) -> "Fingerprint":
+        """Return a copy with the given attributes replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+def _weighted_choice(
+    rng: random.Random, options: List[Tuple[str, float]]
+) -> str:
+    roll = rng.random()
+    cumulative = 0.0
+    for value, weight in options:
+        cumulative += weight
+        if roll < cumulative:
+            return value
+    return options[-1][0]
+
+
+def _render_hash(rng: random.Random, kind: str, os: str, browser: str) -> str:
+    """Canvas/WebGL hashes cluster by (os, browser, gpu-bucket).
+
+    Real render hashes are shared by users with identical hardware and
+    software stacks; we model a small number of gpu buckets per
+    platform so genuine hashes repeat across the population.
+    """
+    gpu_bucket = rng.randrange(6)
+    payload = f"{kind}:{os}:{browser}:{gpu_bucket}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+
+
+class FingerprintPopulation:
+    """Generative model of genuine user fingerprints.
+
+    Draws fingerprints whose attributes are *mutually consistent*: the
+    browser is valid for the OS, the screen matches the device class,
+    touch support matches mobility, and render hashes cluster the way
+    shared hardware makes them cluster in real populations.
+    """
+
+    def __init__(self, mobile_share: float = 0.42) -> None:
+        if not 0.0 <= mobile_share <= 1.0:
+            raise ValueError(f"mobile_share must be in [0, 1]: {mobile_share}")
+        self.mobile_share = mobile_share
+
+    def sample(self, rng: random.Random) -> Fingerprint:
+        """Draw one genuine fingerprint."""
+        device_class = MOBILE if rng.random() < self.mobile_share else DESKTOP
+        os = _weighted_choice(rng, _OS_BY_CLASS[device_class])
+        browser = _weighted_choice(rng, _BROWSERS_BY_OS[os])
+        low, high = _VERSION_RANGES[browser]
+        width, height = rng.choice(_SCREENS_BY_CLASS[device_class])
+        return Fingerprint(
+            browser=browser,
+            browser_version=rng.randint(low, high),
+            os=os,
+            device_class=device_class,
+            screen_width=width,
+            screen_height=height,
+            language=rng.choice(_LANGUAGES),
+            timezone=rng.choice(_TIMEZONES),
+            hardware_concurrency=rng.choice(
+                [4, 8, 12, 16] if device_class == DESKTOP else [4, 6, 8]
+            ),
+            device_memory_gb=rng.choice(
+                [8, 16, 32] if device_class == DESKTOP else [4, 6, 8]
+            ),
+            touch_points=0 if device_class == DESKTOP else 5,
+            plugins_count=rng.randint(3, 7)
+            if device_class == DESKTOP
+            else 0,
+            canvas_hash=_render_hash(rng, "canvas", os, browser),
+            webgl_hash=_render_hash(rng, "webgl", os, browser),
+            webdriver=False,
+            headless_ua=False,
+        )
+
+
+#: Inconsistency rule identifiers (returned by :func:`consistency_check`).
+SAFARI_NON_APPLE = "safari-on-non-apple-os"
+TOUCH_ON_DESKTOP = "touch-points-on-desktop"
+NO_TOUCH_ON_MOBILE = "no-touch-on-mobile"
+MOBILE_SCREEN_ON_DESKTOP = "mobile-screen-on-desktop"
+DESKTOP_SCREEN_ON_MOBILE = "desktop-screen-on-mobile"
+PLUGINS_ON_MOBILE = "plugins-on-mobile"
+EDGE_ON_MOBILE = "edge-on-mobile"
+IMPOSSIBLE_VERSION = "impossible-browser-version"
+
+_MOBILE_OSES = {"Android", "iOS"}
+
+
+def consistency_check(fingerprint: Fingerprint) -> List[str]:
+    """Return the list of inconsistency rule ids the fingerprint trips.
+
+    A genuine fingerprint from :class:`FingerprintPopulation` trips no
+    rules; naively forged fingerprints (independent attribute mutation)
+    usually trip at least one.  This mirrors the fingerprint-
+    inconsistency detection literature the paper cites [51].
+    """
+    findings: List[str] = []
+    if fingerprint.browser == "Safari" and fingerprint.os not in (
+        "macOS",
+        "iOS",
+    ):
+        findings.append(SAFARI_NON_APPLE)
+    if fingerprint.device_class == DESKTOP and fingerprint.touch_points > 0:
+        findings.append(TOUCH_ON_DESKTOP)
+    if fingerprint.device_class == MOBILE and fingerprint.touch_points == 0:
+        findings.append(NO_TOUCH_ON_MOBILE)
+    if (
+        fingerprint.device_class == DESKTOP
+        and (fingerprint.screen_width, fingerprint.screen_height)
+        in _SCREENS_BY_CLASS[MOBILE]
+    ):
+        findings.append(MOBILE_SCREEN_ON_DESKTOP)
+    if (
+        fingerprint.device_class == MOBILE
+        and (fingerprint.screen_width, fingerprint.screen_height)
+        in _SCREENS_BY_CLASS[DESKTOP]
+    ):
+        findings.append(DESKTOP_SCREEN_ON_MOBILE)
+    if fingerprint.device_class == MOBILE and fingerprint.plugins_count > 0:
+        findings.append(PLUGINS_ON_MOBILE)
+    if fingerprint.browser == "Edge" and fingerprint.os in _MOBILE_OSES:
+        findings.append(EDGE_ON_MOBILE)
+    version_range = _VERSION_RANGES.get(fingerprint.browser)
+    if version_range is not None:
+        low, high = version_range
+        if not low - 30 <= fingerprint.browser_version <= high + 5:
+            findings.append(IMPOSSIBLE_VERSION)
+    return findings
+
+
+#: Automation artifact rule identifiers.
+WEBDRIVER_FLAG = "navigator-webdriver-true"
+HEADLESS_USER_AGENT = "headless-user-agent"
+NO_PLUGINS_DESKTOP_CHROME = "zero-plugins-on-desktop-chrome"
+
+
+def automation_artifacts(fingerprint: Fingerprint) -> List[str]:
+    """Return automation-tooling artifacts present in the fingerprint.
+
+    These are the classic headless-browser giveaways (paper Section
+    III-B): the ``navigator.webdriver`` flag, a ``HeadlessChrome``-style
+    user agent, and an empty plugin list on a desktop Chrome.
+    """
+    findings: List[str] = []
+    if fingerprint.webdriver:
+        findings.append(WEBDRIVER_FLAG)
+    if fingerprint.headless_ua:
+        findings.append(HEADLESS_USER_AGENT)
+    if (
+        fingerprint.device_class == DESKTOP
+        and fingerprint.browser == "Chrome"
+        and fingerprint.plugins_count == 0
+    ):
+        findings.append(NO_PLUGINS_DESKTOP_CHROME)
+    return findings

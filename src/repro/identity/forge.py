@@ -1,0 +1,186 @@
+"""Attacker-side fingerprint forging and rotation.
+
+The paper's attackers "continuously altered their bots' fingerprints"
+and "rotated their technical features ... within an average of 5.3
+hours" (Section IV-A/IV-C).  This module models the attacker side of
+that arms race:
+
+* :class:`FingerprintForge` produces bot fingerprints at three
+  sophistication levels (raw headless, naive spoofing, population
+  mimicry),
+* :class:`RotationPolicy` decides *when* a bot swaps identity —
+  either on a timer or reactively after being blocked.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from .fingerprint import (
+    DESKTOP,
+    Fingerprint,
+    FingerprintPopulation,
+)
+
+#: Sophistication levels, in increasing order of evasiveness.
+RAW_HEADLESS = "raw-headless"
+NAIVE_SPOOF = "naive-spoof"
+MIMICRY = "mimicry"
+
+_LEVELS = (RAW_HEADLESS, NAIVE_SPOOF, MIMICRY)
+
+
+class FingerprintForge:
+    """Produces attacker fingerprints at a chosen sophistication level.
+
+    * ``raw-headless`` — an instrumented headless browser left as-is:
+      ``navigator.webdriver`` set, headless UA, zero plugins.  Trivially
+      caught by artifact checks.
+    * ``naive-spoof`` — attributes overridden independently of each
+      other, which hides the automation artifacts but usually creates
+      cross-attribute *inconsistencies* (e.g. Safari on Windows).
+    * ``mimicry`` — fingerprints sampled from the same population model
+      as genuine users: internally consistent, artifact-free, and
+      indistinguishable attribute-by-attribute.  This is the level the
+      paper's advanced attackers operate at.
+    """
+
+    def __init__(
+        self,
+        level: str,
+        population: Optional[FingerprintPopulation] = None,
+    ) -> None:
+        if level not in _LEVELS:
+            raise ValueError(
+                f"unknown forge level {level!r}; expected one of {_LEVELS}"
+            )
+        self.level = level
+        self.population = population or FingerprintPopulation()
+
+    def forge(self, rng: random.Random) -> Fingerprint:
+        """Produce one fresh attacker fingerprint."""
+        if self.level == RAW_HEADLESS:
+            base = self.population.sample(rng)
+            return base.with_changes(
+                browser="Chrome",
+                os="Linux",
+                device_class=DESKTOP,
+                touch_points=0,
+                plugins_count=0,
+                webdriver=True,
+                headless_ua=True,
+            )
+        if self.level == NAIVE_SPOOF:
+            return self._naive_spoof(rng)
+        return self.population.sample(rng)
+
+    def _naive_spoof(self, rng: random.Random) -> Fingerprint:
+        """Independently mutate attributes of a genuine-looking base.
+
+        Automation artifacts are scrubbed, but because each attribute is
+        mutated without regard to the others, the result frequently
+        violates hardware/software co-occurrence constraints.
+        """
+        base = self.population.sample(rng).with_changes(
+            webdriver=False, headless_ua=False
+        )
+        mutations = {}
+        if rng.random() < 0.5:
+            mutations["browser"] = rng.choice(
+                ["Chrome", "Firefox", "Safari", "Edge"]
+            )
+        if rng.random() < 0.5:
+            mutations["os"] = rng.choice(
+                ["Windows", "macOS", "Linux", "Android", "iOS"]
+            )
+        if rng.random() < 0.4:
+            mutations["touch_points"] = rng.choice([0, 5])
+        if rng.random() < 0.4:
+            mutations["screen_width"], mutations["screen_height"] = rng.choice(
+                [(1920, 1080), (390, 844), (1366, 768), (412, 915)]
+            )
+        if rng.random() < 0.3:
+            mutations["plugins_count"] = rng.randint(0, 7)
+        return base.with_changes(**mutations)
+
+
+@dataclass
+class RotationPolicy:
+    """When an attacker swaps fingerprint (and usually IP).
+
+    ``mean_interval`` — if set, rotate on an exponential timer with this
+    mean (seconds).  The paper measured an average of 5.3 hours between
+    rotations during the Case A attack.
+
+    ``rotate_on_block`` — if True, rotate immediately after a request is
+    blocked (the reactive behaviour the paper describes: "attackers
+    quickly adjusted to each new fingerprint-based rule").
+    """
+
+    mean_interval: Optional[float] = None
+    rotate_on_block: bool = True
+
+    def next_rotation_delay(self, rng: random.Random) -> Optional[float]:
+        """Sample the delay until the next timed rotation (None = never)."""
+        if self.mean_interval is None:
+            return None
+        if self.mean_interval <= 0:
+            raise ValueError(
+                f"mean_interval must be positive: {self.mean_interval}"
+            )
+        return rng.expovariate(1.0 / self.mean_interval)
+
+    def should_rotate_after_block(self) -> bool:
+        return self.rotate_on_block
+
+
+class BotIdentity:
+    """The mutable identity a bot presents: fingerprint + rotation state.
+
+    Tracks when the identity was last rotated and how many rotations
+    have occurred, which the Case A benchmark uses to measure the
+    empirical rotation interval against the paper's 5.3 h figure.
+    """
+
+    def __init__(
+        self,
+        forge: FingerprintForge,
+        policy: RotationPolicy,
+        rng: random.Random,
+        now: float = 0.0,
+    ) -> None:
+        self.forge = forge
+        self.policy = policy
+        self._rng = rng
+        self.fingerprint = forge.forge(rng)
+        self.created_at = now
+        self.last_rotation_at = now
+        self.rotations = 0
+        self._next_timed_rotation = self._schedule_timed_rotation(now)
+
+    def _schedule_timed_rotation(self, now: float) -> Optional[float]:
+        delay = self.policy.next_rotation_delay(self._rng)
+        return None if delay is None else now + delay
+
+    def rotate(self, now: float) -> Fingerprint:
+        """Swap to a freshly forged fingerprint."""
+        self.fingerprint = self.forge.forge(self._rng)
+        self.rotations += 1
+        self.last_rotation_at = now
+        self._next_timed_rotation = self._schedule_timed_rotation(now)
+        return self.fingerprint
+
+    def maybe_rotate(self, now: float, was_blocked: bool) -> bool:
+        """Apply the rotation policy; return True if a rotation happened."""
+        if was_blocked and self.policy.should_rotate_after_block():
+            self.rotate(now)
+            return True
+        if (
+            self._next_timed_rotation is not None
+            and now >= self._next_timed_rotation
+        ):
+            self.rotate(now)
+            return True
+        return False

@@ -1,0 +1,168 @@
+"""IP address pools: datacenter ranges and residential proxy networks.
+
+The paper's attackers "leverag[ed] residential proxies to rotate their
+bots' IP addresses while matching the countries associated with the
+mobile numbers" (Section IV-C).  Defenders can cheaply flag datacenter
+ASNs, but residential proxy exits look like ordinary home connections —
+which is exactly why attackers pay for them.
+
+* :class:`IpAddress` — an observed client address with its ASN, country
+  and a ``residential`` flag (what an IP-intelligence feed would say).
+* :class:`DatacenterPool` — a handful of hosting ASNs; cheap, flagged.
+* :class:`ResidentialProxyPool` — a large geo-distributed pool with
+  per-lease pricing and country targeting; models commercial
+  residential proxy services.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class IpAddress:
+    """An observed client IP with the metadata an intel feed provides."""
+
+    address: str
+    country: str
+    asn: int
+    residential: bool
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        return self.address
+
+
+#: ASNs our IP-intelligence feed classifies as hosting/datacenter.
+DATACENTER_ASNS = (14618, 16509, 15169, 8075, 24940, 16276)
+
+#: Default country mix for residential proxy exits when the caller does
+#: not request a specific country (weights sum to 1).
+_DEFAULT_EXIT_MIX: Sequence = (
+    ("US", 0.22),
+    ("GB", 0.08),
+    ("DE", 0.07),
+    ("FR", 0.06),
+    ("BR", 0.08),
+    ("IN", 0.12),
+    ("ID", 0.08),
+    ("VN", 0.07),
+    ("NG", 0.06),
+    ("TH", 0.05),
+    ("UZ", 0.04),
+    ("IR", 0.04),
+    ("SG", 0.03),
+)
+
+
+class DatacenterPool:
+    """IPs from a small set of hosting ASNs, all in one country.
+
+    The cheap option: free or near-free for an attacker running bots on
+    cloud instances, but every lease is flagged ``residential=False``
+    and shares an ASN with millions of other bots, so a defender can
+    block the whole class with one rule.
+    """
+
+    def __init__(self, country: str = "US", cost_per_lease: float = 0.0) -> None:
+        self.country = country
+        self.cost_per_lease = cost_per_lease
+        self.leases_granted = 0
+        self.total_cost = 0.0
+
+    def lease(self, rng: random.Random, country: Optional[str] = None) -> IpAddress:
+        """Lease a datacenter IP.  Country targeting is not supported —
+        the pool lives where the cloud region lives."""
+        asn = rng.choice(DATACENTER_ASNS)
+        address = (
+            f"{rng.randint(3, 54)}.{rng.randint(0, 255)}"
+            f".{rng.randint(0, 255)}.{rng.randint(1, 254)}"
+        )
+        self.leases_granted += 1
+        self.total_cost += self.cost_per_lease
+        return IpAddress(
+            address=address,
+            country=self.country,
+            asn=asn,
+            residential=False,
+        )
+
+
+class ResidentialProxyPool:
+    """A commercial residential proxy service.
+
+    Exits are real home connections recruited into the pool (the paper
+    cites Khan et al. on user-installed residential proxies).  Each
+    lease costs money — this is what makes the economic-deterrence
+    analysis in Section V meaningful — and can target a country, which
+    the SMS-pumping bot uses to match its exit to the destination
+    mobile number's country.
+    """
+
+    def __init__(
+        self,
+        cost_per_lease: float = 0.004,
+        exit_mix: Sequence = _DEFAULT_EXIT_MIX,
+    ) -> None:
+        if cost_per_lease < 0:
+            raise ValueError(f"negative cost_per_lease: {cost_per_lease}")
+        self.cost_per_lease = cost_per_lease
+        self._exit_countries = [country for country, _ in exit_mix]
+        self._exit_weights = [weight for _, weight in exit_mix]
+        self.leases_granted = 0
+        self.total_cost = 0.0
+        self.leases_by_country: Dict[str, int] = {}
+
+    def lease(self, rng: random.Random, country: Optional[str] = None) -> IpAddress:
+        """Lease a residential exit, optionally pinned to ``country``."""
+        if country is None:
+            country = rng.choices(
+                self._exit_countries, weights=self._exit_weights
+            )[0]
+        # Residential ASNs: a large, per-country space of access networks.
+        asn = 7000 + (sum(ord(c) for c in country) * 37 + rng.randrange(40))
+        address = (
+            f"{rng.randint(60, 200)}.{rng.randint(0, 255)}"
+            f".{rng.randint(0, 255)}.{rng.randint(1, 254)}"
+        )
+        self.leases_granted += 1
+        self.total_cost += self.cost_per_lease
+        self.leases_by_country[country] = (
+            self.leases_by_country.get(country, 0) + 1
+        )
+        return IpAddress(
+            address=address,
+            country=country,
+            asn=asn,
+            residential=True,
+        )
+
+
+class HomeIpAssigner:
+    """Assigns stable home IPs to legitimate users.
+
+    Genuine users keep one address for a whole visit (and usually much
+    longer); their country follows the site's customer geography.
+    """
+
+    def __init__(self, country_mix: Sequence = _DEFAULT_EXIT_MIX) -> None:
+        self._countries = [country for country, _ in country_mix]
+        self._weights = [weight for _, weight in country_mix]
+
+    def assign(self, rng: random.Random, country: Optional[str] = None) -> IpAddress:
+        if country is None:
+            country = rng.choices(self._countries, weights=self._weights)[0]
+        asn = 7000 + (sum(ord(c) for c in country) * 37 + rng.randrange(40))
+        address = (
+            f"{rng.randint(60, 200)}.{rng.randint(0, 255)}"
+            f".{rng.randint(0, 255)}.{rng.randint(1, 254)}"
+        )
+        return IpAddress(
+            address=address, country=country, asn=asn, residential=True
+        )
+
+
+def is_datacenter(ip: IpAddress) -> bool:
+    """What an IP-reputation feed reports for this address."""
+    return ip.asn in DATACENTER_ASNS or not ip.residential

@@ -1,0 +1,89 @@
+"""Pre-wired scenarios reproducing the paper's case studies.
+
+* :mod:`~repro.scenarios.world` — platform builder shared by all,
+* :mod:`~repro.scenarios.case_a` — Seat Spinning / Fig. 1 / the 5.3 h
+  fingerprint arms race (Section IV-A),
+* :mod:`~repro.scenarios.case_b` — automated vs manual spinning and the
+  passenger-detail heuristics (Section IV-B),
+* :mod:`~repro.scenarios.case_c` — advanced SMS Pumping / Table I
+  (Section IV-C),
+* :mod:`~repro.scenarios.detectors` — detector-family comparison
+  (Section III).
+"""
+
+from .behavioural import (
+    BehaviouralConfig,
+    BehaviouralResult,
+    BehaviouralRun,
+    run_behavioural_stack,
+)
+from .case_a import CaseAConfig, CaseAResult, TARGET_FLIGHT, run_case_a
+from .case_b import (
+    AIRLINE_B_FLIGHT,
+    AIRLINE_C_FLIGHT,
+    CaseBConfig,
+    CaseBResult,
+    run_case_b,
+)
+from .case_c import (
+    CaseCConfig,
+    CaseCResult,
+    PATH_LIMIT,
+    PER_REF,
+    TABLE1_ORDER,
+    TABLE1_SURGES,
+    UNPROTECTED,
+    case_c_attack_totals,
+    case_c_attack_weights,
+    case_c_baseline_weekly,
+    run_case_c,
+)
+from .detectors import (
+    DetectorComparisonConfig,
+    DetectorComparisonResult,
+    DetectorRun,
+    run_detector_comparison,
+)
+from .world import (
+    FlightSpec,
+    World,
+    WorldConfig,
+    build_world,
+    default_flight_schedule,
+)
+
+__all__ = [
+    "BehaviouralConfig",
+    "BehaviouralResult",
+    "BehaviouralRun",
+    "run_behavioural_stack",
+    "CaseAConfig",
+    "CaseAResult",
+    "TARGET_FLIGHT",
+    "run_case_a",
+    "AIRLINE_B_FLIGHT",
+    "AIRLINE_C_FLIGHT",
+    "CaseBConfig",
+    "CaseBResult",
+    "run_case_b",
+    "CaseCConfig",
+    "CaseCResult",
+    "PATH_LIMIT",
+    "PER_REF",
+    "TABLE1_ORDER",
+    "TABLE1_SURGES",
+    "UNPROTECTED",
+    "case_c_attack_totals",
+    "case_c_attack_weights",
+    "case_c_baseline_weekly",
+    "run_case_c",
+    "DetectorComparisonConfig",
+    "DetectorComparisonResult",
+    "DetectorRun",
+    "run_detector_comparison",
+    "FlightSpec",
+    "World",
+    "WorldConfig",
+    "build_world",
+    "default_flight_schedule",
+]

@@ -1,0 +1,34 @@
+"""Discrete-event simulation kernel.
+
+Provides the deterministic foundations every other subpackage builds on:
+
+* :class:`~repro.sim.clock.Clock` and duration constants,
+* :class:`~repro.sim.events.EventLoop` (the discrete-event scheduler),
+* :class:`~repro.sim.rng.RngRegistry` (named reproducible random streams),
+* :class:`~repro.sim.metrics.MetricsRecorder`,
+* :class:`~repro.sim.process.Process` (actor base class).
+"""
+
+from .clock import Clock, DAY, HOUR, MINUTE, SECOND, WEEK, format_duration
+from .events import EventHandle, EventLoop
+from .metrics import MetricsRecorder, TimePoint, summarise
+from .process import Process
+from .rng import RngRegistry, derive_seed
+
+__all__ = [
+    "Clock",
+    "DAY",
+    "HOUR",
+    "MINUTE",
+    "SECOND",
+    "WEEK",
+    "format_duration",
+    "EventHandle",
+    "EventLoop",
+    "MetricsRecorder",
+    "TimePoint",
+    "summarise",
+    "Process",
+    "RngRegistry",
+    "derive_seed",
+]

@@ -1,0 +1,93 @@
+"""Simulated time primitives.
+
+All of :mod:`repro` runs on simulated time expressed as ``float`` seconds
+from the scenario epoch (t = 0).  Nothing in the library ever reads the
+wall clock, which keeps every run exactly reproducible.
+
+This module provides the :class:`Clock` used by every substrate and a set
+of readable duration constants (``MINUTE``, ``HOUR``, ``DAY``, ``WEEK``).
+"""
+
+from __future__ import annotations
+
+#: One second of simulated time (the base unit).
+SECOND = 1.0
+#: Sixty seconds.
+MINUTE = 60.0
+#: Sixty minutes.
+HOUR = 3600.0
+#: Twenty-four hours.
+DAY = 24 * HOUR
+#: Seven days.
+WEEK = 7 * DAY
+
+
+class Clock:
+    """A monotonically advancing simulated clock.
+
+    The clock only moves forward; attempts to rewind raise
+    :class:`ValueError`.  A single clock instance is shared by the event
+    loop and every substrate in a scenario so that all components agree
+    on "now".
+
+    >>> clock = Clock()
+    >>> clock.now
+    0.0
+    >>> clock.advance_to(10.0)
+    >>> clock.now
+    10.0
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start before the epoch: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds from the epoch."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to ``when``.
+
+        Raises :class:`ValueError` if ``when`` is in the past: simulated
+        time, like real time, never runs backwards.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"cannot rewind clock from {self._now} to {when}"
+            )
+        self._now = float(when)
+
+    def advance_by(self, delta: float) -> None:
+        """Move the clock forward by ``delta`` seconds (must be >= 0)."""
+        if delta < 0:
+            raise ValueError(f"cannot advance by a negative delta: {delta}")
+        self._now += delta
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in a compact human-readable form.
+
+    >>> format_duration(5.3 * HOUR)
+    '5h18m'
+    >>> format_duration(90)
+    '1m30s'
+    """
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < MINUTE:
+        return f"{seconds:.0f}s"
+    if seconds < HOUR:
+        minutes, secs = divmod(int(round(seconds)), 60)
+        return f"{minutes}m{secs}s" if secs else f"{minutes}m"
+    if seconds < DAY:
+        hours, rem = divmod(int(round(seconds)), int(HOUR))
+        minutes = rem // 60
+        return f"{hours}h{minutes}m" if minutes else f"{hours}h"
+    days, rem = divmod(int(round(seconds)), int(DAY))
+    hours = rem // int(HOUR)
+    return f"{days}d{hours}h" if hours else f"{days}d"

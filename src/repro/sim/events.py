@@ -1,0 +1,150 @@
+"""Discrete-event simulation loop.
+
+A minimal but complete discrete-event kernel: callbacks are scheduled at
+absolute simulated times on a binary heap; :meth:`EventLoop.run_until`
+pops them in time order, advances the shared :class:`~repro.sim.clock.Clock`
+and invokes them.  Ties are broken by insertion order (FIFO), which keeps
+runs deterministic even when many events share a timestamp.
+
+Callbacks may schedule further events, cancel pending ones, and stop the
+loop.  This is the only piece of control-flow machinery in the library;
+every actor (legitimate users, attacker bots, the mitigation controller,
+hold-expiry sweeps) is driven by it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from .clock import Clock
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    when: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventLoop.schedule_at`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def when(self) -> float:
+        return self._event.when
+
+    @property
+    def label(self) -> str:
+        return self._event.label
+
+
+class EventLoop:
+    """Deterministic discrete-event scheduler bound to a :class:`Clock`."""
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.clock = clock if clock is not None else Clock()
+        self._heap: List[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._stopped = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (delegates to the clock)."""
+        return self.clock.now
+
+    def schedule_at(
+        self,
+        when: float,
+        callback: Callable[[], None],
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute time ``when``.
+
+        Scheduling in the past raises :class:`ValueError` — that is
+        always a bug in the caller, never something to silently clamp.
+        """
+        if when < self.clock.now:
+            raise ValueError(
+                f"cannot schedule event at {when}, now is {self.clock.now}"
+            )
+        event = _ScheduledEvent(when, next(self._seq), callback, label=label)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.schedule_at(self.clock.now + delay, callback, label=label)
+
+    def stop(self) -> None:
+        """Stop the loop after the currently executing callback returns."""
+        self._stopped = True
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (non-cancelled) events still in the queue."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def run_until(self, until: float) -> None:
+        """Run events in time order up to and including time ``until``.
+
+        The clock finishes at exactly ``until`` even if the queue drains
+        earlier, so post-run bookkeeping (e.g. expiring holds) sees the
+        intended horizon.
+        """
+        self._stopped = False
+        while self._heap and not self._stopped:
+            event = self._heap[0]
+            if event.when > until:
+                break
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.when)
+            self.events_processed += 1
+            event.callback()
+        if not self._stopped and until > self.clock.now:
+            self.clock.advance_to(until)
+
+    def run_all(self, limit: int = 10_000_000) -> None:
+        """Run until the queue is empty (bounded by ``limit`` events)."""
+        self._stopped = False
+        processed = 0
+        while self._heap and not self._stopped:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.when)
+            self.events_processed += 1
+            event.callback()
+            processed += 1
+            if processed >= limit:
+                raise RuntimeError(
+                    f"event loop exceeded {limit} events; "
+                    "likely a runaway self-rescheduling actor"
+                )

@@ -1,0 +1,142 @@
+"""Lightweight metrics recording for simulations.
+
+Substrates and detectors report what happened through a shared
+:class:`MetricsRecorder`: monotonically increasing counters, gauges,
+and timestamped time series.  Benchmarks and analysis code read the
+recorder after a run instead of scraping internal state.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+
+@dataclass(frozen=True)
+class TimePoint:
+    """One timestamped observation in a time series."""
+
+    time: float
+    value: float
+
+
+class MetricsRecorder:
+    """Collects counters, gauges and time series during a run."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = defaultdict(float)
+        self._gauges: Dict[str, float] = {}
+        self._series: Dict[str, List[TimePoint]] = defaultdict(list)
+
+    # -- counters ---------------------------------------------------------
+
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to counter ``name`` (created at 0 on first use)."""
+        self._counters[name] += amount
+
+    def counter(self, name: str) -> float:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counters.get(name, 0.0)
+
+    def counters(self, prefix: str = "") -> Dict[str, float]:
+        """All counters whose name starts with ``prefix``."""
+        return {
+            name: value
+            for name, value in self._counters.items()
+            if name.startswith(prefix)
+        }
+
+    # -- gauges -----------------------------------------------------------
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self._gauges[name] = value
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        return self._gauges.get(name, default)
+
+    # -- time series -------------------------------------------------------
+
+    def record(self, name: str, time: float, value: float) -> None:
+        """Append a timestamped observation to series ``name``.
+
+        Timestamps must be non-decreasing within a series; violations
+        indicate the caller mixed up clocks and raise ``ValueError``.
+        """
+        series = self._series[name]
+        if series and time < series[-1].time:
+            raise ValueError(
+                f"series {name!r}: time {time} precedes last point "
+                f"{series[-1].time}"
+            )
+        series.append(TimePoint(time, value))
+
+    def series(self, name: str) -> List[TimePoint]:
+        """The recorded series (empty list if nothing was recorded)."""
+        return list(self._series.get(name, []))
+
+    def series_values(self, name: str) -> List[float]:
+        return [point.value for point in self._series.get(name, [])]
+
+    def series_names(self, prefix: str = "") -> List[str]:
+        return sorted(
+            name for name in self._series if name.startswith(prefix)
+        )
+
+    # -- aggregation --------------------------------------------------------
+
+    def series_sum_between(
+        self, name: str, start: float, end: float
+    ) -> float:
+        """Sum of series values with ``start <= time < end``."""
+        return sum(
+            point.value
+            for point in self._series.get(name, [])
+            if start <= point.time < end
+        )
+
+    def bucket_series(
+        self, name: str, bucket: float, start: float, end: float
+    ) -> List[Tuple[float, float]]:
+        """Aggregate a series into fixed-width time buckets.
+
+        Returns ``(bucket_start, sum_of_values)`` pairs covering
+        ``[start, end)``; empty buckets are included with a 0 sum so the
+        output always has ``ceil((end - start) / bucket)`` entries.
+        """
+        if bucket <= 0:
+            raise ValueError(f"bucket width must be positive: {bucket}")
+        count = int((end - start + bucket - 1e-9) // bucket)
+        sums = [0.0] * max(count, 0)
+        for point in self._series.get(name, []):
+            if start <= point.time < end:
+                index = int((point.time - start) // bucket)
+                if 0 <= index < len(sums):
+                    sums[index] += point.value
+        return [(start + i * bucket, total) for i, total in enumerate(sums)]
+
+    def merge(self, other: "MetricsRecorder") -> None:
+        """Fold another recorder's counters and series into this one."""
+        for name, value in other._counters.items():
+            self._counters[name] += value
+        for name, value in other._gauges.items():
+            self._gauges[name] = value
+        for name, points in other._series.items():
+            merged = sorted(
+                self._series[name] + points, key=lambda p: p.time
+            )
+            self._series[name] = merged
+
+
+def summarise(values: Iterable[float]) -> Dict[str, float]:
+    """Small numeric summary used in reports: count/mean/min/max."""
+    data = list(values)
+    if not data:
+        return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0}
+    return {
+        "count": len(data),
+        "mean": sum(data) / len(data),
+        "min": min(data),
+        "max": max(data),
+    }

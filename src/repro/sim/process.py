@@ -1,0 +1,90 @@
+"""Actor base class for event-loop-driven processes.
+
+A :class:`Process` is anything that repeatedly acts on the simulation:
+a legitimate user population, an attacker bot, the mitigation
+controller, the hold-expiry sweeper.  Subclasses implement
+:meth:`Process.step` and return the delay until their next step; the
+base class handles (re)scheduling, stopping and bookkeeping.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from .events import EventHandle, EventLoop
+
+
+class Process(ABC):
+    """A repeating actor on the event loop.
+
+    Lifecycle::
+
+        process = MyBot(loop, ...)
+        process.start(at=0.0)    # schedules the first step
+        loop.run_until(horizon)
+        process.stop()           # cancels any pending step
+
+    ``step()`` returns the delay (seconds) until the next step, or
+    ``None`` to finish.  Exceptions propagate — a crashing actor should
+    crash the run, not be silently dropped.
+    """
+
+    def __init__(self, loop: EventLoop, name: str = "") -> None:
+        self.loop = loop
+        self.name = name or type(self).__name__
+        self.steps_taken = 0
+        self._handle: Optional[EventHandle] = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self, at: Optional[float] = None) -> None:
+        """Schedule the first step (at ``at``, default: now)."""
+        if self._running:
+            raise RuntimeError(f"process {self.name!r} already started")
+        self._running = True
+        when = self.loop.now if at is None else at
+        self._handle = self.loop.schedule_at(
+            when, self._run_step, label=f"{self.name}.step"
+        )
+        self.on_start()
+
+    def stop(self) -> None:
+        """Cancel any pending step and mark the process finished."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+        if self._running:
+            self._running = False
+            self.on_stop()
+
+    def _run_step(self) -> None:
+        self._handle = None
+        if not self._running:
+            return
+        self.steps_taken += 1
+        delay = self.step()
+        if delay is None:
+            self.stop()
+            return
+        if delay < 0:
+            raise ValueError(
+                f"process {self.name!r} returned a negative delay: {delay}"
+            )
+        if self._running:
+            self._handle = self.loop.schedule_in(
+                delay, self._run_step, label=f"{self.name}.step"
+            )
+
+    @abstractmethod
+    def step(self) -> Optional[float]:
+        """Perform one action; return delay to next step or None to stop."""
+
+    def on_start(self) -> None:
+        """Hook invoked when the process starts (default: nothing)."""
+
+    def on_stop(self) -> None:
+        """Hook invoked when the process stops (default: nothing)."""

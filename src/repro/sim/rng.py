@@ -1,0 +1,71 @@
+"""Named, reproducible random streams.
+
+Every stochastic component in the library receives its randomness from a
+:class:`RngRegistry`.  Each component asks for a *named* stream; the
+stream's seed is derived deterministically from the registry's master
+seed and the stream name, so:
+
+* two runs with the same master seed are bit-for-bit identical, and
+* adding a new component (a new stream name) does not perturb the
+  randomness of existing components — streams are independent.
+
+The registry hands out both :class:`random.Random` instances (for simple
+choices) and :class:`numpy.random.Generator` instances (for vectorised
+sampling).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+import numpy as np
+
+
+def derive_seed(master_seed: int, name: str) -> int:
+    """Derive a 64-bit stream seed from a master seed and a stream name.
+
+    Uses SHA-256 rather than ``hash()`` because the latter is salted per
+    interpreter process and would destroy reproducibility.
+    """
+    digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RngRegistry:
+    """Factory for independent, named, reproducible random streams.
+
+    >>> rngs = RngRegistry(seed=42)
+    >>> a = rngs.stream("traffic.legit")
+    >>> b = rngs.stream("traffic.legit")
+    >>> a is b  # same name -> same stream object
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._py_streams: Dict[str, random.Random] = {}
+        self._np_streams: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the :class:`random.Random` stream for ``name``."""
+        if name not in self._py_streams:
+            self._py_streams[name] = random.Random(derive_seed(self.seed, name))
+        return self._py_streams[name]
+
+    def numpy_stream(self, name: str) -> np.random.Generator:
+        """Return the :class:`numpy.random.Generator` stream for ``name``."""
+        if name not in self._np_streams:
+            self._np_streams[name] = np.random.default_rng(
+                derive_seed(self.seed, name)
+            )
+        return self._np_streams[name]
+
+    def fork(self, name: str) -> "RngRegistry":
+        """Create a child registry whose master seed depends on ``name``.
+
+        Useful for parameter sweeps: each sweep point forks the parent
+        registry so points are independent but the sweep is reproducible.
+        """
+        return RngRegistry(derive_seed(self.seed, f"fork:{name}"))

@@ -1,0 +1,134 @@
+"""Destination-country registry for the SMS substrate.
+
+Each country carries the economic attributes that make SMS Pumping
+work (Section II-B): the wholesale price the application owner pays
+per message, the termination fee the destination carrier collects, and
+whether the destination is a high-cost route.  High termination fees
+with little legitimate traffic are exactly the destinations the paper's
+attackers prioritised (Table I: Uzbekistan, Iran, Kyrgyzstan, ...).
+
+``legit_weight`` is each country's share of the airline's *legitimate*
+SMS traffic (boarding passes and OTPs), used to synthesise the baseline
+week that Table I's surge percentages are computed against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class Country:
+    """One SMS destination country."""
+
+    code: str          # ISO 3166-1 alpha-2
+    name: str
+    dial_code: str
+    sms_cost: float    # USD the application owner pays per SMS
+    termination_fee: float  # USD the terminating carrier collects
+    high_cost: bool
+    legit_weight: float  # share of legitimate SMS traffic
+
+
+def _c(
+    code: str,
+    name: str,
+    dial: str,
+    sms_cost: float,
+    termination_fee: float,
+    high_cost: bool,
+    legit_weight: float,
+) -> Country:
+    return Country(code, name, dial, sms_cost, termination_fee, high_cost,
+                   legit_weight)
+
+
+#: The registry. Weights are relative (normalised on use).  The ten
+#: Table I countries are present along with a tail of other markets so
+#: the attack can span the paper's 42 destination countries.
+COUNTRIES: List[Country] = [
+    # -- Table I high-surge destinations (tiny legit traffic, pricey) --
+    _c("UZ", "Uzbekistan", "+998", 0.160, 0.120, True, 0.00004),
+    _c("IR", "Iran", "+98", 0.150, 0.110, True, 0.00012),
+    _c("KG", "Kyrgyzstan", "+996", 0.170, 0.130, True, 0.00006),
+    _c("JO", "Jordan", "+962", 0.120, 0.085, True, 0.00015),
+    _c("NG", "Nigeria", "+234", 0.110, 0.080, True, 0.00030),
+    _c("KH", "Cambodia", "+855", 0.130, 0.095, True, 0.00012),
+    # -- Table I large-market destinations (big legit traffic) --
+    _c("SG", "Singapore", "+65", 0.040, 0.020, False, 0.0110),
+    _c("GB", "United Kingdom", "+44", 0.035, 0.015, False, 0.0380),
+    _c("CN", "China", "+86", 0.045, 0.022, False, 0.0310),
+    _c("TH", "Thailand", "+66", 0.030, 0.014, False, 0.0160),
+    # -- Other major legitimate markets --
+    _c("US", "United States", "+1", 0.010, 0.004, False, 0.2200),
+    _c("FR", "France", "+33", 0.070, 0.030, False, 0.0750),
+    _c("DE", "Germany", "+49", 0.085, 0.035, False, 0.0700),
+    _c("ES", "Spain", "+34", 0.065, 0.028, False, 0.0480),
+    _c("IT", "Italy", "+39", 0.075, 0.032, False, 0.0450),
+    _c("IN", "India", "+91", 0.020, 0.008, False, 0.0620),
+    _c("BR", "Brazil", "+55", 0.025, 0.010, False, 0.0430),
+    _c("JP", "Japan", "+81", 0.060, 0.026, False, 0.0340),
+    _c("AU", "Australia", "+61", 0.040, 0.018, False, 0.0260),
+    _c("CA", "Canada", "+1", 0.012, 0.005, False, 0.0310),
+    _c("MX", "Mexico", "+52", 0.030, 0.012, False, 0.0240),
+    _c("NL", "Netherlands", "+31", 0.090, 0.038, False, 0.0210),
+    _c("AE", "United Arab Emirates", "+971", 0.055, 0.024, False, 0.0290),
+    _c("SA", "Saudi Arabia", "+966", 0.050, 0.022, False, 0.0200),
+    _c("TR", "Turkey", "+90", 0.028, 0.012, False, 0.0190),
+    _c("KR", "South Korea", "+82", 0.045, 0.020, False, 0.0230),
+    _c("ID", "Indonesia", "+62", 0.028, 0.012, False, 0.0260),
+    _c("MY", "Malaysia", "+60", 0.032, 0.014, False, 0.0180),
+    _c("PH", "Philippines", "+63", 0.026, 0.011, False, 0.0170),
+    _c("VN", "Vietnam", "+84", 0.050, 0.022, False, 0.0150),
+    _c("EG", "Egypt", "+20", 0.080, 0.036, False, 0.0110),
+    _c("ZA", "South Africa", "+27", 0.024, 0.010, False, 0.0120),
+    _c("PT", "Portugal", "+351", 0.045, 0.020, False, 0.0110),
+    _c("GR", "Greece", "+30", 0.050, 0.022, False, 0.0090),
+    _c("SE", "Sweden", "+46", 0.055, 0.024, False, 0.0100),
+    _c("CH", "Switzerland", "+41", 0.060, 0.026, False, 0.0130),
+    _c("PL", "Poland", "+48", 0.040, 0.018, False, 0.0120),
+    # -- Other high-cost, low-traffic routes in the attack's long tail --
+    _c("TJ", "Tajikistan", "+992", 0.180, 0.140, True, 0.00003),
+    _c("TM", "Turkmenistan", "+993", 0.190, 0.150, True, 0.00002),
+    _c("AZ", "Azerbaijan", "+994", 0.140, 0.100, True, 0.00020),
+    _c("IQ", "Iraq", "+964", 0.130, 0.095, True, 0.00018),
+    _c("YE", "Yemen", "+967", 0.160, 0.120, True, 0.00005),
+    _c("SD", "Sudan", "+249", 0.150, 0.110, True, 0.00006),
+    _c("SO", "Somalia", "+252", 0.170, 0.130, True, 0.00003),
+    _c("AF", "Afghanistan", "+93", 0.165, 0.125, True, 0.00004),
+    _c("LY", "Libya", "+218", 0.145, 0.105, True, 0.00007),
+    _c("ML", "Mali", "+223", 0.155, 0.115, True, 0.00005),
+    _c("BJ", "Benin", "+229", 0.150, 0.112, True, 0.00004),
+    _c("GN", "Guinea", "+224", 0.158, 0.118, True, 0.00003),
+    _c("LK", "Sri Lanka", "+94", 0.090, 0.045, True, 0.00090),
+    _c("BD", "Bangladesh", "+880", 0.095, 0.050, True, 0.00110),
+    _c("NP", "Nepal", "+977", 0.100, 0.055, True, 0.00060),
+    _c("MM", "Myanmar", "+95", 0.120, 0.080, True, 0.00030),
+]
+
+_BY_CODE: Dict[str, Country] = {country.code: country for country in COUNTRIES}
+
+
+def get_country(code: str) -> Country:
+    """Look up a country by ISO code (raises ``KeyError`` if unknown)."""
+    try:
+        return _BY_CODE[code]
+    except KeyError:
+        raise KeyError(f"unknown country code {code!r}") from None
+
+
+def all_codes() -> List[str]:
+    return [country.code for country in COUNTRIES]
+
+
+def high_cost_codes() -> List[str]:
+    return [country.code for country in COUNTRIES if country.high_cost]
+
+
+def legit_weights() -> Dict[str, float]:
+    """Normalised legitimate-traffic share per country code."""
+    total = sum(country.legit_weight for country in COUNTRIES)
+    return {
+        country.code: country.legit_weight / total for country in COUNTRIES
+    }

@@ -1,0 +1,47 @@
+"""Phone numbers and per-country number generation."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .countries import Country, get_country
+
+
+@dataclass(frozen=True)
+class PhoneNumber:
+    """A destination mobile number.
+
+    ``controlled_by_attacker`` is ground truth used only by the
+    economics ledger (revenue share flows to the attacker when the
+    number sits behind a colluding carrier); detection code never
+    reads it.
+    """
+
+    country_code: str
+    subscriber: str
+    controlled_by_attacker: bool = False
+
+    @property
+    def e164(self) -> str:
+        country = get_country(self.country_code)
+        return f"{country.dial_code}{self.subscriber}"
+
+    @property
+    def country(self) -> Country:
+        return get_country(self.country_code)
+
+
+def sample_number(
+    rng: random.Random,
+    country_code: str,
+    controlled_by_attacker: bool = False,
+) -> PhoneNumber:
+    """Draw a random subscriber number in the given country."""
+    get_country(country_code)  # validate the code early
+    subscriber = "".join(str(rng.randint(0, 9)) for _ in range(9))
+    return PhoneNumber(
+        country_code=country_code,
+        subscriber=subscriber,
+        controlled_by_attacker=controlled_by_attacker,
+    )

@@ -1,0 +1,135 @@
+"""Telephony-network economics: operators, carriers, revenue share.
+
+Section II-B describes the money flow behind SMS Pumping: the
+application owner pays its primary operator per message; the primary
+operator pays a *termination fee* to the local carrier that delivers
+the message (FCC-style intercarrier compensation); and a fraudulent
+local carrier kicks part of that fee back to the attacker who generated
+the traffic.
+
+:class:`TelcoNetwork` models that chain per delivered SMS and supports
+the Section V mitigation of refusing compensation to carriers flagged
+as involved in functional abuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .countries import get_country
+from .numbers import PhoneNumber
+
+
+@dataclass
+class LocalCarrier:
+    """A terminating carrier in one country.
+
+    ``colluding`` carriers share ``attacker_revenue_share`` of every
+    termination fee with the attacker whose traffic they terminate.
+    ``flagged`` carriers have been identified as abusive; under a
+    non-compensation policy they stop receiving termination fees.
+    """
+
+    carrier_id: str
+    country_code: str
+    colluding: bool = False
+    attacker_revenue_share: float = 0.5
+    flagged: bool = False
+    fees_collected: float = 0.0
+    messages_terminated: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.attacker_revenue_share <= 1.0:
+            raise ValueError(
+                "attacker_revenue_share must be in [0, 1]: "
+                f"{self.attacker_revenue_share}"
+            )
+
+
+@dataclass(frozen=True)
+class Settlement:
+    """Money flow for one delivered SMS."""
+
+    country_code: str
+    app_owner_cost: float      # what the application owner paid
+    termination_fee_paid: float  # what the carrier actually received
+    attacker_revenue: float    # kickback to the attacker (if colluding)
+    carrier_id: str
+    withheld: bool             # fee withheld under non-compensation policy
+
+
+class TelcoNetwork:
+    """Primary operator plus the per-country local carriers.
+
+    By default every country gets one honest carrier; scenarios register
+    colluding carriers in the countries the attacker monetises.  The
+    ``non_compensation_policy`` switch implements the paper's proposed
+    mitigation: once enabled, *flagged* carriers receive nothing, which
+    zeroes the attacker's revenue stream through them.
+    """
+
+    def __init__(self) -> None:
+        self._carriers: Dict[str, LocalCarrier] = {}
+        self.non_compensation_policy = False
+        self.settlements: List[Settlement] = []
+
+    def register_carrier(self, carrier: LocalCarrier) -> None:
+        if carrier.country_code in self._carriers:
+            raise ValueError(
+                f"carrier already registered for {carrier.country_code!r}"
+            )
+        get_country(carrier.country_code)  # validate
+        self._carriers[carrier.country_code] = carrier
+
+    def carrier_for(self, country_code: str) -> LocalCarrier:
+        """The terminating carrier for a country (honest default)."""
+        if country_code not in self._carriers:
+            self._carriers[country_code] = LocalCarrier(
+                carrier_id=f"carrier-{country_code.lower()}",
+                country_code=country_code,
+            )
+        return self._carriers[country_code]
+
+    def carriers(self) -> List[LocalCarrier]:
+        return list(self._carriers.values())
+
+    def flag_carrier(self, country_code: str) -> None:
+        """Mark a carrier as involved in functional abuse."""
+        self.carrier_for(country_code).flagged = True
+
+    def enable_non_compensation_policy(self) -> None:
+        """Stop paying termination fees to flagged carriers (Section V)."""
+        self.non_compensation_policy = True
+
+    def settle(self, number: PhoneNumber) -> Settlement:
+        """Settle the money flow for one SMS delivered to ``number``."""
+        country = get_country(number.country_code)
+        carrier = self.carrier_for(number.country_code)
+        withheld = self.non_compensation_policy and carrier.flagged
+        fee_paid = 0.0 if withheld else country.termination_fee
+        attacker_revenue = 0.0
+        if (
+            carrier.colluding
+            and number.controlled_by_attacker
+            and fee_paid > 0
+        ):
+            attacker_revenue = fee_paid * carrier.attacker_revenue_share
+        carrier.fees_collected += fee_paid
+        carrier.messages_terminated += 1
+        settlement = Settlement(
+            country_code=number.country_code,
+            app_owner_cost=country.sms_cost,
+            termination_fee_paid=fee_paid,
+            attacker_revenue=attacker_revenue,
+            carrier_id=carrier.carrier_id,
+            withheld=withheld,
+        )
+        self.settlements.append(settlement)
+        return settlement
+
+    def total_attacker_revenue(self) -> float:
+        return sum(s.attacker_revenue for s in self.settlements)
+
+    def total_app_owner_cost(self) -> float:
+        return sum(s.app_owner_cost for s in self.settlements)

@@ -1,0 +1,28 @@
+"""Client construction helpers shared by every traffic generator."""
+
+from __future__ import annotations
+
+from ..common import ClientRef, LEGIT
+from ..identity.fingerprint import Fingerprint
+from ..identity.ip import IpAddress
+
+
+def make_client(
+    ip: IpAddress,
+    fingerprint: Fingerprint,
+    profile_id: str = "",
+    actor: str = "",
+    actor_class: str = LEGIT,
+) -> ClientRef:
+    """Bundle an IP and fingerprint into the :class:`ClientRef` the
+    server attributes requests to."""
+    return ClientRef(
+        ip_address=ip.address,
+        ip_country=ip.country,
+        ip_residential=ip.residential,
+        fingerprint_id=fingerprint.fingerprint_id,
+        user_agent=fingerprint.user_agent,
+        profile_id=profile_id,
+        actor=actor,
+        actor_class=actor_class,
+    )

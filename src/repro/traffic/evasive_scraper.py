@@ -1,0 +1,179 @@
+"""The evasive scraper: behaviour-based detection's counterexample.
+
+Section III-A cites work showing bots that "adjusted page visiting time
+according to page content", "statistically modeled the time between
+subsequent requests", and used reinforcement learning to "dynamically
+adjust [their] behavior and bypass detection".  This bot implements the
+resulting playbook:
+
+* **human-paced** — log-normal think times instead of a Poisson firehose;
+* **session-budgeted** — after a handful of requests it rotates
+  fingerprint *and* IP, so every reconstructed session stays small;
+* **funnel-shaped** — walks search → details like a shopper, never
+  touches the hidden trap link (it scrapes from a known sitemap);
+* **adaptive** — when a request is blocked or challenged it backs off
+  multiplicatively before resuming, starving rate-based detectors.
+
+Its throughput is a fraction of the naive scraper's — that is the cost
+of evasion — but every conventional session-level detector in this
+library scores it as human.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..common import SCRAPER
+from ..identity.forge import BotIdentity
+from ..identity.ip import IpAddress, ResidentialProxyPool
+from ..sim.clock import HOUR, MINUTE
+from ..sim.events import EventLoop
+from ..sim.process import Process
+from ..web.application import WebApplication
+from ..web.request import (
+    BLOCKED,
+    CAPTCHA_FAILED,
+    CAPTCHA_SOLVER,
+    FLIGHT_DETAILS,
+    RATE_LIMITED,
+    Request,
+    SEARCH,
+)
+from .clients import make_client
+
+
+@dataclass
+class EvasiveScraperConfig:
+    """Evasive-campaign parameters."""
+
+    #: Median think time between requests (log-normal).
+    median_think_time: float = 20.0
+    think_time_sigma: float = 0.8
+    #: Requests per identity before rotating (keeps sessions tiny).
+    session_budget: int = 12
+    #: Pause between identity rotations (a "new visitor" arriving).
+    inter_session_pause: float = 3 * MINUTE
+    duration: float = 12 * HOUR
+    #: Multiplicative backoff factor after a block/limit/challenge.
+    backoff_factor: float = 3.0
+    max_backoff: float = 30 * MINUTE
+
+    def __post_init__(self) -> None:
+        if self.median_think_time <= 0:
+            raise ValueError(
+                f"median_think_time must be positive: "
+                f"{self.median_think_time}"
+            )
+        if self.session_budget < 1:
+            raise ValueError(
+                f"session_budget must be >= 1: {self.session_budget}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1: {self.backoff_factor}"
+            )
+
+
+class EvasiveScraperBot(Process):
+    """Low-and-slow scraper that mimics shopper behaviour."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        app: WebApplication,
+        identity: BotIdentity,
+        rng: random.Random,
+        config: Optional[EvasiveScraperConfig] = None,
+        ip_pool: Optional[ResidentialProxyPool] = None,
+        name: str = "evasive-scraper",
+    ) -> None:
+        super().__init__(loop, name=name)
+        self.app = app
+        self.identity = identity
+        self.config = config or EvasiveScraperConfig()
+        self._rng = rng
+        self.ip_pool = ip_pool or ResidentialProxyPool()
+        self.ip: IpAddress = self.ip_pool.lease(rng)
+        self._deadline: Optional[float] = None
+        self._session_requests = 0
+        self._in_funnel = False  # whether the next request is "details"
+        self._current_backoff = 0.0
+        self.requests_made = 0
+        self.pages_scraped = 0
+        self.blocks_encountered = 0
+        self.sessions_used = 1
+
+    def _rotate_session(self) -> None:
+        """Become a brand-new visitor: fresh fingerprint, fresh exit."""
+        self.identity.rotate(self.loop.now)
+        self.ip = self.ip_pool.lease(self._rng)
+        self._session_requests = 0
+        self._in_funnel = False
+        self.sessions_used += 1
+
+    def _think_time(self) -> float:
+        # ln(median) is the mu parameter of a log-normal's median.
+        return self._rng.lognormvariate(
+            math.log(self.config.median_think_time),
+            self.config.think_time_sigma,
+        )
+
+    def step(self) -> Optional[float]:
+        now = self.loop.now
+        if self._deadline is None:
+            self._deadline = now + self.config.duration
+        if now >= self._deadline:
+            return None
+
+        if self._session_requests >= self.config.session_budget:
+            self._rotate_session()
+            return self.config.inter_session_pause * self._rng.uniform(
+                0.7, 1.6
+            )
+
+        # Walk the funnel the way a shopper does: a search page, then a
+        # couple of fare-details pages for specific flights.
+        flights = self.app.reservations.flights()
+        if not self._in_funnel or not flights:
+            path, params = SEARCH, {}
+            self._in_funnel = True
+        else:
+            flight = self._rng.choice(flights)
+            path, params = FLIGHT_DETAILS, {"flight_id": flight.flight_id}
+            if self._rng.random() < 0.3:
+                self._in_funnel = False  # back to a fresh search
+
+        response = self.app.handle(
+            Request(
+                method="GET",
+                path=path,
+                client=make_client(
+                    self.ip,
+                    self.identity.fingerprint,
+                    actor=self.name,
+                    actor_class=SCRAPER,
+                ),
+                params=params,
+                fingerprint=self.identity.fingerprint,
+                captcha_ability=CAPTCHA_SOLVER,
+            )
+        )
+        self.requests_made += 1
+        self._session_requests += 1
+
+        if response.status in (BLOCKED, RATE_LIMITED, CAPTCHA_FAILED):
+            self.blocks_encountered += 1
+            self._rotate_session()
+            self._current_backoff = min(
+                max(self._current_backoff, 30.0) * self.config.backoff_factor,
+                self.config.max_backoff,
+            )
+            return self._current_backoff * self._rng.uniform(0.8, 1.3)
+
+        if response.ok and path == FLIGHT_DETAILS:
+            self.pages_scraped += 1
+        self._current_backoff = 0.0
+        return self._think_time()

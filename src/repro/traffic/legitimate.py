@@ -1,0 +1,286 @@
+"""Legitimate traffic: the booking-funnel user population.
+
+Generates the background an attack has to be found against.  Visitors
+arrive as a Poisson process; each runs a realistic funnel (search →
+details → hold → pay) with think times, a Number-in-Party drawn from a
+calibrated mixture, abandonment (holds that simply expire — legitimate
+users cause expiries too), OTP logins, and boarding-pass-via-SMS
+requests to the visitor's own home country.
+
+The NiP mixture defaults reproduce the paper's Fig. 1 "average week":
+dominated by one- and two-passenger reservations with a thin tail of
+larger groups.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..booking.passengers import Passenger, sample_genuine_party
+from ..booking.reservation import REJECT_NIP_CAP
+from ..common import LEGIT
+from ..identity.fingerprint import Fingerprint, FingerprintPopulation
+from ..identity.ip import HomeIpAssigner, IpAddress
+from ..sim.clock import HOUR, MINUTE
+from ..sim.events import EventLoop
+from ..sim.process import Process
+from ..sms.numbers import PhoneNumber, sample_number
+from ..web.application import WebApplication
+from ..web.request import (
+    BOARDING_PASS_SMS,
+    CAPTCHA_HUMAN,
+    FLIGHT_DETAILS,
+    HOLD,
+    OTP_LOGIN,
+    PAY,
+    Request,
+    SEARCH,
+)
+from .clients import make_client
+
+#: Fig. 1 "average week" NiP shares (index = party size).
+AVERAGE_WEEK_NIP_MIXTURE: Dict[int, float] = {
+    1: 0.500,
+    2: 0.310,
+    3: 0.080,
+    4: 0.050,
+    5: 0.025,
+    6: 0.013,
+    7: 0.012,
+    8: 0.006,
+    9: 0.004,
+}
+
+
+@dataclass
+class LegitimateConfig:
+    """Tunable behaviour of the legitimate population."""
+
+    visitor_rate_per_hour: float = 30.0
+    nip_mixture: Dict[int, float] = field(
+        default_factory=lambda: dict(AVERAGE_WEEK_NIP_MIXTURE)
+    )
+    hold_probability: float = 0.65
+    pay_probability: float = 0.72
+    pay_delay_mean: float = 25 * MINUTE
+    otp_probability: float = 0.15
+    boarding_pass_probability: float = 0.40
+    #: Probability a group rejected by a NiP cap re-books at the cap
+    #: (Fig. 1: "legitimate group bookings adjust as well").
+    retry_at_cap_probability: float = 0.75
+    loyalty_share: float = 0.25
+    home_country_weights: Optional[Dict[str, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.visitor_rate_per_hour <= 0:
+            raise ValueError(
+                f"visitor_rate_per_hour must be positive: "
+                f"{self.visitor_rate_per_hour}"
+            )
+        total = sum(self.nip_mixture.values())
+        if total <= 0:
+            raise ValueError("nip_mixture weights must sum to > 0")
+
+    def sample_nip(self, rng: random.Random) -> int:
+        sizes = sorted(self.nip_mixture)
+        weights = [self.nip_mixture[size] for size in sizes]
+        return rng.choices(sizes, weights=weights)[0]
+
+
+class LegitimatePopulation(Process):
+    """Poisson arrivals of legitimate booking funnels.
+
+    Each :meth:`step` spawns one visitor whose funnel actions are
+    scheduled as individual events with human think times, so the web
+    log interleaves visitors realistically.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        app: WebApplication,
+        rng: random.Random,
+        config: Optional[LegitimateConfig] = None,
+        name: str = "legit-population",
+    ) -> None:
+        super().__init__(loop, name=name)
+        self.app = app
+        self.config = config or LegitimateConfig()
+        self._rng = rng
+        self._fingerprints = FingerprintPopulation()
+        if self.config.home_country_weights:
+            mix = tuple(sorted(self.config.home_country_weights.items()))
+        else:
+            mix = None
+        self._homes = (
+            HomeIpAssigner(mix) if mix is not None else HomeIpAssigner()
+        )
+        self._visitor_counter = 0
+        self.visitors_spawned = 0
+
+    def step(self) -> Optional[float]:
+        self._spawn_visitor()
+        mean_gap = HOUR / self.config.visitor_rate_per_hour
+        return self._rng.expovariate(1.0 / mean_gap)
+
+    def _spawn_visitor(self) -> None:
+        self._visitor_counter += 1
+        self.visitors_spawned += 1
+        visitor = _Visitor(
+            index=self._visitor_counter,
+            population=self,
+            rng=self._rng,
+        )
+        visitor.begin()
+
+
+class _Visitor:
+    """One legitimate booking funnel, scheduled step by step."""
+
+    def __init__(
+        self,
+        index: int,
+        population: LegitimatePopulation,
+        rng: random.Random,
+    ) -> None:
+        self._pop = population
+        self._rng = rng
+        config = population.config
+        self.fingerprint: Fingerprint = population._fingerprints.sample(rng)
+        self.ip: IpAddress = population._homes.assign(rng)
+        loyal = rng.random() < config.loyalty_share
+        prefix = "loyal" if loyal else "user"
+        self.profile_id = f"{prefix}-{index:06d}"
+        self.actor = f"legit-{index:06d}"
+        self.phone: PhoneNumber = sample_number(rng, self.ip.country)
+        self.hold_id = ""
+        self.flight_id = ""
+        # Fare browsing: how many extra compare-the-fares loops this
+        # visitor runs before committing (real shoppers loop; a funnel
+        # that never revisits search would make any looping client look
+        # anomalous to navigation models).
+        self._browse_budget = rng.choices(
+            [0, 1, 2, 3], weights=[0.35, 0.35, 0.2, 0.1]
+        )[0]
+
+    # -- plumbing ---------------------------------------------------------
+
+    @property
+    def _loop(self) -> EventLoop:
+        return self._pop.loop
+
+    def _client(self):
+        return make_client(
+            self.ip,
+            self.fingerprint,
+            profile_id=self.profile_id,
+            actor=self.actor,
+            actor_class=LEGIT,
+        )
+
+    def _send(self, method: str, path: str, params: dict):
+        request = Request(
+            method=method,
+            path=path,
+            client=self._client(),
+            params=params,
+            fingerprint=self.fingerprint,
+            captcha_ability=CAPTCHA_HUMAN,
+        )
+        return self._pop.app.handle(request)
+
+    def _later(self, delay: float, action) -> None:
+        self._loop.schedule_in(delay, action, label="visitor")
+
+    def _think(self, low: float = 5.0, high: float = 45.0) -> float:
+        return self._rng.uniform(low, high)
+
+    # -- funnel steps -----------------------------------------------------
+
+    def begin(self) -> None:
+        if self._rng.random() < self._pop.config.otp_probability:
+            self._later(self._think(), self._do_otp_login)
+        else:
+            self._later(self._think(1.0, 10.0), self._do_search)
+
+    def _do_otp_login(self) -> None:
+        self._send("POST", OTP_LOGIN, {"phone": self.phone})
+        self._later(self._think(10.0, 60.0), self._do_search)
+
+    def _do_search(self) -> None:
+        response = self._send("GET", SEARCH, {})
+        open_flights = []
+        if response.ok and response.data:
+            open_flights = [
+                entry["flight_id"]
+                for entry in response.data
+                if entry["available"] > 0
+            ]
+        if not open_flights:
+            return  # nothing bookable; abandon
+        self.flight_id = self._rng.choice(open_flights)
+        self._later(self._think(), self._do_details)
+
+    def _do_details(self) -> None:
+        self._send("GET", FLIGHT_DETAILS, {"flight_id": self.flight_id})
+        if self._browse_budget > 0:
+            self._browse_budget -= 1
+            if self._rng.random() < 0.5:
+                self._later(self._think(), self._do_search)
+            else:
+                self._later(self._think(), self._do_details_other)
+            return
+        if self._rng.random() < self._pop.config.hold_probability:
+            self._later(self._think(20.0, 120.0), self._do_hold)
+
+    def _do_details_other(self) -> None:
+        """Compare another flight's fare, then resume the funnel."""
+        flights = self._pop.app.reservations.flights()
+        if flights:
+            other = self._rng.choice(flights)
+            self._send(
+                "GET", FLIGHT_DETAILS, {"flight_id": other.flight_id}
+            )
+        self._later(self._think(), self._do_details)
+
+    def _do_hold(self, forced_nip: Optional[int] = None) -> None:
+        config = self._pop.config
+        nip = forced_nip or config.sample_nip(self._rng)
+        party: List[Passenger] = sample_genuine_party(self._rng, nip)
+        response = self._send(
+            "POST", HOLD, {"flight_id": self.flight_id, "passengers": party}
+        )
+        if response.ok:
+            self.hold_id = response.data.hold_id
+            if self._rng.random() < config.pay_probability:
+                delay = self._rng.expovariate(1.0 / config.pay_delay_mean)
+                self._later(delay, self._do_pay)
+            return
+        if (
+            response.outcome == REJECT_NIP_CAP
+            and forced_nip is None
+            and self._rng.random() < config.retry_at_cap_probability
+        ):
+            # The group splits / trims itself to fit under the new cap.
+            cap = self._pop.app.reservations.max_nip
+            self._later(
+                self._think(30.0, 180.0),
+                lambda: self._do_hold(forced_nip=cap),
+            )
+
+    def _do_pay(self) -> None:
+        response = self._send("POST", PAY, {"hold_id": self.hold_id})
+        if not response.ok:
+            return  # hold expired while the visitor dithered
+        config = self._pop.config
+        if self._rng.random() < config.boarding_pass_probability:
+            self._later(self._think(60.0, 600.0), self._do_boarding_pass)
+
+    def _do_boarding_pass(self) -> None:
+        self._send(
+            "POST",
+            BOARDING_PASS_SMS,
+            {"booking_ref": self.hold_id, "phone": self.phone},
+        )

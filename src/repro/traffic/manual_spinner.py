@@ -1,0 +1,168 @@
+"""The *manual* Seat Spinning attacker (Section IV-B, Airline C).
+
+A human — not a bot — repeatedly holding seats on an upcoming flight to
+manipulate seating.  The signature the paper describes:
+
+* "the same fixed set of passenger names was being used repeatedly,
+  though in different orders across bookings",
+* "few entries contained slight misspellings of names and surnames,
+  suggesting manual input rather than automation",
+* "a broad range of IP addresses to hide their location",
+
+while *not* exhibiting bot behaviour: human think times, a genuine
+browser fingerprint from one or two personal devices, human CAPTCHA
+solving, and low request volume.  This is the attacker that traditional
+anti-bot alerts never fire on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..booking.passengers import (
+    Passenger,
+    misspell,
+    sample_birthdate,
+    sample_genuine_passenger,
+)
+from ..common import MANUAL_SPINNER
+from ..identity.fingerprint import Fingerprint, FingerprintPopulation
+from ..identity.ip import IpAddress, ResidentialProxyPool
+from ..sim.clock import DAY, HOUR, MINUTE
+from ..sim.events import EventLoop
+from ..sim.process import Process
+from ..web.application import WebApplication
+from ..web.request import CAPTCHA_HUMAN, HOLD, Request
+from .clients import make_client
+
+
+@dataclass
+class ManualSpinnerConfig:
+    """Parameters of the manual campaign."""
+
+    target_flight: str
+    name_pool_size: int = 6
+    misspell_probability: float = 0.12
+    max_nip: int = 3
+    #: Mean pause between bookings while active.
+    mean_gap: float = 6 * MINUTE
+    #: Length of one active sitting.
+    session_length: float = 1 * HOUR
+    #: Pause between sittings.
+    mean_rest: float = 7 * HOUR
+    stop_before_departure: float = 0.5 * DAY
+    #: Seat preference sent with each hold.  The default reproduces the
+    #: middle-seat hoarding trick (paper citation [11]): on flights
+    #: with seat maps, the attacker blocks middle seats specifically.
+    seat_preference: str = "middle-block"
+
+    def __post_init__(self) -> None:
+        if self.name_pool_size < 2:
+            raise ValueError(
+                f"name_pool_size must be >= 2: {self.name_pool_size}"
+            )
+        if not 0.0 <= self.misspell_probability <= 1.0:
+            raise ValueError(
+                f"misspell_probability must be in [0, 1]: "
+                f"{self.misspell_probability}"
+            )
+
+
+class ManualSeatSpinner(Process):
+    """Human attacker re-holding seats with a fixed name set."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        app: WebApplication,
+        rng: random.Random,
+        config: ManualSpinnerConfig,
+        ip_pool: Optional[ResidentialProxyPool] = None,
+        name: str = "manual-spinner",
+    ) -> None:
+        super().__init__(loop, name=name)
+        self.app = app
+        self.config = config
+        self._rng = rng
+        self.ip_pool = ip_pool or ResidentialProxyPool()
+        population = FingerprintPopulation()
+        # One or two personal devices, used for the whole campaign.
+        self._devices: List[Fingerprint] = [
+            population.sample(rng) for _ in range(rng.choice([1, 2]))
+        ]
+        # The fixed name set, with stable birthdates per person — it is
+        # the *order* and the occasional typo that vary.
+        self._people: List[Tuple[str, str, str]] = []
+        for _ in range(config.name_pool_size):
+            person = sample_genuine_passenger(rng)
+            self._people.append(
+                (person.first_name, person.last_name, person.birthdate)
+            )
+        self._session_deadline = 0.0
+        self.holds_created = 0
+        self.attempts = 0
+
+    def _make_party(self) -> List[Passenger]:
+        nip = self._rng.randint(1, self.config.max_nip)
+        chosen = self._rng.sample(self._people, nip)
+        party = []
+        for first, last, birthdate in chosen:
+            if self._rng.random() < self.config.misspell_probability:
+                if self._rng.random() < 0.5:
+                    first = misspell(first, self._rng)
+                else:
+                    last = misspell(last, self._rng)
+            party.append(
+                Passenger(
+                    first_name=first,
+                    last_name=last,
+                    birthdate=birthdate,
+                    email=f"{first.lower()}{last.lower()}@webmail.example",
+                )
+            )
+        return party
+
+    def step(self) -> Optional[float]:
+        now = self.loop.now
+        try:
+            flight = self.app.reservations.flight(self.config.target_flight)
+        except KeyError:
+            return None
+        if now >= flight.departure_time - self.config.stop_before_departure:
+            return None
+
+        if now >= self._session_deadline:
+            # Start a new sitting: fresh VPN exit, maybe the other device.
+            self._session_deadline = now + self.config.session_length
+            self.ip: IpAddress = self.ip_pool.lease(self._rng)
+
+        self.attempts += 1
+        fingerprint = self._rng.choice(self._devices)
+        request = Request(
+            method="POST",
+            path=HOLD,
+            client=make_client(
+                self.ip,
+                fingerprint,
+                actor=self.name,
+                actor_class=MANUAL_SPINNER,
+            ),
+            params={
+                "flight_id": self.config.target_flight,
+                "passengers": self._make_party(),
+                "seat_preference": self.config.seat_preference,
+            },
+            fingerprint=fingerprint,
+            captcha_ability=CAPTCHA_HUMAN,
+        )
+        response = self.app.handle(request)
+        if response.ok:
+            self.holds_created += 1
+
+        gap = self._rng.expovariate(1.0 / self.config.mean_gap)
+        if now + gap >= self._session_deadline:
+            # Done for now; come back after a rest.
+            return gap + self._rng.expovariate(1.0 / self.config.mean_rest)
+        return gap

@@ -1,0 +1,127 @@
+"""A classic web-scraping bot — the baseline functional abuse.
+
+The paper's Section III argues that conventional behaviour-based
+detection was designed for *this* attacker: high request volume within
+a session, exploratory fare-search patterns, datacenter infrastructure
+and crude automation fingerprints.  The detector-comparison benchmark
+(E6) uses it to show that session-volume features catch scrapers but
+miss low-volume Seat Spinning and SMS Pumping.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..common import SCRAPER
+from ..identity.forge import BotIdentity
+from ..identity.ip import DatacenterPool
+from ..sim.clock import HOUR
+from ..sim.events import EventLoop
+from ..sim.process import Process
+from ..web.application import WebApplication
+from ..web.request import (
+    BLOCKED,
+    CAPTCHA_NONE,
+    FLIGHT_DETAILS,
+    Request,
+    SEARCH,
+    TRAP,
+)
+from .clients import make_client
+
+
+@dataclass
+class ScraperConfig:
+    """Scraping campaign parameters."""
+
+    requests_per_hour: float = 2000.0
+    #: Fraction of requests hitting flight-details vs search.
+    details_fraction: float = 0.8
+    duration: float = 12 * HOUR
+    #: Probability per request of following the hidden trap link —
+    #: link-following crawlers cannot tell it from a real page.
+    trap_probability: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.requests_per_hour <= 0:
+            raise ValueError(
+                f"requests_per_hour must be positive: "
+                f"{self.requests_per_hour}"
+            )
+        if not 0.0 <= self.details_fraction <= 1.0:
+            raise ValueError(
+                f"details_fraction must be in [0, 1]: "
+                f"{self.details_fraction}"
+            )
+        if not 0.0 <= self.trap_probability <= 1.0:
+            raise ValueError(
+                f"trap_probability must be in [0, 1]: "
+                f"{self.trap_probability}"
+            )
+
+
+class ScraperBot(Process):
+    """High-volume fare scraper on datacenter IPs."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        app: WebApplication,
+        identity: BotIdentity,
+        rng: random.Random,
+        config: Optional[ScraperConfig] = None,
+        ip_pool: Optional[DatacenterPool] = None,
+        name: str = "scraper",
+    ) -> None:
+        super().__init__(loop, name=name)
+        self.app = app
+        self.identity = identity
+        self.config = config or ScraperConfig()
+        self._rng = rng
+        self.ip_pool = ip_pool or DatacenterPool()
+        self.ip = self.ip_pool.lease(rng)
+        self._deadline: Optional[float] = None
+        self.requests_made = 0
+        self.blocks_encountered = 0
+
+    def step(self) -> Optional[float]:
+        now = self.loop.now
+        if self._deadline is None:
+            self._deadline = now + self.config.duration
+        if now >= self._deadline:
+            return None
+        self.identity.maybe_rotate(now, was_blocked=False)
+
+        flights = self.app.reservations.flights()
+        if self._rng.random() < self.config.trap_probability:
+            path, params = TRAP, {}
+        elif flights and self._rng.random() < self.config.details_fraction:
+            flight = self._rng.choice(flights)
+            path, params = FLIGHT_DETAILS, {"flight_id": flight.flight_id}
+        else:
+            path, params = SEARCH, {}
+
+        response = self.app.handle(
+            Request(
+                method="GET",
+                path=path,
+                client=make_client(
+                    self.ip,
+                    self.identity.fingerprint,
+                    actor=self.name,
+                    actor_class=SCRAPER,
+                ),
+                params=params,
+                fingerprint=self.identity.fingerprint,
+                captcha_ability=CAPTCHA_NONE,
+            )
+        )
+        self.requests_made += 1
+        if response.status == BLOCKED:
+            self.blocks_encountered += 1
+            if self.identity.maybe_rotate(now, was_blocked=True):
+                self.ip = self.ip_pool.lease(self._rng)
+
+        return self._rng.expovariate(self.config.requests_per_hour / HOUR)

@@ -1,0 +1,117 @@
+"""Lightweight global baseline of legitimate SMS traffic.
+
+The Case C evaluation (Table I) needs a *global* baseline of
+boarding-pass and OTP messages across ~50 destination countries.
+Simulating every one of those users' full booking funnels would add
+nothing to the SMS analysis, so this generator issues the SMS-bearing
+requests directly: each event is one genuine traveller asking for a
+boarding pass (or OTP) to a phone in their home country, from their own
+device and home connection.
+
+The per-country mix follows :func:`repro.sms.countries.legit_weights`,
+which is what makes the Table I surge denominators realistic: large
+markets receive thousands of messages a week, Uzbekistan a handful.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..common import LEGIT
+from ..identity.fingerprint import FingerprintPopulation
+from ..identity.ip import HomeIpAssigner
+from ..sim.clock import HOUR
+from ..sim.events import EventLoop
+from ..sim.process import Process
+from ..sms.countries import legit_weights
+from ..sms.numbers import sample_number
+from ..web.application import WebApplication
+from ..web.request import (
+    BOARDING_PASS_SMS,
+    CAPTCHA_HUMAN,
+    OTP_LOGIN,
+    Request,
+)
+from .clients import make_client
+
+
+@dataclass
+class BaselineSmsConfig:
+    """Volume and mix of the global SMS baseline."""
+
+    sms_per_hour: float = 300.0
+    otp_fraction: float = 0.25
+    country_weights: Optional[Dict[str, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.sms_per_hour <= 0:
+            raise ValueError(
+                f"sms_per_hour must be positive: {self.sms_per_hour}"
+            )
+        if not 0.0 <= self.otp_fraction <= 1.0:
+            raise ValueError(
+                f"otp_fraction must be in [0, 1]: {self.otp_fraction}"
+            )
+
+
+class BaselineSmsTraffic(Process):
+    """Poisson stream of legitimate SMS-bearing requests."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        app: WebApplication,
+        rng: random.Random,
+        config: Optional[BaselineSmsConfig] = None,
+        name: str = "sms-baseline",
+    ) -> None:
+        super().__init__(loop, name=name)
+        self.app = app
+        self.config = config or BaselineSmsConfig()
+        self._rng = rng
+        weights = self.config.country_weights or legit_weights()
+        self._countries = sorted(weights)
+        self._weights = [weights[c] for c in self._countries]
+        self._fingerprints = FingerprintPopulation()
+        self._user_counter = 0
+        self.requests_made = 0
+
+    def step(self) -> Optional[float]:
+        self._user_counter += 1
+        country = self._rng.choices(self._countries, weights=self._weights)[0]
+        fingerprint = self._fingerprints.sample(self._rng)
+        ip = HomeIpAssigner(((country, 1.0),)).assign(self._rng)
+        phone = sample_number(self._rng, country)
+        client = make_client(
+            ip,
+            fingerprint,
+            profile_id=f"user-sms-{self._user_counter:07d}",
+            actor=f"legit-sms-{self._user_counter:07d}",
+            actor_class=LEGIT,
+        )
+        if self._rng.random() < self.config.otp_fraction:
+            request = Request(
+                method="POST",
+                path=OTP_LOGIN,
+                client=client,
+                params={"phone": phone},
+                fingerprint=fingerprint,
+                captcha_ability=CAPTCHA_HUMAN,
+            )
+        else:
+            request = Request(
+                method="POST",
+                path=BOARDING_PASS_SMS,
+                client=client,
+                params={
+                    "booking_ref": f"LEGIT{self._user_counter:07d}",
+                    "phone": phone,
+                },
+                fingerprint=fingerprint,
+                captcha_ability=CAPTCHA_HUMAN,
+            )
+        self.app.handle(request)
+        self.requests_made += 1
+        return self._rng.expovariate(self.config.sms_per_hour / HOUR)

@@ -1,0 +1,218 @@
+"""The advanced SMS Pumping bot (Section IV-C, Airline D).
+
+Reproduces the paper's most sophisticated attacker:
+
+1. **Setup phase** — buys a handful of real tickets with fake passenger
+   data and stolen cards, obtaining valid booking references behind the
+   login/payment gateway.
+2. **Pumping phase** — repeatedly requests boarding passes *via SMS*
+   for those few references, directing messages to mobile numbers in
+   high-revenue countries, while
+
+   * leasing residential proxy exits **geo-matched to the destination
+     number's country**,
+   * rotating browser fingerprints to defeat fingerprint rules, and
+   * paying a CAPTCHA solver where challenges appear.
+
+The destination mix defaults to weights calibrated against Table I; the
+numbers are attacker-controlled so colluding carriers kick back part of
+each termination fee.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..booking.passengers import sample_gibberish_passenger
+from ..common import SMS_PUMPER
+from ..identity.forge import BotIdentity
+from ..identity.ip import IpAddress, ResidentialProxyPool
+from ..sim.clock import HOUR
+from ..sim.events import EventLoop
+from ..sim.process import Process
+from ..sms.gateway import REJECT_FEATURE_DISABLED
+from ..sms.numbers import sample_number
+from ..web.application import WebApplication
+from ..web.request import (
+    BLOCKED,
+    BOARDING_PASS_SMS,
+    CAPTCHA_SOLVER,
+    HOLD,
+    PAY,
+    RATE_LIMITED,
+    Request,
+)
+from .clients import make_client
+
+#: Default destination-country weights, calibrated so that a one-week
+#: pumping campaign over the synthetic baseline reproduces Table I's
+#: surge ordering (six high-cost destinations dwarfing four large
+#: markets) and the ~25% global SMS increase.
+DEFAULT_TARGET_WEIGHTS: Dict[str, float] = {
+    "UZ": 0.364, "IR": 0.200, "KG": 0.085, "JO": 0.056, "NG": 0.083,
+    "KH": 0.030, "SG": 0.023, "GB": 0.050, "CN": 0.041, "TH": 0.009,
+    # Long tail: the other destinations that bring the campaign to the
+    # paper's 42 distinct countries.
+    "TJ": 0.002, "TM": 0.002, "AZ": 0.002, "IQ": 0.002, "YE": 0.002,
+    "SD": 0.002, "SO": 0.002, "AF": 0.002, "LY": 0.002, "ML": 0.002,
+    "BJ": 0.002, "GN": 0.002, "LK": 0.002, "BD": 0.002, "NP": 0.002,
+    "MM": 0.002, "US": 0.002, "FR": 0.002, "DE": 0.002, "ES": 0.002,
+    "IT": 0.002, "IN": 0.002, "BR": 0.002, "JP": 0.002, "AU": 0.002,
+    "CA": 0.002, "MX": 0.002, "NL": 0.002, "AE": 0.002, "SA": 0.002,
+    "TR": 0.002, "KR": 0.002,
+}
+
+
+@dataclass
+class SmsPumperConfig:
+    """Campaign parameters."""
+
+    #: Flight used to obtain booking references in the setup phase.
+    setup_flight: str
+    tickets_to_buy: int = 5
+    sms_per_hour: float = 80.0
+    target_weights: Dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_TARGET_WEIGHTS)
+    )
+    #: Consecutive feature-disabled rejections before the attacker
+    #: concludes the feature is gone and stops ("the attack ceased").
+    give_up_after_disabled: int = 20
+
+    def __post_init__(self) -> None:
+        if self.tickets_to_buy < 1:
+            raise ValueError(
+                f"tickets_to_buy must be >= 1: {self.tickets_to_buy}"
+            )
+        if self.sms_per_hour <= 0:
+            raise ValueError(
+                f"sms_per_hour must be positive: {self.sms_per_hour}"
+            )
+        if not self.target_weights:
+            raise ValueError("target_weights must not be empty")
+
+
+class SmsPumperBot(Process):
+    """Boarding-pass SMS pumping bot with geo-matched proxies."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        app: WebApplication,
+        identity: BotIdentity,
+        proxy_pool: ResidentialProxyPool,
+        rng: random.Random,
+        config: SmsPumperConfig,
+        name: str = "sms-pumper",
+    ) -> None:
+        super().__init__(loop, name=name)
+        self.app = app
+        self.identity = identity
+        self.proxy_pool = proxy_pool
+        self.config = config
+        self._rng = rng
+        self._countries = sorted(config.target_weights)
+        self._weights = [config.target_weights[c] for c in self._countries]
+        self.booking_refs: List[str] = []
+        self.sms_sent = 0
+        self.blocks_encountered = 0
+        self.rate_limits_encountered = 0
+        self._disabled_streak = 0
+        self._setup_done = False
+
+    # -- setup phase -------------------------------------------------------
+
+    def _buy_tickets(self) -> None:
+        """Hold + pay a few bookings with fake data and stolen cards."""
+        for _ in range(self.config.tickets_to_buy):
+            ip: IpAddress = self.proxy_pool.lease(self._rng)
+            party = [sample_gibberish_passenger(self._rng)]
+            hold_response = self.app.handle(
+                Request(
+                    method="POST",
+                    path=HOLD,
+                    client=make_client(
+                        ip,
+                        self.identity.fingerprint,
+                        actor=self.name,
+                        actor_class=SMS_PUMPER,
+                    ),
+                    params={
+                        "flight_id": self.config.setup_flight,
+                        "passengers": party,
+                    },
+                    fingerprint=self.identity.fingerprint,
+                    captcha_ability=CAPTCHA_SOLVER,
+                )
+            )
+            if not hold_response.ok:
+                continue
+            hold = hold_response.data
+            pay_response = self.app.handle(
+                Request(
+                    method="POST",
+                    path=PAY,
+                    client=make_client(
+                        ip,
+                        self.identity.fingerprint,
+                        actor=self.name,
+                        actor_class=SMS_PUMPER,
+                    ),
+                    params={"hold_id": hold.hold_id},
+                    fingerprint=self.identity.fingerprint,
+                    captcha_ability=CAPTCHA_SOLVER,
+                )
+            )
+            if pay_response.ok:
+                self.booking_refs.append(hold.hold_id)
+
+    # -- pumping phase ------------------------------------------------------
+
+    def step(self) -> Optional[float]:
+        now = self.loop.now
+        if not self._setup_done:
+            self._buy_tickets()
+            self._setup_done = True
+            if not self.booking_refs:
+                return None  # could not obtain any ticket; abort
+        self.identity.maybe_rotate(now, was_blocked=False)
+
+        country = self._rng.choices(self._countries, weights=self._weights)[0]
+        number = sample_number(self._rng, country, controlled_by_attacker=True)
+        # Geo-matched residential exit: the proxy country follows the
+        # destination number's country.
+        ip = self.proxy_pool.lease(self._rng, country=country)
+        booking_ref = self._rng.choice(self.booking_refs)
+
+        response = self.app.handle(
+            Request(
+                method="POST",
+                path=BOARDING_PASS_SMS,
+                client=make_client(
+                    ip,
+                    self.identity.fingerprint,
+                    actor=self.name,
+                    actor_class=SMS_PUMPER,
+                ),
+                params={"booking_ref": booking_ref, "phone": number},
+                fingerprint=self.identity.fingerprint,
+                captcha_ability=CAPTCHA_SOLVER,
+            )
+        )
+
+        if response.ok:
+            self.sms_sent += 1
+            self._disabled_streak = 0
+        elif response.status == BLOCKED:
+            self.blocks_encountered += 1
+            self.identity.maybe_rotate(now, was_blocked=True)
+        elif response.status == RATE_LIMITED:
+            self.rate_limits_encountered += 1
+            self.identity.maybe_rotate(now, was_blocked=True)
+        elif response.outcome == REJECT_FEATURE_DISABLED:
+            self._disabled_streak += 1
+            if self._disabled_streak >= self.config.give_up_after_disabled:
+                return None  # feature removed; the attack ceases
+
+        return self._rng.expovariate(self.config.sms_per_hour / HOUR)

@@ -1,0 +1,91 @@
+"""HTTP-like requests and responses for the simulated web application.
+
+Endpoints mirror the features the paper's attacks abuse: flight search
+and details (scraping), seat hold and payment (Seat Spinning), OTP
+login and boarding-pass-via-SMS (SMS Pumping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..common import ClientRef
+from ..identity.fingerprint import Fingerprint
+
+# Endpoint paths.
+SEARCH = "/search"
+FLIGHT_DETAILS = "/flight"
+HOLD = "/hold"
+PAY = "/pay"
+OTP_LOGIN = "/login/otp"
+BOARDING_PASS_SMS = "/boarding-pass/sms"
+#: Hidden trap endpoint: linked invisibly in page markup, so humans
+#: never reach it while link-following crawlers do (the classic trap
+#: file from the web-robot detection literature the paper cites [38]).
+TRAP = "/internal/prefetch"
+
+ALL_PATHS = (
+    SEARCH,
+    FLIGHT_DETAILS,
+    HOLD,
+    PAY,
+    OTP_LOGIN,
+    BOARDING_PASS_SMS,
+    TRAP,
+)
+
+# How a client can respond to a CAPTCHA challenge.  This is a physical
+# capability of the client (human at the keyboard, bot wired to a solver
+# service, bot with nothing), not a detection signal.
+CAPTCHA_HUMAN = "human"
+CAPTCHA_SOLVER = "solver"
+CAPTCHA_NONE = "none"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One request as received by the application edge.
+
+    ``fingerprint`` is the full client-side-collected fingerprint the
+    anti-bot layer sees; ``client.fingerprint_id`` is its stable digest.
+    """
+
+    method: str
+    path: str
+    client: ClientRef
+    params: Dict[str, Any] = field(default_factory=dict)
+    fingerprint: Optional[Fingerprint] = None
+    captcha_ability: str = CAPTCHA_HUMAN
+
+    def param(self, name: str) -> Any:
+        """Required-parameter accessor (raises ``KeyError`` if absent)."""
+        if name not in self.params:
+            raise KeyError(
+                f"request to {self.path} missing parameter {name!r}"
+            )
+        return self.params[name]
+
+
+# Response status codes (the subset the simulation distinguishes).
+OK = 200
+BAD_REQUEST = 400
+CAPTCHA_FAILED = 401
+BLOCKED = 403
+NOT_FOUND = 404
+CONFLICT = 409
+RATE_LIMITED = 429
+
+
+@dataclass(frozen=True)
+class Response:
+    """Outcome of one request."""
+
+    status: int
+    outcome: str = ""
+    data: Any = None
+    blocked_by: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK

@@ -1,0 +1,194 @@
+"""Tests for repro.analysis: distributions, evaluation, reports."""
+
+import pytest
+
+from repro.analysis.distributions import (
+    nip_counts,
+    nip_shares,
+    share_of,
+    weekly_nip_table,
+)
+from repro.analysis.evaluation import (
+    BinaryEvaluation,
+    evaluate_verdicts,
+    false_positive_sessions,
+    recall_by_class,
+)
+from repro.analysis.reports import (
+    format_percent,
+    render_distribution,
+    render_table,
+    render_weekly_nip,
+)
+from repro.booking.passengers import Passenger
+from repro.booking.reservation import BookingRecord
+from repro.common import ClientRef, LEGIT, SCRAPER, SEAT_SPINNER
+from repro.core.detection.verdict import Verdict
+from repro.web.logs import LogEntry, Session
+
+
+def record(time, nip, outcome="held", flight_id="F1"):
+    passengers = tuple(
+        Passenger("A", "B", "1990-01-01", "a@b.c") for _ in range(nip)
+    )
+    return BookingRecord(
+        time=time,
+        flight_id=flight_id,
+        nip=nip,
+        outcome=outcome,
+        hold_id=f"H{time}",
+        passengers=passengers,
+        client=ClientRef("1.1.1.1", "US", True, "fp", "UA"),
+        price_quoted=100.0,
+        shadow=False,
+    )
+
+
+class TestDistributions:
+    def test_nip_counts_window_and_outcome(self):
+        records = [
+            record(0.0, 1),
+            record(5.0, 2),
+            record(5.0, 2, outcome="nip-exceeds-cap"),
+            record(15.0, 6),
+        ]
+        counts = nip_counts(records, start=0.0, end=10.0)
+        assert counts == {1: 1, 2: 1}
+
+    def test_nip_counts_flight_filter(self):
+        records = [record(0.0, 1), record(1.0, 2, flight_id="F2")]
+        assert nip_counts(records, flight_id="F2") == {2: 1}
+
+    def test_nip_shares(self):
+        assert nip_shares({1: 3, 2: 1}) == {1: 0.75, 2: 0.25}
+
+    def test_nip_shares_empty(self):
+        assert nip_shares({}) == {}
+
+    def test_share_of(self):
+        assert share_of({1: 3, 6: 1}, 6) == 0.25
+        assert share_of({}, 6) == 0.0
+
+    def test_weekly_table(self):
+        records = [record(0.0, 1), record(5.0, 2), record(10.0, 6)]
+        rows = weekly_nip_table(
+            records, week_starts=[0.0, 10.0], week_length=10.0
+        )
+        assert rows[0][1] == 0.5
+        assert rows[0][2] == 0.5
+        assert rows[1][6] == 1.0
+        assert rows[0][9] == 0.0  # padded to max_nip
+
+
+def session(session_id, actor_class):
+    client = ClientRef(
+        "1.1.1.1", "US", True, "fp", "UA", actor_class=actor_class
+    )
+    entry = LogEntry(
+        time=0.0, method="GET", path="/search", status=200, client=client
+    )
+    return Session(session_id, "1.1.1.1", "fp", [entry])
+
+
+def verdict(session_id, is_bot):
+    return Verdict(
+        subject_id=session_id,
+        detector="test",
+        score=1.0 if is_bot else 0.0,
+        is_bot=is_bot,
+    )
+
+
+class TestEvaluation:
+    def test_confusion_matrix(self):
+        sessions = [
+            session("S1", SCRAPER),
+            session("S2", SCRAPER),
+            session("S3", LEGIT),
+            session("S4", LEGIT),
+        ]
+        verdicts = [
+            verdict("S1", True),   # TP
+            verdict("S2", False),  # FN
+            verdict("S3", True),   # FP
+            verdict("S4", False),  # TN
+        ]
+        evaluation = evaluate_verdicts(sessions, verdicts)
+        assert evaluation.true_positives == 1
+        assert evaluation.false_negatives == 1
+        assert evaluation.false_positives == 1
+        assert evaluation.true_negatives == 1
+        assert evaluation.precision == 0.5
+        assert evaluation.recall == 0.5
+        assert evaluation.f1 == 0.5
+        assert evaluation.false_positive_rate == 0.5
+        assert evaluation.total == 4
+
+    def test_missing_verdicts_count_as_benign(self):
+        sessions = [session("S1", SCRAPER), session("S2", LEGIT)]
+        evaluation = evaluate_verdicts(sessions, [])
+        assert evaluation.false_negatives == 1
+        assert evaluation.true_negatives == 1
+
+    def test_recall_by_class(self):
+        sessions = [
+            session("S1", SCRAPER),
+            session("S2", SEAT_SPINNER),
+            session("S3", SEAT_SPINNER),
+            session("S4", LEGIT),
+        ]
+        verdicts = [verdict("S1", True), verdict("S2", True)]
+        recalls = recall_by_class(sessions, verdicts)
+        assert recalls[SCRAPER] == 1.0
+        assert recalls[SEAT_SPINNER] == 0.5
+        assert LEGIT not in recalls
+
+    def test_false_positive_sessions(self):
+        sessions = [session("S1", LEGIT), session("S2", LEGIT)]
+        verdicts = [verdict("S1", True)]
+        fps = false_positive_sessions(sessions, verdicts)
+        assert [s.session_id for s in fps] == ["S1"]
+
+    def test_empty_evaluation_metrics(self):
+        evaluation = BinaryEvaluation(0, 0, 0, 0)
+        assert evaluation.precision == 0.0
+        assert evaluation.recall == 0.0
+        assert evaluation.f1 == 0.0
+
+
+class TestReports:
+    def test_format_percent_table1_style(self):
+        assert format_percent(160209.0) == "160,209%"
+        assert format_percent(19.0) == "19%"
+        assert format_percent(float("inf")) == "inf%"
+
+    def test_render_table_alignment(self):
+        text = render_table(
+            ["Country", "Increase"],
+            [["Uzbekistan", "160,209%"], ["Iran", "66,095%"]],
+            title="Table I",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table I"
+        assert "Country" in lines[1]
+        assert "Uzbekistan" in lines[3]
+
+    def test_render_table_row_width_checked(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_render_distribution(self):
+        text = render_distribution({1: 0.5, 2: 0.3, 6: 0.2}, title="NiP")
+        assert text.splitlines()[0] == "NiP"
+        assert "50.00%" in text
+
+    def test_render_weekly_nip(self):
+        rows = [{1: 0.5, 2: 0.5}, {1: 0.2, 6: 0.8}]
+        text = render_weekly_nip(rows, ["average", "attack"])
+        assert "average" in text
+        assert "attack" in text
+        assert "80.00%" in text
+
+    def test_render_weekly_nip_label_mismatch(self):
+        with pytest.raises(ValueError):
+            render_weekly_nip([{1: 1.0}], ["a", "b"])

@@ -1,0 +1,118 @@
+"""Tests for repro.booking.flight (seat inventory invariants)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.booking.flight import Flight, InventoryError, SeatInventory
+
+
+class TestSeatInventory:
+    def test_initial_state(self):
+        inventory = SeatInventory(capacity=100)
+        assert inventory.available == 100
+        assert inventory.confirmed == 0
+        assert inventory.held == 0
+        assert inventory.load_factor == 0.0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SeatInventory(capacity=-1)
+
+    def test_hold_and_release(self):
+        inventory = SeatInventory(capacity=10)
+        inventory.take_hold(4)
+        assert inventory.available == 6
+        inventory.release_hold(4)
+        assert inventory.available == 10
+
+    def test_hold_and_confirm(self):
+        inventory = SeatInventory(capacity=10)
+        inventory.take_hold(3)
+        inventory.confirm_hold(3)
+        assert inventory.confirmed == 3
+        assert inventory.held == 0
+        assert inventory.available == 7
+
+    def test_partial_confirm(self):
+        inventory = SeatInventory(capacity=10)
+        inventory.take_hold(6)
+        inventory.confirm_hold(2)
+        assert inventory.held == 4
+        assert inventory.confirmed == 2
+
+    def test_overhold_rejected(self):
+        inventory = SeatInventory(capacity=5)
+        with pytest.raises(InventoryError):
+            inventory.take_hold(6)
+
+    def test_hold_zero_rejected(self):
+        inventory = SeatInventory(capacity=5)
+        with pytest.raises(InventoryError):
+            inventory.take_hold(0)
+
+    def test_release_more_than_held_rejected(self):
+        inventory = SeatInventory(capacity=5)
+        inventory.take_hold(2)
+        with pytest.raises(InventoryError):
+            inventory.release_hold(3)
+
+    def test_confirm_without_hold_rejected(self):
+        inventory = SeatInventory(capacity=5)
+        with pytest.raises(InventoryError):
+            inventory.confirm_hold(1)
+
+    def test_load_factor_counts_holds(self):
+        """Held seats count toward load — the pricing-manipulation
+        channel DoI attackers exploit."""
+        inventory = SeatInventory(capacity=10)
+        inventory.take_hold(5)
+        assert inventory.load_factor == 0.5
+        inventory.confirm_hold(5)
+        assert inventory.load_factor == 0.5
+
+    def test_zero_capacity_load_factor(self):
+        assert SeatInventory(capacity=0).load_factor == 1.0
+
+
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.sampled_from(["hold", "release", "confirm"]),
+            st.integers(min_value=1, max_value=20),
+        ),
+        max_size=60,
+    )
+)
+def test_inventory_invariant_under_random_operations(operations):
+    """Property: confirmed + held + available == capacity, always,
+    whatever sequence of (possibly rejected) operations runs."""
+    inventory = SeatInventory(capacity=50)
+    for op, seats in operations:
+        try:
+            if op == "hold":
+                inventory.take_hold(seats)
+            elif op == "release":
+                inventory.release_hold(seats)
+            else:
+                inventory.confirm_hold(seats)
+        except InventoryError:
+            pass
+        assert (
+            inventory.confirmed + inventory.held + inventory.available
+            == inventory.capacity
+        )
+        assert inventory.confirmed >= 0
+        assert inventory.held >= 0
+        assert inventory.available >= 0
+
+
+class TestFlight:
+    def test_flight_owns_inventory(self):
+        flight = Flight("F1", "A", "NCE", "CDG", 1000.0, 180)
+        assert flight.inventory.capacity == 180
+        assert not flight.sold_out
+
+    def test_sold_out(self):
+        flight = Flight("F1", "A", "NCE", "CDG", 1000.0, 2)
+        flight.inventory.take_hold(2)
+        assert flight.sold_out

@@ -1,0 +1,161 @@
+"""Tests for repro.booking.holds (hold store + TTL expiry)."""
+
+import pytest
+
+from repro.booking.holds import (
+    ACTIVE,
+    CANCELLED,
+    CONFIRMED,
+    EXPIRED,
+    Hold,
+    HoldStore,
+)
+from repro.booking.passengers import Passenger
+from repro.common import ClientRef
+
+
+def make_client():
+    return ClientRef(
+        ip_address="1.2.3.4",
+        ip_country="US",
+        ip_residential=True,
+        fingerprint_id="fp-1",
+        user_agent="UA",
+    )
+
+
+def make_hold(hold_id, created_at=0.0, ttl=100.0, nip=2, shadow=False):
+    passengers = tuple(
+        Passenger("A", "B", "1990-01-01", "a@b.c") for _ in range(nip)
+    )
+    return Hold(
+        hold_id=hold_id,
+        flight_id="F1",
+        nip=nip,
+        passengers=passengers,
+        client=make_client(),
+        created_at=created_at,
+        expires_at=created_at + ttl,
+        price_quoted=100.0,
+        shadow=shadow,
+    )
+
+
+class TestHold:
+    def test_starts_active(self):
+        hold = make_hold("H1")
+        assert hold.is_active
+        assert hold.status == ACTIVE
+
+    def test_held_duration_open(self):
+        hold = make_hold("H1", created_at=10.0, ttl=50.0)
+        assert hold.held_duration == 50.0
+
+    def test_held_duration_closed_early(self):
+        hold = make_hold("H1", created_at=10.0, ttl=50.0)
+        hold.status = CANCELLED
+        hold.closed_at = 30.0
+        assert hold.held_duration == 20.0
+
+
+class TestHoldStore:
+    def test_ids_are_unique_and_monotonic(self):
+        store = HoldStore()
+        ids = [store.new_hold_id() for _ in range(5)]
+        assert len(set(ids)) == 5
+        assert ids == sorted(ids)
+
+    def test_add_and_get(self):
+        store = HoldStore()
+        hold = make_hold("H1")
+        store.add(hold)
+        assert store.get("H1") is hold
+        assert "H1" in store
+        assert len(store) == 1
+
+    def test_duplicate_id_rejected(self):
+        store = HoldStore()
+        store.add(make_hold("H1"))
+        with pytest.raises(ValueError):
+            store.add(make_hold("H1"))
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            HoldStore().get("nope")
+
+    def test_close_transitions(self):
+        store = HoldStore()
+        store.add(make_hold("H1"))
+        closed = store.close("H1", CONFIRMED, now=5.0)
+        assert closed.status == CONFIRMED
+        assert closed.closed_at == 5.0
+
+    def test_close_requires_terminal_status(self):
+        store = HoldStore()
+        store.add(make_hold("H1"))
+        with pytest.raises(ValueError):
+            store.close("H1", ACTIVE, now=5.0)
+
+    def test_double_close_rejected(self):
+        store = HoldStore()
+        store.add(make_hold("H1"))
+        store.close("H1", CANCELLED, now=5.0)
+        with pytest.raises(ValueError):
+            store.close("H1", CONFIRMED, now=6.0)
+
+
+class TestExpiry:
+    def test_expire_due_releases_overdue(self):
+        store = HoldStore()
+        store.add(make_hold("H1", created_at=0.0, ttl=10.0))
+        store.add(make_hold("H2", created_at=0.0, ttl=50.0))
+        expired = store.expire_due(now=20.0)
+        assert [h.hold_id for h in expired] == ["H1"]
+        assert store.get("H1").status == EXPIRED
+        assert store.get("H2").is_active
+
+    def test_expiry_at_exact_deadline(self):
+        store = HoldStore()
+        store.add(make_hold("H1", created_at=0.0, ttl=10.0))
+        assert [h.hold_id for h in store.expire_due(now=10.0)] == ["H1"]
+
+    def test_confirmed_holds_do_not_expire(self):
+        store = HoldStore()
+        store.add(make_hold("H1", created_at=0.0, ttl=10.0))
+        store.close("H1", CONFIRMED, now=5.0)
+        assert store.expire_due(now=20.0) == []
+        assert store.get("H1").status == CONFIRMED
+
+    def test_expire_due_is_idempotent(self):
+        store = HoldStore()
+        store.add(make_hold("H1", created_at=0.0, ttl=10.0))
+        store.expire_due(now=20.0)
+        assert store.expire_due(now=30.0) == []
+
+    def test_next_expiry_skips_closed(self):
+        store = HoldStore()
+        store.add(make_hold("H1", created_at=0.0, ttl=10.0))
+        store.add(make_hold("H2", created_at=0.0, ttl=20.0))
+        store.close("H1", CANCELLED, now=1.0)
+        assert store.next_expiry() == 20.0
+
+    def test_next_expiry_empty(self):
+        assert HoldStore().next_expiry() is None
+
+    def test_active_queries(self):
+        store = HoldStore()
+        store.add(make_hold("H1"))
+        store.add(make_hold("H2"))
+        store.close("H1", CANCELLED, now=1.0)
+        assert [h.hold_id for h in store.active_holds()] == ["H2"]
+        assert [
+            h.hold_id for h in store.active_for_flight("F1")
+        ] == ["H2"]
+        assert store.active_for_flight("F9") == []
+
+    def test_many_holds_expire_in_order(self):
+        store = HoldStore()
+        for i in range(10):
+            store.add(make_hold(f"H{i}", created_at=float(i), ttl=5.0))
+        expired = store.expire_due(now=9.0)
+        assert [h.hold_id for h in expired] == [f"H{i}" for i in range(5)]

@@ -1,0 +1,166 @@
+"""Tests for repro.booking.passengers (names, typos, gibberish)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.booking.passengers import (
+    Passenger,
+    edit_distance,
+    gibberish_score,
+    misspell,
+    sample_birthdate,
+    sample_genuine_party,
+    sample_genuine_passenger,
+    sample_gibberish_passenger,
+)
+
+
+class TestPassenger:
+    def test_name_key_case_folds(self):
+        passenger = Passenger("Anna", "Rossi", "1990-01-01", "a@b.c")
+        assert passenger.name_key == ("anna", "rossi")
+        assert passenger.full_name == "Anna Rossi"
+
+
+class TestGenerators:
+    def test_birthdate_format(self):
+        rng = random.Random(1)
+        for _ in range(50):
+            birthdate = sample_birthdate(rng)
+            year, month, day = birthdate.split("-")
+            assert 1950 <= int(year) <= 2006
+            assert 1 <= int(month) <= 12
+            assert 1 <= int(day) <= 28
+
+    def test_genuine_passenger_plausible(self):
+        rng = random.Random(2)
+        passenger = sample_genuine_passenger(rng)
+        assert passenger.first_name.isalpha()
+        assert "@" in passenger.email
+
+    def test_party_size(self):
+        rng = random.Random(3)
+        party = sample_genuine_party(rng, 4)
+        assert len(party) == 4
+
+    def test_party_size_validation(self):
+        with pytest.raises(ValueError):
+            sample_genuine_party(random.Random(1), 0)
+
+    def test_families_often_share_surname(self):
+        rng = random.Random(4)
+        shared = 0
+        for _ in range(100):
+            party = sample_genuine_party(rng, 3)
+            surnames = {p.last_name for p in party}
+            if len(surnames) == 1:
+                shared += 1
+        assert shared > 50
+
+    def test_gibberish_passenger_lowercase_mash(self):
+        rng = random.Random(5)
+        passenger = sample_gibberish_passenger(rng)
+        assert passenger.first_name.islower()
+        assert 5 <= len(passenger.first_name) <= 9
+
+
+class TestMisspell:
+    def test_close_to_original(self):
+        # Drops and doublings are 1 edit; an adjacent swap is 2
+        # substitutions under plain Levenshtein.
+        rng = random.Random(6)
+        for _ in range(100):
+            typo = misspell("Schneider", rng)
+            assert edit_distance("schneider", typo.lower()) <= 2
+
+    def test_short_names_untouched(self):
+        assert misspell("Li", random.Random(1)) == "Li"
+
+    def test_misspelling_changes_most_names(self):
+        rng = random.Random(7)
+        changed = sum(
+            1 for _ in range(100) if misspell("Ferrari", rng) != "Ferrari"
+        )
+        assert changed > 80  # a swap of equal letters can be a no-op
+
+
+class TestEditDistance:
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "", 3),
+            ("", "xy", 2),
+            ("kitten", "sitting", 3),
+            ("rossi", "rosso", 1),
+            ("smith", "smiht", 2),  # transposition costs 2 here
+        ],
+    )
+    def test_known_values(self, a, b, expected):
+        assert edit_distance(a, b) == expected
+
+    @settings(max_examples=100)
+    @given(
+        st.text(alphabet="abcdef", max_size=8),
+        st.text(alphabet="abcdef", max_size=8),
+    )
+    def test_symmetry(self, a, b):
+        assert edit_distance(a, b) == edit_distance(b, a)
+
+    @settings(max_examples=100)
+    @given(st.text(alphabet="abcdef", max_size=8))
+    def test_identity(self, a):
+        assert edit_distance(a, a) == 0
+
+    @settings(max_examples=60)
+    @given(
+        st.text(alphabet="abc", max_size=6),
+        st.text(alphabet="abc", max_size=6),
+        st.text(alphabet="abc", max_size=6),
+    )
+    def test_triangle_inequality(self, a, b, c):
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(
+            b, c
+        )
+
+    @settings(max_examples=100)
+    @given(
+        st.text(alphabet="abcdef", max_size=8),
+        st.text(alphabet="abcdef", max_size=8),
+    )
+    def test_bounded_by_longer_string(self, a, b):
+        assert edit_distance(a, b) <= max(len(a), len(b))
+
+
+class TestGibberishScore:
+    def test_genuine_names_score_low(self):
+        for name in ("Schneider", "Rossi", "Zhang", "Takahashi", "Smith"):
+            assert gibberish_score(name) < 0.35
+
+    def test_keyboard_mash_scores_high(self):
+        rng = random.Random(8)
+        high = 0
+        for _ in range(200):
+            passenger = sample_gibberish_passenger(rng)
+            score = max(
+                gibberish_score(passenger.first_name),
+                gibberish_score(passenger.last_name),
+            )
+            if score > 0.4:
+                high += 1
+        assert high > 160
+
+    def test_paper_example_detected(self):
+        """The paper's illustrative fake entries score as gibberish."""
+        assert gibberish_score("affjgdui") > 0.35
+        assert gibberish_score("ddfjrei") > 0.35
+
+    def test_short_tokens_neutral(self):
+        assert gibberish_score("ab") == 0.0
+
+    def test_score_bounded(self):
+        for token in ("xyzzyq", "Anna", "qqqqqqq", "a"):
+            assert 0.0 <= gibberish_score(token) <= 1.0

@@ -1,0 +1,69 @@
+"""Tests for repro.booking.pricing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.booking.flight import Flight
+from repro.booking.pricing import PricingEngine
+
+
+class TestPricingEngine:
+    def test_empty_flight_at_base_fare(self):
+        engine = PricingEngine(base_fare=100.0)
+        assert engine.price_at_load(0.0) == pytest.approx(100.0)
+
+    def test_full_flight_at_max(self):
+        engine = PricingEngine(base_fare=100.0, alpha=2.0)
+        assert engine.price_at_load(1.0) == pytest.approx(300.0)
+
+    def test_load_clamped(self):
+        engine = PricingEngine()
+        assert engine.price_at_load(-0.5) == engine.price_at_load(0.0)
+        assert engine.price_at_load(1.5) == engine.price_at_load(1.0)
+
+    @given(
+        low=st.floats(min_value=0.0, max_value=1.0),
+        delta=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_monotone_in_load(self, low, delta):
+        engine = PricingEngine()
+        high = min(low + delta, 1.0)
+        assert engine.price_at_load(high) >= engine.price_at_load(low)
+
+    def test_convexity(self):
+        """The last seats cost more per unit of load than the first —
+        which is why hoarding near departure is so damaging."""
+        engine = PricingEngine()
+        early = engine.price_at_load(0.2) - engine.price_at_load(0.1)
+        late = engine.price_at_load(0.9) - engine.price_at_load(0.8)
+        assert late > early
+
+    def test_quote_scales_with_seats(self):
+        engine = PricingEngine(base_fare=100.0)
+        flight = Flight("F1", "A", "X", "Y", 1.0, 100)
+        assert engine.quote(flight, 3) == pytest.approx(
+            3 * engine.quote(flight, 1)
+        )
+
+    def test_quote_reflects_held_seats(self):
+        """DoI price manipulation channel: holds move the quote."""
+        engine = PricingEngine()
+        flight = Flight("F1", "A", "X", "Y", 1.0, 100)
+        before = engine.quote(flight, 1)
+        flight.inventory.take_hold(60)
+        after = engine.quote(flight, 1)
+        assert after > before
+
+    def test_quote_validation(self):
+        engine = PricingEngine()
+        flight = Flight("F1", "A", "X", "Y", 1.0, 100)
+        with pytest.raises(ValueError):
+            engine.quote(flight, 0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            PricingEngine(base_fare=0)
+        with pytest.raises(ValueError):
+            PricingEngine(alpha=-1)
+        with pytest.raises(ValueError):
+            PricingEngine(beta=0)

@@ -1,0 +1,239 @@
+"""Tests for repro.booking.reservation (the hold lifecycle facade)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.booking.flight import Flight
+from repro.booking.passengers import sample_genuine_party
+from repro.booking.pricing import PricingEngine
+from repro.booking.reservation import (
+    REJECT_DEPARTED,
+    REJECT_INVALID_PARTY,
+    REJECT_NIP_CAP,
+    REJECT_NO_INVENTORY,
+    REJECT_UNKNOWN_FLIGHT,
+    ReservationSystem,
+)
+from repro.common import ClientRef
+from repro.sim.clock import Clock, HOUR
+
+
+def make_client(fingerprint_id="fp-1", actor_class="legit"):
+    return ClientRef(
+        ip_address="9.9.9.9",
+        ip_country="FR",
+        ip_residential=True,
+        fingerprint_id=fingerprint_id,
+        user_agent="UA",
+        actor_class=actor_class,
+    )
+
+
+@pytest.fixture
+def system():
+    clock = Clock()
+    reservations = ReservationSystem(clock, hold_ttl=1 * HOUR, max_nip=9)
+    reservations.add_flight(Flight("F1", "A", "NCE", "CDG", 100 * HOUR, 50))
+    return reservations
+
+
+def party(n, seed=0):
+    return sample_genuine_party(random.Random(seed), n)
+
+
+class TestCreateHold:
+    def test_successful_hold(self, system):
+        result = system.create_hold("F1", party(3), make_client())
+        assert result.ok
+        assert result.hold.nip == 3
+        assert system.availability("F1") == 47
+        assert result.hold.expires_at == 1 * HOUR
+
+    def test_unknown_flight(self, system):
+        result = system.create_hold("F9", party(1), make_client())
+        assert not result.ok
+        assert result.error == REJECT_UNKNOWN_FLIGHT
+
+    def test_empty_party(self, system):
+        result = system.create_hold("F1", [], make_client())
+        assert not result.ok
+        assert result.error == REJECT_INVALID_PARTY
+
+    def test_nip_cap_enforced(self, system):
+        system.set_max_nip(4)
+        result = system.create_hold("F1", party(5), make_client())
+        assert not result.ok
+        assert result.error == REJECT_NIP_CAP
+
+    def test_inventory_exhaustion(self, system):
+        for _ in range(10):
+            assert system.create_hold("F1", party(5), make_client()).ok
+        result = system.create_hold("F1", party(1), make_client())
+        assert result.error == REJECT_NO_INVENTORY
+
+    def test_departed_flight_rejected(self, system):
+        system.clock.advance_to(100 * HOUR)
+        result = system.create_hold("F1", party(1), make_client())
+        assert result.error == REJECT_DEPARTED
+
+    def test_rejections_are_logged(self, system):
+        system.create_hold("F9", party(1), make_client())
+        assert system.records[-1].outcome == REJECT_UNKNOWN_FLIGHT
+        assert system.metrics.counter("booking.holds_rejected") == 1
+
+    def test_price_quoted_rises_with_load(self, system):
+        first = system.create_hold("F1", party(1), make_client())
+        for _ in range(8):
+            system.create_hold("F1", party(5), make_client())
+        later = system.create_hold("F1", party(1), make_client())
+        assert later.price_quoted > first.price_quoted
+
+
+class TestLifecycle:
+    def test_confirm_moves_seats(self, system):
+        result = system.create_hold("F1", party(4), make_client())
+        system.confirm(result.hold.hold_id)
+        flight = system.flight("F1")
+        assert flight.inventory.confirmed == 4
+        assert flight.inventory.held == 0
+
+    def test_cancel_returns_seats(self, system):
+        result = system.create_hold("F1", party(4), make_client())
+        system.cancel(result.hold.hold_id)
+        assert system.availability("F1") == 50
+
+    def test_expiry_returns_seats(self, system):
+        system.create_hold("F1", party(4), make_client())
+        system.clock.advance_to(2 * HOUR)
+        expired = system.expire_due()
+        assert len(expired) == 1
+        assert system.availability("F1") == 50
+
+    def test_confirm_after_expiry_fails(self, system):
+        result = system.create_hold("F1", party(2), make_client())
+        system.clock.advance_to(2 * HOUR)
+        with pytest.raises(ValueError):
+            system.confirm(result.hold.hold_id)
+
+    def test_double_confirm_fails(self, system):
+        result = system.create_hold("F1", party(2), make_client())
+        system.confirm(result.hold.hold_id)
+        with pytest.raises(ValueError):
+            system.confirm(result.hold.hold_id)
+
+    def test_cancel_then_confirm_fails(self, system):
+        result = system.create_hold("F1", party(2), make_client())
+        system.cancel(result.hold.hold_id)
+        with pytest.raises(ValueError):
+            system.confirm(result.hold.hold_id)
+
+    def test_seat_spinning_rehold_cycle(self, system):
+        """The core DoI loop: hold, let expire, immediately re-hold."""
+        for cycle in range(5):
+            result = system.create_hold("F1", party(5), make_client())
+            assert result.ok, f"cycle {cycle}"
+            system.clock.advance_by(1 * HOUR + 1)
+        assert system.metrics.counter("booking.holds_created") == 5
+        assert system.metrics.counter("booking.holds_expired") >= 4
+
+
+class TestShadowHolds:
+    def test_shadow_hold_spares_inventory(self, system):
+        result = system.create_hold(
+            "F1", party(5), make_client(), shadow=True
+        )
+        assert result.ok
+        assert result.hold.shadow
+        assert system.availability("F1") == 50
+
+    def test_shadow_hold_succeeds_when_sold_out(self, system):
+        """The honeypot keeps 'accepting' holds on a full flight."""
+        for _ in range(10):
+            system.create_hold("F1", party(5), make_client())
+        assert system.availability("F1") == 0
+        result = system.create_hold(
+            "F1", party(5), make_client(), shadow=True
+        )
+        assert result.ok
+
+    def test_shadow_expiry_no_release(self, system):
+        system.create_hold("F1", party(5), make_client(), shadow=True)
+        system.clock.advance_to(2 * HOUR)
+        system.expire_due()
+        assert system.availability("F1") == 50
+
+
+class TestPolicyKnobs:
+    def test_set_max_nip_validation(self, system):
+        with pytest.raises(ValueError):
+            system.set_max_nip(0)
+
+    def test_set_hold_ttl_affects_future_holds(self, system):
+        system.set_hold_ttl(10.0)
+        result = system.create_hold("F1", party(1), make_client())
+        assert result.hold.expires_at == 10.0
+
+    def test_duplicate_flight_rejected(self, system):
+        with pytest.raises(ValueError):
+            system.add_flight(Flight("F1", "A", "X", "Y", 1.0, 10))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ReservationSystem(Clock(), hold_ttl=0)
+        with pytest.raises(ValueError):
+            ReservationSystem(Clock(), max_nip=0)
+
+
+class TestRecordsSince:
+    def test_binary_search_window(self, system):
+        for i in range(5):
+            system.clock.advance_to(float(i * 100))
+            system.create_hold("F1", party(1, seed=i), make_client())
+        since = system.records_since(200.0)
+        assert [r.time for r in since] == [200.0, 300.0, 400.0]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    steps=st.lists(
+        st.tuples(
+            st.sampled_from(["hold", "confirm", "cancel", "advance"]),
+            st.integers(min_value=1, max_value=6),
+        ),
+        max_size=40,
+    )
+)
+def test_reservation_invariants_under_random_workload(steps):
+    """Property: inventory identity holds and availability never goes
+    negative under arbitrary interleavings of operations and time."""
+    clock = Clock()
+    system = ReservationSystem(clock, hold_ttl=50.0, max_nip=6)
+    system.add_flight(Flight("F1", "A", "X", "Y", 1e9, 30))
+    rng = random.Random(0)
+    open_holds = []
+    for op, size in steps:
+        if op == "hold":
+            result = system.create_hold(
+                "F1", party(size, seed=size), make_client()
+            )
+            if result.ok:
+                open_holds.append(result.hold.hold_id)
+        elif op == "confirm" and open_holds:
+            hold_id = open_holds.pop(rng.randrange(len(open_holds)))
+            if system.holds.get(hold_id).is_active:
+                system.confirm(hold_id)
+        elif op == "cancel" and open_holds:
+            hold_id = open_holds.pop(rng.randrange(len(open_holds)))
+            if system.holds.get(hold_id).is_active:
+                system.cancel(hold_id)
+        elif op == "advance":
+            clock.advance_by(size * 10.0)
+            system.expire_due()
+        inventory = system.flight("F1").inventory
+        assert (
+            inventory.confirmed + inventory.held + inventory.available
+            == 30
+        )
+        assert inventory.available >= 0

@@ -1,0 +1,202 @@
+"""Tests for repro.booking.seatmap and seat-level reservation flow."""
+
+import random
+
+import pytest
+
+from repro.booking.flight import Flight
+from repro.booking.passengers import sample_genuine_party
+from repro.booking.reservation import ReservationSystem
+from repro.booking.seatmap import (
+    AISLE,
+    ANY,
+    AVAILABLE,
+    CONFIRMED,
+    HELD,
+    MIDDLE,
+    MIDDLE_BLOCK,
+    Seat,
+    SeatMap,
+    SeatMapError,
+    TOGETHER,
+    WINDOW,
+    WINDOW_AISLE,
+)
+from repro.common import ClientRef
+from repro.sim.clock import Clock, HOUR
+
+
+class TestSeat:
+    @pytest.mark.parametrize(
+        "letter, position",
+        [("A", WINDOW), ("B", MIDDLE), ("C", AISLE),
+         ("D", AISLE), ("E", MIDDLE), ("F", WINDOW)],
+    )
+    def test_positions(self, letter, position):
+        assert Seat(12, letter).position == position
+
+    def test_label(self):
+        assert Seat(3, "C").label == "3C"
+
+
+class TestSeatMap:
+    def test_capacity(self):
+        assert SeatMap(rows=10).capacity == 60
+
+    def test_rows_validation(self):
+        with pytest.raises(ValueError):
+            SeatMap(rows=0)
+
+    def test_hold_release_confirm_lifecycle(self):
+        seat_map = SeatMap(rows=2)
+        seats = [Seat(1, "A"), Seat(1, "B")]
+        seat_map.hold(seats)
+        assert seat_map.state_of(Seat(1, "A")) == HELD
+        seat_map.release([Seat(1, "A")])
+        assert seat_map.state_of(Seat(1, "A")) == AVAILABLE
+        seat_map.confirm([Seat(1, "B")])
+        assert seat_map.state_of(Seat(1, "B")) == CONFIRMED
+
+    def test_double_hold_rejected(self):
+        seat_map = SeatMap(rows=1)
+        seat_map.hold([Seat(1, "A")])
+        with pytest.raises(SeatMapError):
+            seat_map.hold([Seat(1, "A")])
+
+    def test_release_unheld_rejected(self):
+        seat_map = SeatMap(rows=1)
+        with pytest.raises(SeatMapError):
+            seat_map.release([Seat(1, "A")])
+
+    def test_unknown_seat_rejected(self):
+        with pytest.raises(SeatMapError):
+            SeatMap(rows=1).state_of(Seat(9, "A"))
+
+    def test_pick_prefers_window_aisle(self):
+        seat_map = SeatMap(rows=2)
+        picked = seat_map.pick(4, WINDOW_AISLE)
+        assert all(s.position in (WINDOW, AISLE) for s in picked)
+
+    def test_pick_middle_block(self):
+        seat_map = SeatMap(rows=3)
+        picked = seat_map.pick(6, MIDDLE_BLOCK)
+        assert all(s.position == MIDDLE for s in picked)
+
+    def test_middle_block_falls_back_when_exhausted(self):
+        seat_map = SeatMap(rows=1)  # only 2 middle seats
+        picked = seat_map.pick(4, MIDDLE_BLOCK)
+        middles = [s for s in picked if s.position == MIDDLE]
+        assert len(middles) == 2  # both middles first, then others
+
+    def test_pick_together_adjacent_same_row(self):
+        seat_map = SeatMap(rows=3)
+        picked = seat_map.pick(3, TOGETHER)
+        rows = {s.row for s in picked}
+        assert len(rows) == 1
+        letters = sorted(s.letter for s in picked)
+        assert ord(letters[-1]) - ord(letters[0]) == 2
+
+    def test_pick_more_than_available_rejected(self):
+        seat_map = SeatMap(rows=1)
+        with pytest.raises(SeatMapError):
+            seat_map.pick(7)
+
+    def test_pick_validation(self):
+        with pytest.raises(ValueError):
+            SeatMap(rows=1).pick(0)
+        with pytest.raises(ValueError):
+            SeatMap(rows=1).pick(1, "best-legroom")
+
+    def test_position_share(self):
+        seat_map = SeatMap(rows=1)
+        seats = [Seat(1, "B"), Seat(1, "E"), Seat(1, "A")]
+        assert seat_map.position_share(seats, MIDDLE) == pytest.approx(
+            2 / 3
+        )
+        assert seat_map.position_share([], MIDDLE) == 0.0
+
+
+def make_client(fingerprint_id="fp-1"):
+    return ClientRef(
+        ip_address="1.1.1.1",
+        ip_country="US",
+        ip_residential=True,
+        fingerprint_id=fingerprint_id,
+        user_agent="UA",
+    )
+
+
+class TestSeatAwareReservations:
+    @pytest.fixture
+    def system(self):
+        clock = Clock()
+        reservations = ReservationSystem(clock, hold_ttl=1 * HOUR)
+        reservations.add_flight(
+            Flight(
+                "F1", "A", "NCE", "CDG", 100 * HOUR, 12,
+                seat_map=SeatMap(rows=2),
+            )
+        )
+        return reservations
+
+    def test_capacity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Flight("F1", "A", "X", "Y", 1.0, 10, seat_map=SeatMap(rows=2))
+
+    def test_hold_assigns_specific_seats(self, system):
+        party = sample_genuine_party(random.Random(1), 2)
+        result = system.create_hold("F1", party, make_client())
+        assert len(result.hold.seats) == 2
+        seat_map = system.flight("F1").seat_map
+        for seat in result.hold.seats:
+            assert seat_map.state_of(seat) == HELD
+
+    def test_expiry_frees_seats(self, system):
+        party = sample_genuine_party(random.Random(2), 3)
+        result = system.create_hold("F1", party, make_client())
+        system.clock.advance_to(2 * HOUR)
+        system.expire_due()
+        seat_map = system.flight("F1").seat_map
+        for seat in result.hold.seats:
+            assert seat_map.state_of(seat) == AVAILABLE
+
+    def test_confirm_locks_seats(self, system):
+        party = sample_genuine_party(random.Random(3), 2)
+        result = system.create_hold("F1", party, make_client())
+        system.confirm(result.hold.hold_id)
+        seat_map = system.flight("F1").seat_map
+        for seat in result.hold.seats:
+            assert seat_map.state_of(seat) == CONFIRMED
+
+    def test_cancel_frees_seats(self, system):
+        party = sample_genuine_party(random.Random(4), 2)
+        result = system.create_hold("F1", party, make_client())
+        system.cancel(result.hold.hold_id)
+        seat_map = system.flight("F1").seat_map
+        for seat in result.hold.seats:
+            assert seat_map.state_of(seat) == AVAILABLE
+
+    def test_middle_block_preference_honoured(self, system):
+        party = sample_genuine_party(random.Random(5), 2)
+        result = system.create_hold(
+            "F1", party, make_client(), seat_preference=MIDDLE_BLOCK
+        )
+        assert all(s.position == MIDDLE for s in result.hold.seats)
+
+    def test_shadow_holds_touch_no_seats(self, system):
+        party = sample_genuine_party(random.Random(6), 2)
+        result = system.create_hold(
+            "F1", party, make_client(), shadow=True
+        )
+        assert result.hold.seats == ()
+        seat_map = system.flight("F1").seat_map
+        assert seat_map.available_count() == 12
+
+    def test_seat_and_count_inventories_agree(self, system):
+        party = sample_genuine_party(random.Random(7), 4)
+        system.create_hold("F1", party, make_client())
+        flight = system.flight("F1")
+        assert (
+            flight.seat_map.available_count()
+            == flight.inventory.available
+        )

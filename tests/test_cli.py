@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["launch-missiles"])
+
+    def test_case_c_variant_choices(self):
+        args = build_parser().parse_args(["case-c", "--variant", "per-ref"])
+        assert args.variant == "per-ref"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["case-c", "--variant", "firewall"])
+
+    def test_seed_override(self):
+        args = build_parser().parse_args(["fig1", "--seed", "99"])
+        assert args.seed == 99
+
+
+class TestCommands:
+    """Each command runs end-to-end at reduced scale and prints a table."""
+
+    def test_case_b(self, capsys):
+        assert main(["case-b"]) == 0
+        out = capsys.readouterr().out
+        assert "automated coverage" in out
+        assert "manual coverage" in out
+
+    def test_table1_scaled(self, capsys):
+        assert main(["table1", "--scale", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "UZ" in out
+
+    def test_case_c_scaled_per_ref(self, capsys):
+        assert main(
+            ["case-c", "--scale", "10", "--variant", "per-ref"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "detection latency" in out
+        assert "per-ref" in out
+
+    def test_behavioural(self, capsys):
+        assert main(["behavioural"]) == 0
+        out = capsys.readouterr().out
+        assert "fusion" in out
+        assert "biometrics" in out
+
+    def test_detectors(self, capsys):
+        assert main(["detectors"]) == 0
+        out = capsys.readouterr().out
+        assert "abuse-pipeline" in out

@@ -1,0 +1,93 @@
+"""Tests for repro.common and repro.web.request basics."""
+
+import pytest
+
+from repro.common import (
+    ATTACK_CLASSES,
+    ClientRef,
+    LEGIT,
+    MANUAL_SPINNER,
+    SCRAPER,
+    SEAT_SPINNER,
+    SMS_PUMPER,
+)
+from repro.web.request import (
+    ALL_PATHS,
+    BOARDING_PASS_SMS,
+    CAPTCHA_HUMAN,
+    HOLD,
+    OK,
+    Request,
+    Response,
+    SEARCH,
+    TRAP,
+)
+
+
+def make_client(actor_class=LEGIT):
+    return ClientRef(
+        ip_address="1.2.3.4",
+        ip_country="FR",
+        ip_residential=True,
+        fingerprint_id="fp",
+        user_agent="UA",
+        actor_class=actor_class,
+    )
+
+
+class TestClientRef:
+    def test_legit_is_not_attacker(self):
+        assert not make_client().is_attacker
+
+    @pytest.mark.parametrize(
+        "actor_class",
+        [SEAT_SPINNER, MANUAL_SPINNER, SMS_PUMPER, SCRAPER],
+    )
+    def test_attack_classes_are_attackers(self, actor_class):
+        assert make_client(actor_class).is_attacker
+
+    def test_attack_classes_constant_complete(self):
+        assert set(ATTACK_CLASSES) == {
+            SEAT_SPINNER, MANUAL_SPINNER, SMS_PUMPER, SCRAPER,
+        }
+
+    def test_frozen(self):
+        client = make_client()
+        with pytest.raises(AttributeError):
+            client.ip_address = "5.6.7.8"
+
+
+class TestRequest:
+    def test_param_accessor(self):
+        request = Request(
+            method="POST",
+            path=HOLD,
+            client=make_client(),
+            params={"flight_id": "F1"},
+        )
+        assert request.param("flight_id") == "F1"
+
+    def test_missing_param_raises_with_context(self):
+        request = Request(method="GET", path=SEARCH, client=make_client())
+        with pytest.raises(KeyError, match="flight_id"):
+            request.param("flight_id")
+
+    def test_default_captcha_ability(self):
+        request = Request(method="GET", path=SEARCH, client=make_client())
+        assert request.captcha_ability == CAPTCHA_HUMAN
+
+
+class TestResponse:
+    def test_ok(self):
+        assert Response(status=OK).ok
+        assert not Response(status=403).ok
+
+
+class TestPathRegistry:
+    def test_all_paths_unique(self):
+        assert len(ALL_PATHS) == len(set(ALL_PATHS))
+
+    def test_abusable_features_present(self):
+        assert HOLD in ALL_PATHS
+        assert BOARDING_PASS_SMS in ALL_PATHS
+        assert TRAP in ALL_PATHS

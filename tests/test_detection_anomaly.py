@@ -1,0 +1,202 @@
+"""Tests for repro.core.detection.anomaly (stats + monitors)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.detection.anomaly import (
+    CountrySurge,
+    EwmaMonitor,
+    NipDistributionMonitor,
+    SmsSurgeMonitor,
+    chi_square_sf,
+    jensen_shannon,
+    regularized_gamma_q,
+)
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+class TestChiSquareSf:
+    @pytest.mark.parametrize(
+        "statistic, dof",
+        [(0.5, 1), (1.0, 1), (3.84, 1), (5.0, 2), (10.0, 4), (25.0, 8),
+         (100.0, 10), (0.1, 9)],
+    )
+    def test_matches_scipy(self, statistic, dof):
+        expected = float(scipy_stats.chi2.sf(statistic, dof))
+        assert chi_square_sf(statistic, dof) == pytest.approx(
+            expected, rel=1e-8, abs=1e-12
+        )
+
+    def test_zero_statistic(self):
+        assert chi_square_sf(0.0, 3) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chi_square_sf(-1.0, 1)
+        with pytest.raises(ValueError):
+            chi_square_sf(1.0, 0)
+
+    @settings(max_examples=100)
+    @given(
+        statistic=st.floats(min_value=0.0, max_value=200.0),
+        dof=st.integers(min_value=1, max_value=30),
+    )
+    def test_is_a_probability(self, statistic, dof):
+        value = chi_square_sf(statistic, dof)
+        assert 0.0 <= value <= 1.0
+
+    def test_monotone_decreasing_in_statistic(self):
+        values = [chi_square_sf(x, 5) for x in (0.0, 1.0, 5.0, 20.0, 80.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_gamma_q_validation(self):
+        with pytest.raises(ValueError):
+            regularized_gamma_q(0.0, 1.0)
+        with pytest.raises(ValueError):
+            regularized_gamma_q(1.0, -1.0)
+
+
+class TestJensenShannon:
+    def test_identical_distributions_zero(self):
+        p = {1: 0.5, 2: 0.5}
+        assert jensen_shannon(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_disjoint_distributions_one(self):
+        assert jensen_shannon({1: 1.0}, {2: 1.0}) == pytest.approx(1.0)
+
+    def test_unnormalised_inputs_accepted(self):
+        assert jensen_shannon({1: 2, 2: 2}, {1: 5, 2: 5}) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_empty_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            jensen_shannon({}, {1: 1.0})
+
+    @settings(max_examples=60)
+    @given(
+        weights_p=st.lists(
+            st.floats(min_value=0.01, max_value=10.0),
+            min_size=2,
+            max_size=6,
+        ),
+        weights_q=st.lists(
+            st.floats(min_value=0.01, max_value=10.0),
+            min_size=2,
+            max_size=6,
+        ),
+    )
+    def test_symmetric_and_bounded(self, weights_p, weights_q):
+        p = dict(enumerate(weights_p))
+        q = dict(enumerate(weights_q))
+        forward = jensen_shannon(p, q)
+        backward = jensen_shannon(q, p)
+        assert forward == pytest.approx(backward, abs=1e-9)
+        assert 0.0 <= forward <= 1.0 + 1e-9
+
+
+BASELINE = {1: 0.50, 2: 0.31, 3: 0.08, 4: 0.05, 5: 0.025, 6: 0.013,
+            7: 0.012, 8: 0.006, 9: 0.004}
+
+
+class TestNipDistributionMonitor:
+    def test_baseline_like_counts_no_alarm(self):
+        monitor = NipDistributionMonitor(baseline=BASELINE)
+        counts = {nip: int(share * 2000) for nip, share in BASELINE.items()}
+        anomaly = monitor.evaluate(counts)
+        assert not anomaly.alarm
+        assert anomaly.surging_nips == ()
+
+    def test_nip6_attack_alarms(self):
+        """The Fig. 1 attack-week signature."""
+        monitor = NipDistributionMonitor(baseline=BASELINE)
+        counts = {nip: int(share * 1500) for nip, share in BASELINE.items()}
+        counts[6] = counts.get(6, 0) + 500  # the seat spinner's holds
+        anomaly = monitor.evaluate(counts)
+        assert anomaly.alarm
+        assert 6 in anomaly.surging_nips
+        assert anomaly.p_value < 1e-4
+
+    def test_small_samples_never_alarm(self):
+        monitor = NipDistributionMonitor(baseline=BASELINE, min_samples=100)
+        anomaly = monitor.evaluate({6: 30})
+        assert not anomaly.alarm
+        assert anomaly.sample_size == 30
+
+    def test_surge_requires_min_count(self):
+        monitor = NipDistributionMonitor(
+            baseline=BASELINE, surge_min_count=50
+        )
+        counts = {nip: int(share * 1000) for nip, share in BASELINE.items()}
+        counts[9] = 30  # surging share but under the count floor
+        anomaly = monitor.evaluate(counts)
+        assert 9 not in anomaly.surging_nips
+
+
+class TestSmsSurgeMonitor:
+    def test_surge_percent_math(self):
+        surge = CountrySurge("UZ", baseline_count=2, window_count=3206)
+        assert surge.surge_percent == pytest.approx(160_200.0)
+
+    def test_zero_baseline_infinite(self):
+        assert CountrySurge("YE", 0, 5).surge_percent == math.inf
+        assert CountrySurge("YE", 0, 0).surge_percent == 0.0
+
+    def test_evaluate_sorts_descending(self):
+        monitor = SmsSurgeMonitor()
+        surges = monitor.evaluate(
+            {"A": 10, "B": 10, "C": 10},
+            {"A": 20, "B": 200, "C": 11},
+        )
+        assert [s.country_code for s in surges] == ["B", "A", "C"]
+
+    def test_alarming_applies_thresholds(self):
+        monitor = SmsSurgeMonitor(
+            surge_alarm_percent=500.0, min_window_count=20
+        )
+        alarms = monitor.alarming(
+            {"A": 2, "B": 2}, {"A": 100, "B": 10}
+        )
+        assert [s.country_code for s in alarms] == ["A"]
+
+    def test_global_increase(self):
+        assert SmsSurgeMonitor.global_increase_percent(
+            {"A": 100}, {"A": 125}
+        ) == pytest.approx(25.0)
+
+    def test_global_increase_zero_baseline(self):
+        assert SmsSurgeMonitor.global_increase_percent({}, {"A": 5}) == (
+            math.inf
+        )
+
+
+class TestEwmaMonitor:
+    def test_steady_stream_no_alarm(self):
+        monitor = EwmaMonitor()
+        assert not any(monitor.update(10.0) for _ in range(50))
+
+    def test_spike_alarms_after_warmup(self):
+        monitor = EwmaMonitor(alpha=0.2, z_threshold=4.0, warmup=10)
+        for value in (10, 11, 9, 10, 12, 10, 9, 11, 10, 10, 11, 9, 10):
+            monitor.update(float(value))
+        assert monitor.update(100.0)
+
+    def test_no_alarm_during_warmup(self):
+        monitor = EwmaMonitor(warmup=10)
+        monitor.update(10.0)
+        assert not monitor.update(1000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EwmaMonitor(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaMonitor(warmup=0)
+
+    def test_mean_tracks_level_shift(self):
+        monitor = EwmaMonitor(alpha=0.5, warmup=1)
+        for _ in range(30):
+            monitor.update(100.0)
+        assert monitor.mean == pytest.approx(100.0, rel=0.01)

@@ -1,0 +1,177 @@
+"""Tests for geo-velocity and seat-hoarding detectors."""
+
+import pytest
+
+from repro.booking.holds import Hold
+from repro.booking.passengers import Passenger
+from repro.booking.seatmap import Seat
+from repro.common import ClientRef
+from repro.core.detection.geo_velocity import (
+    GeoVelocityConfig,
+    GeoVelocityDetector,
+)
+from repro.core.detection.seats import (
+    SeatHoardingConfig,
+    SeatHoardingDetector,
+)
+from repro.sms.gateway import SmsRecord
+from repro.sms.numbers import PhoneNumber
+
+
+def sms(time, country, booking_ref="REF1", profile_id=""):
+    return SmsRecord(
+        time=time,
+        number=PhoneNumber("GB", "123456789"),
+        kind="boarding-pass",
+        booking_ref=booking_ref,
+        client=ClientRef(
+            "1.1.1.1", country, True, "fp", "UA", profile_id=profile_id
+        ),
+        delivered=True,
+        reject_reason="",
+        settlement=None,
+    )
+
+
+HOUR = 3600.0
+
+
+class TestGeoVelocityDetector:
+    def test_pumper_ref_flagged(self):
+        """One booking ref requested from 10 countries in an hour."""
+        detector = GeoVelocityDetector()
+        records = [
+            sms(i * 60.0, country)
+            for i, country in enumerate(
+                "UZ IR KG JO NG KH SG GB CN TH".split()
+            )
+        ]
+        verdicts = detector.judge_records(records)
+        assert len(verdicts) == 1
+        assert verdicts[0].is_bot
+        assert "10-countries-in-window" in verdicts[0].reasons[0]
+
+    def test_traveller_not_flagged(self):
+        """Home, roaming, home again: within the tolerance."""
+        detector = GeoVelocityDetector()
+        records = [
+            sms(0.0, "FR"),
+            sms(2 * HOUR, "FR"),
+            sms(10 * HOUR, "GB"),
+            sms(20 * HOUR, "FR"),
+        ]
+        verdicts = detector.judge_records(records)
+        assert not verdicts[0].is_bot
+
+    def test_window_slides(self):
+        """Five countries spread over a week never co-occur in a day."""
+        detector = GeoVelocityDetector(
+            GeoVelocityConfig(window=24 * HOUR, max_countries_per_window=3)
+        )
+        records = [
+            sms(day * 48 * HOUR, country)
+            for day, country in enumerate("FR GB DE ES IT".split())
+        ]
+        assert not detector.judge_records(records)[0].is_bot
+
+    def test_keys_judged_independently(self):
+        detector = GeoVelocityDetector()
+        records = [
+            sms(i * 60.0, c, booking_ref="BAD")
+            for i, c in enumerate("UZ IR KG JO NG".split())
+        ]
+        records += [sms(1.0, "FR", booking_ref="GOOD")]
+        flagged = detector.flagged_keys(records)
+        assert flagged == ["BAD"]
+
+    def test_profile_fallback_key(self):
+        detector = GeoVelocityDetector()
+        records = [
+            sms(i * 60.0, c, booking_ref="", profile_id="user-1")
+            for i, c in enumerate("UZ IR KG JO NG".split())
+        ]
+        assert detector.flagged_keys(records) == ["user-1"]
+
+    def test_keyless_records_ignored(self):
+        detector = GeoVelocityDetector()
+        records = [sms(0.0, "FR", booking_ref="", profile_id="")]
+        assert detector.judge_records(records) == []
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GeoVelocityConfig(window=0.0)
+        with pytest.raises(ValueError):
+            GeoVelocityConfig(max_countries_per_window=0)
+
+
+def hold(hold_id, fingerprint_id, seats):
+    return Hold(
+        hold_id=hold_id,
+        flight_id="F1",
+        nip=len(seats),
+        passengers=tuple(
+            Passenger("A", "B", "1990-01-01", "a@b.c") for _ in seats
+        ),
+        client=ClientRef("1.1.1.1", "US", True, fingerprint_id, "UA"),
+        created_at=0.0,
+        expires_at=100.0,
+        price_quoted=100.0,
+        seats=tuple(seats),
+    )
+
+
+class TestSeatHoardingDetector:
+    def test_middle_hoarder_flagged(self):
+        detector = SeatHoardingDetector()
+        holds = [
+            hold(f"H{i}", "fp-hoarder", [Seat(i + 1, "B"), Seat(i + 1, "E")])
+            for i in range(4)
+        ]
+        verdicts = detector.judge_holds(holds)
+        assert len(verdicts) == 1
+        assert verdicts[0].is_bot
+        assert verdicts[0].subject_id == "fp-hoarder"
+
+    def test_normal_mix_not_flagged(self):
+        detector = SeatHoardingDetector()
+        holds = [
+            hold(
+                f"H{i}",
+                "fp-family",
+                [Seat(i + 1, "A"), Seat(i + 1, "B"), Seat(i + 1, "C")],
+            )
+            for i in range(3)
+        ]
+        verdicts = detector.judge_holds(holds)
+        assert not verdicts[0].is_bot  # middle share = 1/3
+
+    def test_min_seats_gate(self):
+        detector = SeatHoardingDetector(SeatHoardingConfig(min_seats=10))
+        holds = [hold("H1", "fp-x", [Seat(1, "B")])]
+        assert detector.judge_holds(holds) == []
+
+    def test_holds_without_seats_ignored(self):
+        detector = SeatHoardingDetector()
+        assert detector.judge_holds([hold("H1", "fp-x", [])]) == []
+
+    def test_flagged_fingerprints_helper(self):
+        detector = SeatHoardingDetector()
+        holds = [
+            hold(f"H{i}", "fp-bad", [Seat(i + 1, "B"), Seat(i + 1, "E")])
+            for i in range(4)
+        ]
+        holds += [
+            hold(
+                f"G{i}",
+                "fp-good",
+                [Seat(i + 1, "A"), Seat(i + 1, "C"), Seat(i + 1, "F")],
+            )
+            for i in range(4)
+        ]
+        assert detector.flagged_fingerprints(holds) == ["fp-bad"]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SeatHoardingConfig(min_seats=0)
+        with pytest.raises(ValueError):
+            SeatHoardingConfig(middle_share_threshold=0.0)

@@ -1,0 +1,165 @@
+"""Tests for the classifier and clustering detectors."""
+
+import numpy as np
+import pytest
+
+from repro.common import ClientRef, LEGIT, SCRAPER
+from repro.core.detection.classifier import LogisticSessionClassifier
+from repro.core.detection.clustering import (
+    ClusteringConfig,
+    ClusteringDetector,
+    kmeans,
+)
+from repro.web.logs import LogEntry, Session
+from repro.web.request import SEARCH
+
+
+def make_session(session_id, request_count, spacing=10.0, actor=LEGIT):
+    client = ClientRef(
+        ip_address="1.1.1.1",
+        ip_country="US",
+        ip_residential=True,
+        fingerprint_id="fp",
+        user_agent="UA",
+        actor_class=actor,
+    )
+    entries = [
+        LogEntry(
+            time=i * spacing,
+            method="GET",
+            path=SEARCH,
+            status=200,
+            client=client,
+        )
+        for i in range(request_count)
+    ]
+    return Session(
+        session_id=session_id,
+        ip_address="1.1.1.1",
+        fingerprint_id="fp",
+        entries=entries,
+    )
+
+
+def separable_dataset(humans=20, scrapers=20):
+    """Human-ish sessions and scraper-ish sessions, labelled."""
+    human_sessions = [
+        make_session(f"H{i}", request_count=4 + i % 3, spacing=40.0)
+        for i in range(humans)
+    ]
+    scraper_sessions = [
+        make_session(
+            f"B{i}", request_count=300 + i, spacing=1.0, actor=SCRAPER
+        )
+        for i in range(scrapers)
+    ]
+    sessions = human_sessions + scraper_sessions
+    labels = [False] * humans + [True] * scrapers
+    return sessions, labels
+
+
+class TestLogisticClassifier:
+    def test_learns_separable_data(self):
+        sessions, labels = separable_dataset()
+        classifier = LogisticSessionClassifier()
+        report = classifier.fit(sessions, labels)
+        assert report.training_accuracy == 1.0
+        probabilities = classifier.predict_proba(sessions)
+        assert probabilities[:20].max() < 0.5
+        assert probabilities[20:].min() > 0.5
+
+    def test_judge_all_threshold(self):
+        sessions, labels = separable_dataset()
+        classifier = LogisticSessionClassifier()
+        classifier.fit(sessions, labels)
+        verdicts = classifier.judge_all(sessions)
+        assert sum(v.is_bot for v in verdicts) == 20
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticSessionClassifier().predict_proba([])
+
+    def test_label_mismatch_rejected(self):
+        sessions, _ = separable_dataset()
+        with pytest.raises(ValueError):
+            LogisticSessionClassifier().fit(sessions, [True])
+
+    def test_single_class_rejected(self):
+        sessions, _ = separable_dataset()
+        with pytest.raises(ValueError):
+            LogisticSessionClassifier().fit(
+                sessions, [True] * len(sessions)
+            )
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            LogisticSessionClassifier(threshold=1.0)
+
+    def test_deterministic_training(self):
+        sessions, labels = separable_dataset()
+        a = LogisticSessionClassifier()
+        b = LogisticSessionClassifier()
+        a.fit(sessions, labels)
+        b.fit(sessions, labels)
+        assert np.allclose(
+            a.predict_proba(sessions), b.predict_proba(sessions)
+        )
+
+
+class TestKmeans:
+    def test_separates_blobs(self):
+        rng = np.random.default_rng(0)
+        blob_a = rng.normal(0.0, 0.3, size=(30, 2))
+        blob_b = rng.normal(5.0, 0.3, size=(30, 2))
+        data = np.vstack([blob_a, blob_b])
+        labels, centroids = kmeans(data, 2, np.random.default_rng(1))
+        assert len(set(labels[:30])) == 1
+        assert len(set(labels[30:])) == 1
+        assert labels[0] != labels[30]
+        assert centroids.shape == (2, 2)
+
+    def test_k_validation(self):
+        data = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            kmeans(data, 0, np.random.default_rng(1))
+        with pytest.raises(ValueError):
+            kmeans(data, 4, np.random.default_rng(1))
+
+    def test_k_equals_n(self):
+        data = np.arange(6, dtype=float).reshape(3, 2)
+        labels, _ = kmeans(data, 3, np.random.default_rng(1))
+        assert len(set(labels)) == 3
+
+
+class TestClusteringDetector:
+    def test_flags_extreme_cluster(self):
+        # A realistic mix: bots are a small minority, so the population
+        # median stays at the human level.
+        sessions, _ = separable_dataset(humans=40, scrapers=5)
+        detector = ClusteringDetector(
+            np.random.default_rng(7), ClusteringConfig(k=2)
+        )
+        verdicts = {v.subject_id: v for v in detector.judge_all(sessions)}
+        scraper_flagged = sum(verdicts[f"B{i}"].is_bot for i in range(5))
+        human_flagged = sum(verdicts[f"H{i}"].is_bot for i in range(40))
+        assert scraper_flagged == 5
+        assert human_flagged == 0
+
+    def test_small_input_returns_clean_verdicts(self):
+        detector = ClusteringDetector(
+            np.random.default_rng(7), ClusteringConfig(k=4)
+        )
+        sessions = [make_session("S1", 3)]
+        verdicts = detector.judge_all(sessions)
+        assert len(verdicts) == 1
+        assert not verdicts[0].is_bot
+
+    def test_homogeneous_population_unflagged(self):
+        """Without an extreme cluster, nothing is labelled bot."""
+        sessions = [
+            make_session(f"S{i}", request_count=5 + i % 4, spacing=30.0)
+            for i in range(30)
+        ]
+        detector = ClusteringDetector(np.random.default_rng(3))
+        verdicts = detector.judge_all(sessions)
+        assert not any(v.is_bot for v in verdicts)

@@ -1,0 +1,145 @@
+"""Tests for repro.core.detection.navigation (Markov path model)."""
+
+import pytest
+
+from repro.common import ClientRef, LEGIT, SEAT_SPINNER
+from repro.core.detection.navigation import (
+    END,
+    NavigationDetector,
+    NavigationDetectorConfig,
+    NavigationModel,
+    START,
+    session_path,
+)
+from repro.web.logs import LogEntry, Session
+from repro.web.request import FLIGHT_DETAILS, HOLD, PAY, SEARCH
+
+
+def make_session(paths, session_id="S1", actor=LEGIT):
+    client = ClientRef(
+        "1.1.1.1", "US", True, "fp", "UA", actor_class=actor
+    )
+    entries = [
+        LogEntry(
+            time=float(i * 30),
+            method="GET",
+            path=path,
+            status=200,
+            client=client,
+        )
+        for i, path in enumerate(paths)
+    ]
+    return Session(session_id, "1.1.1.1", "fp", entries)
+
+
+FUNNEL = [SEARCH, FLIGHT_DETAILS, HOLD, PAY]
+
+
+def funnel_sessions(count=50):
+    variants = [
+        [SEARCH, FLIGHT_DETAILS],
+        [SEARCH, FLIGHT_DETAILS, HOLD, PAY],
+        [SEARCH, SEARCH, FLIGHT_DETAILS, HOLD],
+        [SEARCH, FLIGHT_DETAILS, FLIGHT_DETAILS, HOLD, PAY],
+    ]
+    return [
+        make_session(variants[i % len(variants)], session_id=f"T{i}")
+        for i in range(count)
+    ]
+
+
+class TestSessionPath:
+    def test_bracketed(self):
+        session = make_session([SEARCH, HOLD])
+        assert session_path(session) == [START, SEARCH, HOLD, END]
+
+
+class TestNavigationModel:
+    def test_fit_required(self):
+        model = NavigationModel()
+        with pytest.raises(RuntimeError):
+            model.transition_probability(START, SEARCH)
+
+    def test_fit_on_nothing_rejected(self):
+        with pytest.raises(ValueError):
+            NavigationModel().fit([])
+
+    def test_common_transitions_probable(self):
+        model = NavigationModel()
+        model.fit(funnel_sessions())
+        assert model.transition_probability(START, SEARCH) > 0.8
+        assert model.transition_probability(SEARCH, FLIGHT_DETAILS) > 0.4
+
+    def test_unseen_transitions_smoothed_not_zero(self):
+        model = NavigationModel()
+        model.fit(funnel_sessions())
+        probability = model.transition_probability(START, PAY)
+        assert 0.0 < probability < 0.1
+
+    def test_funnel_more_likely_than_teleport(self):
+        model = NavigationModel()
+        model.fit(funnel_sessions())
+        funnel = model.mean_log_likelihood(make_session(FUNNEL))
+        teleport = model.mean_log_likelihood(
+            make_session([HOLD, HOLD, HOLD])
+        )
+        assert funnel > teleport
+
+    def test_rarest_transition_identified(self):
+        model = NavigationModel()
+        model.fit(funnel_sessions())
+        source, target, probability = model.rarest_transition(
+            make_session([SEARCH, FLIGHT_DETAILS, HOLD, HOLD])
+        )
+        assert (source, target) == (HOLD, HOLD)
+        assert probability < 0.1
+
+    def test_smoothing_validation(self):
+        with pytest.raises(ValueError):
+            NavigationModel(smoothing=0.0)
+
+
+class TestNavigationDetector:
+    def _fitted(self):
+        detector = NavigationDetector(
+            NavigationDetectorConfig(calibration_percentile=2.0)
+        )
+        detector.fit(funnel_sessions(100))
+        return detector
+
+    def test_unfitted_judge_rejected(self):
+        with pytest.raises(RuntimeError):
+            NavigationDetector().judge(make_session(FUNNEL))
+
+    def test_funnel_sessions_pass(self):
+        detector = self._fitted()
+        flagged = sum(
+            detector.judge(session).is_bot
+            for session in funnel_sessions(40)
+        )
+        assert flagged <= 2  # ~the calibration percentile
+
+    def test_teleporting_bot_flagged(self):
+        """The seat spinner's signature path: straight to /hold,
+        over and over, no search, no payment."""
+        detector = self._fitted()
+        bot_session = make_session(
+            [HOLD] * 5, session_id="BOT", actor=SEAT_SPINNER
+        )
+        verdict = detector.judge(bot_session)
+        assert verdict.is_bot
+        assert verdict.reasons
+        assert "improbable-transition" in verdict.reasons[0]
+
+    def test_judge_all_order(self):
+        detector = self._fitted()
+        sessions = funnel_sessions(5)
+        verdicts = detector.judge_all(sessions)
+        assert [v.subject_id for v in verdicts] == [
+            s.session_id for s in sessions
+        ]
+
+    def test_threshold_exposed(self):
+        detector = self._fitted()
+        assert detector.threshold is not None
+        assert detector.threshold < 0.0  # log2 likelihoods are negative

@@ -1,0 +1,224 @@
+"""Tests for repro.core.detection.passenger_details."""
+
+import random
+
+import pytest
+
+from repro.booking.passengers import (
+    Passenger,
+    misspell,
+    sample_genuine_party,
+    sample_gibberish_passenger,
+)
+from repro.booking.reservation import BookingRecord
+from repro.common import ClientRef
+from repro.core.detection.passenger_details import (
+    AUTOMATED_HINT,
+    AnalyzerConfig,
+    BIRTHDATE_ROTATION,
+    GIBBERISH_NAMES,
+    MANUAL_HINT,
+    MISSPELLING_CLUSTER,
+    NAME_SET_PERMUTATION,
+    PassengerDetailAnalyzer,
+    REPEATED_NAME,
+)
+
+
+def record(hold_id, passengers, time=0.0):
+    client = ClientRef(
+        ip_address="1.1.1.1",
+        ip_country="US",
+        ip_residential=True,
+        fingerprint_id="fp",
+        user_agent="UA",
+    )
+    return BookingRecord(
+        time=time,
+        flight_id="F1",
+        nip=len(passengers),
+        outcome="held",
+        hold_id=hold_id,
+        passengers=tuple(passengers),
+        client=client,
+        price_quoted=100.0,
+        shadow=False,
+    )
+
+
+def legit_records(count, seed=0):
+    rng = random.Random(seed)
+    return [
+        record(f"L{i}", sample_genuine_party(rng, rng.randint(1, 3)))
+        for i in range(count)
+    ]
+
+
+def passenger(first, last, birthdate="1990-01-01"):
+    return Passenger(first, last, birthdate, "x@y.z")
+
+
+class TestGibberish:
+    def test_detects_keyboard_mash(self):
+        rng = random.Random(1)
+        records = legit_records(20) + [
+            record(f"G{i}", [sample_gibberish_passenger(rng)])
+            for i in range(5)
+        ]
+        findings = PassengerDetailAnalyzer().analyze(records)
+        gib = [f for f in findings if f.kind == GIBBERISH_NAMES]
+        assert gib
+        assert gib[0].mode_hint == AUTOMATED_HINT
+        flagged = set(gib[0].hold_ids)
+        assert len(flagged & {f"G{i}" for i in range(5)}) >= 3
+        assert not flagged & {f"L{i}" for i in range(20)}
+
+    def test_clean_traffic_no_gibberish_finding(self):
+        findings = PassengerDetailAnalyzer().analyze(legit_records(30))
+        assert not [f for f in findings if f.kind == GIBBERISH_NAMES]
+
+
+class TestRepeatedNames:
+    def test_repeated_name_flagged(self):
+        records = legit_records(15) + [
+            record(f"R{i}", [passenger("John", "Fixed", f"19{70+i}-01-01")])
+            for i in range(6)
+        ]
+        findings = PassengerDetailAnalyzer().analyze(records)
+        repeated = [f for f in findings if f.kind == REPEATED_NAME]
+        assert len(repeated) == 1
+        assert set(repeated[0].hold_ids) == {f"R{i}" for i in range(6)}
+
+    def test_threshold_respected(self):
+        records = [
+            record(f"R{i}", [passenger("John", "Fixed")]) for i in range(3)
+        ]
+        config = AnalyzerConfig(repeat_threshold=4)
+        findings = PassengerDetailAnalyzer(config).analyze(records)
+        assert not [f for f in findings if f.kind == REPEATED_NAME]
+
+
+class TestBirthdateRotation:
+    def test_airline_b_pattern(self):
+        """Fixed name + systematically rotating birthdate = automation."""
+        records = [
+            record(
+                f"B{i}",
+                [passenger("John", "Fixed", f"19{60 + i}-03-0{1 + i % 9}")],
+            )
+            for i in range(6)
+        ]
+        findings = PassengerDetailAnalyzer().analyze(records)
+        rotation = [f for f in findings if f.kind == BIRTHDATE_ROTATION]
+        assert rotation
+        assert rotation[0].mode_hint == AUTOMATED_HINT
+
+    def test_stable_birthdate_not_flagged(self):
+        """A frequent flyer books often with one birthdate: repeated
+        name yes, rotation no."""
+        records = [
+            record(f"B{i}", [passenger("John", "Fixed", "1980-05-05")])
+            for i in range(6)
+        ]
+        findings = PassengerDetailAnalyzer().analyze(records)
+        assert not [f for f in findings if f.kind == BIRTHDATE_ROTATION]
+
+
+class TestNameSetPermutation:
+    def _manual_records(self, count=8, seed=3):
+        """The Airline C pattern: a fixed pool of people reshuffled."""
+        rng = random.Random(seed)
+        people = [
+            passenger("Maria", "Lopez", "1985-01-01"),
+            passenger("Karl", "Weber", "1979-02-02"),
+            passenger("Nina", "Rossi", "1991-03-03"),
+            passenger("Omar", "Hassan", "1988-04-04"),
+        ]
+        records = []
+        for i in range(count):
+            chosen = rng.sample(people, rng.randint(1, 3))
+            records.append(record(f"M{i}", chosen))
+        return records
+
+    def test_airline_c_pattern(self):
+        records = legit_records(15) + self._manual_records()
+        findings = PassengerDetailAnalyzer().analyze(records)
+        permutation = [
+            f for f in findings if f.kind == NAME_SET_PERMUTATION
+        ]
+        assert permutation
+        flagged = set(permutation[0].hold_ids)
+        assert len(flagged & {f"M{i}" for i in range(8)}) >= 6
+
+    def test_min_bookings_threshold(self):
+        records = self._manual_records(count=3)
+        config = AnalyzerConfig(permutation_min_bookings=5)
+        findings = PassengerDetailAnalyzer(config).analyze(records)
+        assert not [f for f in findings if f.kind == NAME_SET_PERMUTATION]
+
+
+class TestMisspellings:
+    def test_typo_near_frequent_name(self):
+        rng = random.Random(5)
+        base = [
+            record(f"T{i}", [passenger("Maria", "Schneider")])
+            for i in range(4)
+        ]
+        typo = record("TX", [passenger("Maria", misspell("Schneider", rng))])
+        findings = PassengerDetailAnalyzer().analyze(base + [typo])
+        clusters = [f for f in findings if f.kind == MISSPELLING_CLUSTER]
+        assert clusters
+        assert clusters[0].mode_hint == MANUAL_HINT
+        assert "TX" in clusters[0].hold_ids
+
+    def test_only_misspelled_bookings_implicated(self):
+        rng = random.Random(6)
+        base = [
+            record(f"T{i}", [passenger("Maria", "Schneider")])
+            for i in range(4)
+        ]
+        typo = record("TX", [passenger("Maria", "Schneide")])
+        findings = PassengerDetailAnalyzer().analyze(base + [typo])
+        clusters = [f for f in findings if f.kind == MISSPELLING_CLUSTER]
+        assert clusters
+        assert set(clusters[0].hold_ids) == {"TX"}
+
+
+class TestAnalyzeOverall:
+    def test_only_held_records_considered(self):
+        rejected = BookingRecord(
+            time=0.0,
+            flight_id="F1",
+            nip=1,
+            outcome="nip-exceeds-cap",
+            hold_id="",
+            passengers=(passenger("John", "Fixed"),),
+            client=ClientRef("1.1.1.1", "US", True, "fp", "UA"),
+            price_quoted=0.0,
+            shadow=False,
+        )
+        findings = PassengerDetailAnalyzer().analyze([rejected] * 10)
+        assert findings == []
+
+    def test_findings_sorted_by_score(self):
+        records = legit_records(10)
+        records += [
+            record(f"R{i}", [passenger("John", "Fixed", f"19{60+i}-01-01")])
+            for i in range(8)
+        ]
+        findings = PassengerDetailAnalyzer().analyze(records)
+        scores = [f.score for f in findings]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_flagged_hold_ids_union(self):
+        records = [
+            record(f"R{i}", [passenger("John", "Fixed", f"19{60+i}-01-01")])
+            for i in range(6)
+        ]
+        analyzer = PassengerDetailAnalyzer()
+        flagged = analyzer.flagged_hold_ids(records)
+        assert flagged == {f"R{i}" for i in range(6)}
+
+    def test_clean_traffic_produces_nothing(self):
+        findings = PassengerDetailAnalyzer().analyze(legit_records(40))
+        assert findings == []

@@ -1,0 +1,85 @@
+"""Determinism regression tests.
+
+The whole evaluation rests on reproducibility: the same seed must yield
+bit-identical scenario outcomes across runs (and across module import
+orders).  These tests re-run scaled-down scenarios twice and compare
+every headline number.
+"""
+
+import pytest
+
+from repro.scenarios.case_a import CaseAConfig, run_case_a
+from repro.scenarios.case_b import CaseBConfig, run_case_b
+from repro.scenarios.case_c import CaseCConfig, run_case_c
+from repro.sim.clock import DAY
+
+
+SMALL_A = CaseAConfig(
+    seed=23,
+    visitor_rate_per_hour=5.0,
+    attack_start=1 * DAY,
+    cap_at=2 * DAY,
+    departure_time=5 * DAY,
+    target_capacity=120,
+    attacker_target_seats=60,
+)
+
+
+class TestCaseADeterminism:
+    def test_identical_outcomes(self):
+        first = run_case_a(SMALL_A)
+        second = run_case_a(SMALL_A)
+        assert first.week_counts == second.week_counts
+        assert first.attacker_holds_created == second.attacker_holds_created
+        assert first.attacker_rotations == second.attacker_rotations
+        assert first.last_attack_hold_time == second.last_attack_hold_time
+        assert len(first.rule_effectiveness) == len(
+            second.rule_effectiveness
+        )
+
+    def test_different_seed_differs(self):
+        first = run_case_a(SMALL_A)
+        other = run_case_a(
+            CaseAConfig(
+                seed=24,
+                visitor_rate_per_hour=5.0,
+                attack_start=1 * DAY,
+                cap_at=2 * DAY,
+                departure_time=5 * DAY,
+                target_capacity=120,
+                attacker_target_seats=60,
+            )
+        )
+        assert first.week_counts != other.week_counts
+
+
+class TestCaseBDeterminism:
+    def test_identical_outcomes(self):
+        config = CaseBConfig(seed=25, duration=4 * DAY)
+        first = run_case_b(config)
+        second = run_case_b(config)
+        assert first.automated_holds == second.automated_holds
+        assert first.manual_holds == second.manual_holds
+        assert first.automated_coverage == second.automated_coverage
+        assert first.finding_kinds == second.finding_kinds
+        assert len(first.sessions) == len(second.sessions)
+
+
+class TestCaseCDeterminism:
+    def test_identical_surge_tables(self):
+        config = CaseCConfig(seed=26, baseline_weekly_total=3000)
+        first = run_case_c(config)
+        second = run_case_c(config)
+        assert [
+            (s.country_code, s.baseline_count, s.window_count)
+            for s in first.surge_table
+        ] == [
+            (s.country_code, s.baseline_count, s.window_count)
+            for s in second.surge_table
+        ]
+        assert (
+            first.attacker_sms_delivered == second.attacker_sms_delivered
+        )
+        assert first.attacker_ledger.net == pytest.approx(
+            second.attacker_ledger.net
+        )

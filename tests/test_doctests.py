@@ -1,0 +1,20 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.analysis.reports
+import repro.sim.clock
+import repro.sim.rng
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.sim.clock, repro.sim.rng, repro.analysis.reports],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, raise_on_error=False)
+    assert results.failed == 0
+    assert results.attempted > 0  # the examples actually exist

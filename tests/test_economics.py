@@ -1,0 +1,178 @@
+"""Tests for repro.economics (ledgers and report builders)."""
+
+import random
+
+import pytest
+
+from repro.booking.flight import Flight
+from repro.booking.passengers import sample_genuine_party
+from repro.booking.reservation import ReservationSystem
+from repro.common import ClientRef, LEGIT, SEAT_SPINNER, SMS_PUMPER
+from repro.economics.ledger import (
+    CAPTCHA_COSTS,
+    Ledger,
+    PROXY_COSTS,
+    SMS_REVENUE_SHARE,
+    TICKET_COSTS,
+)
+from repro.economics.reports import (
+    attacker_seat_seconds,
+    build_attacker_ledger,
+    build_defender_ledger,
+)
+from repro.identity.ip import ResidentialProxyPool
+from repro.sim.clock import Clock, HOUR
+from repro.sms.gateway import SmsGateway
+from repro.sms.numbers import sample_number
+from repro.sms.telco import LocalCarrier, TelcoNetwork
+from repro.web.application import WebApplication
+
+
+class TestLedger:
+    def test_income_and_expense(self):
+        ledger = Ledger("attacker")
+        ledger.income("revenue", 100.0)
+        ledger.expense("costs", 30.0)
+        assert ledger.net == pytest.approx(70.0)
+        assert ledger.total_income == 100.0
+        assert ledger.total_expenses == 30.0
+
+    def test_by_category(self):
+        ledger = Ledger("x")
+        ledger.expense("a", 10.0)
+        ledger.expense("a", 5.0)
+        ledger.income("b", 3.0)
+        assert ledger.by_category() == {"a": -15.0, "b": 3.0}
+        assert ledger.total("a") == -15.0
+
+    def test_roi(self):
+        ledger = Ledger("x")
+        ledger.expense("costs", 100.0)
+        ledger.income("revenue", 250.0)
+        assert ledger.roi() == pytest.approx(1.5)
+
+    def test_roi_no_expenses(self):
+        assert Ledger("x").roi() == 0.0
+
+    def test_negative_amounts_rejected(self):
+        ledger = Ledger("x")
+        with pytest.raises(ValueError):
+            ledger.income("a", -1.0)
+        with pytest.raises(ValueError):
+            ledger.expense("a", -1.0)
+
+
+def client(actor_class=LEGIT, actor="someone"):
+    return ClientRef(
+        ip_address="1.1.1.1",
+        ip_country="US",
+        ip_residential=True,
+        fingerprint_id="fp",
+        user_agent="UA",
+        actor=actor,
+        actor_class=actor_class,
+    )
+
+
+@pytest.fixture
+def app():
+    clock = Clock()
+    reservations = ReservationSystem(clock, hold_ttl=1 * HOUR)
+    reservations.add_flight(Flight("F1", "A", "X", "Y", 1000 * HOUR, 100))
+    telco = TelcoNetwork()
+    telco.register_carrier(LocalCarrier("shady-uz", "UZ", colluding=True))
+    sms = SmsGateway(clock, telco=telco)
+    return WebApplication(clock, reservations, sms, random.Random(1))
+
+
+class TestAttackerLedger:
+    def test_full_attack_accounting(self, app):
+        # Proxy spend.
+        pool = ResidentialProxyPool(cost_per_lease=0.01)
+        rng = random.Random(2)
+        for _ in range(10):
+            pool.lease(rng)
+        # A stolen-card ticket.
+        party = sample_genuine_party(rng, 1)
+        result = app.reservations.create_hold(
+            "F1", party, client(SMS_PUMPER, "pumper")
+        )
+        app.reservations.confirm(result.hold.hold_id)
+        # CAPTCHA solves attributed to the attacker.
+        app.captcha_costs_by_actor["pumper"] = 0.05
+        # Kickback revenue.
+        number = sample_number(rng, "UZ", controlled_by_attacker=True)
+        app.sms.send(number, "otp", client(SMS_PUMPER, "pumper"))
+
+        ledger = build_attacker_ledger(
+            app, proxy_pools=[pool], stolen_card_cost=15.0
+        )
+        assert ledger.total(PROXY_COSTS) == pytest.approx(-0.1)
+        assert ledger.total(TICKET_COSTS) == pytest.approx(-15.0)
+        assert ledger.total(CAPTCHA_COSTS) == pytest.approx(-0.05)
+        assert ledger.total(SMS_REVENUE_SHARE) > 0
+
+    def test_actor_filter_on_captcha(self, app):
+        app.captcha_costs_by_actor["pumper"] = 0.05
+        app.captcha_costs_by_actor["other-bot"] = 0.99
+        ledger = build_attacker_ledger(app, attacker_actors=["pumper"])
+        assert ledger.total(CAPTCHA_COSTS) == pytest.approx(-0.05)
+
+    def test_legit_confirmations_not_ticket_costs(self, app):
+        party = sample_genuine_party(random.Random(3), 1)
+        result = app.reservations.create_hold("F1", party, client(LEGIT))
+        app.reservations.confirm(result.hold.hold_id)
+        ledger = build_attacker_ledger(app)
+        assert ledger.total(TICKET_COSTS) == 0.0
+
+
+class TestDefenderSide:
+    def test_sms_costs_counted(self, app):
+        rng = random.Random(4)
+        for _ in range(5):
+            app.sms.send(sample_number(rng, "GB"), "otp", client())
+        ledger = build_defender_ledger(app)
+        assert ledger.total("sms-delivery") < 0
+
+    def test_chargebacks_counted(self, app):
+        party = sample_genuine_party(random.Random(5), 1)
+        result = app.reservations.create_hold(
+            "F1", party, client(SMS_PUMPER)
+        )
+        app.reservations.confirm(result.hold.hold_id)
+        ledger = build_defender_ledger(app)
+        assert ledger.total("stolen-card-chargebacks") == pytest.approx(
+            -result.hold.price_quoted
+        )
+
+    def test_seat_displacement(self, app):
+        party = sample_genuine_party(random.Random(6), 4)
+        app.reservations.create_hold("F1", party, client(SEAT_SPINNER))
+        app.clock.advance_to(2 * HOUR)
+        app.reservations.expire_due()
+        displacement = attacker_seat_seconds(app.reservations, "F1")
+        assert displacement.attacker_seat_seconds == pytest.approx(
+            4 * 1 * HOUR
+        )
+        assert displacement.attacker_seat_hours == pytest.approx(4.0)
+
+    def test_shadow_holds_displace_nothing(self, app):
+        """The honeypot's entire point, in ledger form."""
+        party = sample_genuine_party(random.Random(7), 4)
+        app.reservations.create_hold(
+            "F1", party, client(SEAT_SPINNER), shadow=True
+        )
+        app.clock.advance_to(2 * HOUR)
+        app.reservations.expire_due()
+        displacement = attacker_seat_seconds(app.reservations, "F1")
+        assert displacement.attacker_seat_seconds == 0.0
+
+    def test_lost_seat_revenue_in_ledger(self, app):
+        party = sample_genuine_party(random.Random(8), 5)
+        app.reservations.create_hold("F1", party, client(SEAT_SPINNER))
+        app.clock.advance_to(2 * HOUR)
+        app.reservations.expire_due()
+        ledger = build_defender_ledger(
+            app, seat_hour_value=10.0, doi_flights=["F1"]
+        )
+        assert ledger.total("lost-seat-revenue") == pytest.approx(-50.0)

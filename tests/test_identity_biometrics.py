@@ -1,0 +1,178 @@
+"""Tests for repro.identity.biometrics (mouse-dynamics detection)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.identity.biometrics import (
+    BiometricDetector,
+    BotMotionModel,
+    HumanMotionModel,
+    LINEAR,
+    MousePoint,
+    MouseTrajectory,
+    NO_MOUSE,
+    REPLAY,
+    SYNTHETIC_CURVE,
+    trajectory_features,
+)
+
+
+class TestMouseTrajectory:
+    def test_timestamps_must_be_sorted(self):
+        with pytest.raises(ValueError):
+            MouseTrajectory(
+                (MousePoint(1.0, 0, 0), MousePoint(0.5, 10, 10))
+            )
+
+    def test_geometry(self):
+        trajectory = MouseTrajectory(
+            (
+                MousePoint(0.0, 0, 0),
+                MousePoint(0.1, 3, 4),
+                MousePoint(0.2, 6, 8),
+            )
+        )
+        assert trajectory.path_length == pytest.approx(10.0)
+        assert trajectory.displacement == pytest.approx(10.0)
+        assert trajectory.duration == pytest.approx(0.2)
+
+    def test_shape_hash_stable_and_sensitive(self):
+        a = MouseTrajectory(
+            (MousePoint(0.0, 0, 0), MousePoint(0.1, 100, 100))
+        )
+        b = MouseTrajectory(
+            (MousePoint(0.0, 0, 0), MousePoint(0.1, 100, 100))
+        )
+        c = MouseTrajectory(
+            (MousePoint(0.0, 0, 0), MousePoint(0.1, 500, 100))
+        )
+        assert a.shape_hash() == b.shape_hash()
+        assert a.shape_hash() != c.shape_hash()
+
+
+class TestHumanMotion:
+    def test_trajectories_are_curved_and_noisy(self):
+        model = HumanMotionModel(random.Random(1))
+        for _ in range(20):
+            features = trajectory_features(model.move())
+            assert features.straightness > 1.0
+            assert features.tremor_energy > 1.0
+            assert features.point_count >= 8
+
+    def test_speed_profile_is_variable(self):
+        model = HumanMotionModel(random.Random(2))
+        trajectory = model.move(start=(100, 100), end=(900, 600))
+        features = trajectory_features(trajectory)
+        assert features.speed_cv > 0.12
+
+    def test_trajectories_never_repeat(self):
+        model = HumanMotionModel(random.Random(3))
+        hashes = {model.move().shape_hash() for _ in range(30)}
+        assert len(hashes) == 30
+
+    def test_explicit_endpoints_respected(self):
+        model = HumanMotionModel(random.Random(4))
+        trajectory = model.move(start=(50, 50), end=(400, 300))
+        first, last = trajectory.points[0], trajectory.points[-1]
+        assert abs(first.x - 50) < 10 and abs(first.y - 50) < 10
+        assert abs(last.x - 400) < 20 and abs(last.y - 300) < 20
+
+
+class TestBotMotion:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            BotMotionModel("teleport", random.Random(1))
+
+    def test_no_mouse_emits_nothing(self):
+        bot = BotMotionModel(NO_MOUSE, random.Random(1))
+        assert bot.move() is None
+
+    def test_linear_is_perfectly_straight(self):
+        bot = BotMotionModel(LINEAR, random.Random(2))
+        features = trajectory_features(bot.move())
+        assert features.straightness == pytest.approx(1.0, abs=1e-6)
+        assert features.speed_cv < 0.05
+        assert features.tremor_energy < 0.5
+
+    def test_replay_repeats_exactly(self):
+        bot = BotMotionModel(REPLAY, random.Random(3))
+        hashes = {bot.move().shape_hash() for _ in range(5)}
+        assert len(hashes) == 1
+
+    def test_synthetic_curve_lacks_tremor(self):
+        bot = BotMotionModel(SYNTHETIC_CURVE, random.Random(4))
+        for _ in range(10):
+            features = trajectory_features(bot.move())
+            assert features.tremor_energy < 1.0
+
+
+class TestBiometricDetector:
+    def _human_trajectories(self, seed, count=6):
+        model = HumanMotionModel(random.Random(seed))
+        return [model.move() for _ in range(count)]
+
+    def test_humans_pass(self):
+        detector = BiometricDetector()
+        for seed in range(30):
+            verdict = detector.judge_subject(
+                f"h{seed}", self._human_trajectories(seed)
+            )
+            assert not verdict.is_bot, (seed, verdict.reasons)
+
+    @pytest.mark.parametrize(
+        "mode, expected_reason",
+        [
+            (NO_MOUSE, "no-pointer-events"),
+            (LINEAR, "no-motor-tremor"),
+            (REPLAY, "replayed-trajectory"),
+            (SYNTHETIC_CURVE, "no-motor-tremor"),
+        ],
+    )
+    def test_every_bot_mode_caught(self, mode, expected_reason):
+        detector = BiometricDetector()
+        bot = BotMotionModel(mode, random.Random(9))
+        verdict = detector.judge_subject(
+            mode, [bot.move() for _ in range(6)]
+        )
+        assert verdict.is_bot
+        assert expected_reason in verdict.reasons
+
+    def test_mixed_replay_detected_within_human_noise(self):
+        """A bot splicing one recording between generated moves still
+        trips replay detection once the recording repeats enough."""
+        detector = BiometricDetector()
+        human = HumanMotionModel(random.Random(10))
+        recording = human.move()
+        trajectories = [
+            recording, human.move(), recording, human.move(), recording
+        ]
+        verdict = detector.judge_subject("mix", trajectories)
+        assert "replayed-trajectory" in verdict.reasons
+
+    def test_single_human_flick_not_flagged(self):
+        """One short fast movement must not convict a human."""
+        detector = BiometricDetector()
+        model = HumanMotionModel(random.Random(11))
+        trajectory = model.move(start=(100, 100), end=(140, 110))
+        verdict = detector.judge_subject("flick", [trajectory])
+        assert not verdict.is_bot
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_feature_extraction_total(seed):
+    """Property: features are finite and well-typed for any generated
+    trajectory, human or bot."""
+    human = HumanMotionModel(random.Random(seed)).move()
+    for trajectory in (
+        human,
+        BotMotionModel(LINEAR, random.Random(seed)).move(),
+        BotMotionModel(SYNTHETIC_CURVE, random.Random(seed)).move(),
+    ):
+        features = trajectory_features(trajectory)
+        assert features.straightness >= 1.0 - 1e-9
+        assert features.speed_cv >= 0.0
+        assert features.tremor_energy >= 0.0
+        assert features.point_count == len(trajectory.points)

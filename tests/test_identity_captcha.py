@@ -1,0 +1,75 @@
+"""Tests for repro.identity.captcha."""
+
+import random
+
+import pytest
+
+from repro.identity.captcha import CaptchaGateModel
+
+
+class TestValidation:
+    def test_bad_human_pass_rate(self):
+        with pytest.raises(ValueError):
+            CaptchaGateModel(human_pass_rate=1.2)
+
+    def test_bad_solver_pass_rate(self):
+        with pytest.raises(ValueError):
+            CaptchaGateModel(solver_pass_rate=-0.1)
+
+
+class TestHumanSide:
+    def test_humans_mostly_pass(self):
+        model = CaptchaGateModel(human_pass_rate=0.96)
+        rng = random.Random(1)
+        passes = sum(
+            model.present_to_human(rng).passed for _ in range(2000)
+        )
+        assert 0.93 < passes / 2000 < 0.99
+
+    def test_humans_pay_nothing(self):
+        model = CaptchaGateModel()
+        outcome = model.present_to_human(random.Random(1))
+        assert outcome.cost_to_client == 0.0
+
+    def test_human_latency_positive(self):
+        model = CaptchaGateModel()
+        rng = random.Random(2)
+        for _ in range(50):
+            assert model.present_to_human(rng).latency >= 0.0
+
+
+class TestBotSide:
+    def test_bot_without_solver_always_fails(self):
+        model = CaptchaGateModel()
+        rng = random.Random(3)
+        for _ in range(20):
+            outcome = model.present_to_bot(rng, uses_solver_service=False)
+            assert not outcome.passed
+            assert outcome.cost_to_client == 0.0
+
+    def test_solver_charges_per_attempt(self):
+        """Solver services bill on submission, pass or fail — this is
+        the 'adds cost to automated attacks' economics."""
+        model = CaptchaGateModel(solver_cost_per_solve=0.002)
+        rng = random.Random(4)
+        total = sum(
+            model.present_to_bot(rng).cost_to_client for _ in range(100)
+        )
+        assert total == pytest.approx(0.2)
+
+    def test_solver_mostly_passes(self):
+        model = CaptchaGateModel(solver_pass_rate=0.92)
+        rng = random.Random(5)
+        passes = sum(model.present_to_bot(rng).passed for _ in range(2000))
+        assert 0.88 < passes / 2000 < 0.96
+
+    def test_solver_slower_than_humans(self):
+        model = CaptchaGateModel()
+        rng = random.Random(6)
+        human = sum(
+            model.present_to_human(rng).latency for _ in range(500)
+        )
+        solver = sum(
+            model.present_to_bot(rng).latency for _ in range(500)
+        )
+        assert solver > human

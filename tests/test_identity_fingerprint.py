@@ -1,0 +1,186 @@
+"""Tests for repro.identity.fingerprint."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.identity.fingerprint import (
+    DESKTOP,
+    Fingerprint,
+    FingerprintPopulation,
+    MOBILE,
+    NO_PLUGINS_DESKTOP_CHROME,
+    SAFARI_NON_APPLE,
+    TOUCH_ON_DESKTOP,
+    WEBDRIVER_FLAG,
+    automation_artifacts,
+    consistency_check,
+)
+
+
+def make_fingerprint(**overrides):
+    """A fully consistent desktop Chrome baseline."""
+    base = dict(
+        browser="Chrome",
+        browser_version=120,
+        os="Windows",
+        device_class=DESKTOP,
+        screen_width=1920,
+        screen_height=1080,
+        language="en-US",
+        timezone="Europe/Paris",
+        hardware_concurrency=8,
+        device_memory_gb=16,
+        touch_points=0,
+        plugins_count=5,
+        canvas_hash="abc123",
+        webgl_hash="def456",
+    )
+    base.update(overrides)
+    return Fingerprint(**base)
+
+
+class TestFingerprintId:
+    def test_stable(self):
+        assert (
+            make_fingerprint().fingerprint_id
+            == make_fingerprint().fingerprint_id
+        )
+
+    def test_sensitive_to_any_attribute(self):
+        baseline = make_fingerprint().fingerprint_id
+        assert make_fingerprint(browser="Firefox").fingerprint_id != baseline
+        assert make_fingerprint(screen_width=1366).fingerprint_id != baseline
+        assert make_fingerprint(webdriver=True).fingerprint_id != baseline
+
+    def test_with_changes_returns_new_instance(self):
+        original = make_fingerprint()
+        changed = original.with_changes(browser="Firefox")
+        assert original.browser == "Chrome"
+        assert changed.browser == "Firefox"
+
+    def test_user_agent_mentions_browser_and_version(self):
+        fingerprint = make_fingerprint()
+        assert "Chrome/120.0" in fingerprint.user_agent
+
+    def test_headless_user_agent_marker(self):
+        fingerprint = make_fingerprint(headless_ua=True)
+        assert "Headless" in fingerprint.user_agent
+
+
+class TestPopulation:
+    def test_genuine_fingerprints_are_consistent(self):
+        """Property: the population model never produces fingerprints
+        that trip its own consistency rules."""
+        population = FingerprintPopulation()
+        rng = random.Random(42)
+        for _ in range(500):
+            fingerprint = population.sample(rng)
+            assert consistency_check(fingerprint) == []
+            assert automation_artifacts(fingerprint) == []
+
+    def test_mobile_share_respected(self):
+        population = FingerprintPopulation(mobile_share=1.0)
+        rng = random.Random(1)
+        for _ in range(50):
+            assert population.sample(rng).device_class == MOBILE
+
+    def test_zero_mobile_share(self):
+        population = FingerprintPopulation(mobile_share=0.0)
+        rng = random.Random(1)
+        for _ in range(50):
+            assert population.sample(rng).device_class == DESKTOP
+
+    def test_invalid_mobile_share(self):
+        with pytest.raises(ValueError):
+            FingerprintPopulation(mobile_share=1.5)
+
+    def test_population_has_diversity(self):
+        population = FingerprintPopulation()
+        rng = random.Random(3)
+        ids = {population.sample(rng).fingerprint_id for _ in range(200)}
+        assert len(ids) > 150
+
+    def test_render_hashes_cluster(self):
+        """Canvas hashes repeat across users on the same stack."""
+        population = FingerprintPopulation()
+        rng = random.Random(5)
+        hashes = [population.sample(rng).canvas_hash for _ in range(300)]
+        assert len(set(hashes)) < 150  # far fewer hashes than users
+
+
+class TestConsistencyRules:
+    def test_safari_on_windows(self):
+        fingerprint = make_fingerprint(browser="Safari")
+        assert SAFARI_NON_APPLE in consistency_check(fingerprint)
+
+    def test_safari_on_macos_fine(self):
+        fingerprint = make_fingerprint(browser="Safari", os="macOS")
+        assert SAFARI_NON_APPLE not in consistency_check(fingerprint)
+
+    def test_touch_on_desktop(self):
+        fingerprint = make_fingerprint(touch_points=5)
+        assert TOUCH_ON_DESKTOP in consistency_check(fingerprint)
+
+    def test_mobile_without_touch(self):
+        fingerprint = make_fingerprint(
+            device_class=MOBILE,
+            os="Android",
+            screen_width=390,
+            screen_height=844,
+            touch_points=0,
+            plugins_count=0,
+        )
+        assert "no-touch-on-mobile" in consistency_check(fingerprint)
+
+    def test_mobile_screen_on_desktop(self):
+        fingerprint = make_fingerprint(screen_width=390, screen_height=844)
+        assert "mobile-screen-on-desktop" in consistency_check(fingerprint)
+
+    def test_impossible_browser_version(self):
+        fingerprint = make_fingerprint(browser_version=999)
+        assert "impossible-browser-version" in consistency_check(fingerprint)
+
+    def test_plugins_on_mobile(self):
+        fingerprint = make_fingerprint(
+            device_class=MOBILE,
+            os="Android",
+            screen_width=390,
+            screen_height=844,
+            touch_points=5,
+            plugins_count=3,
+        )
+        assert "plugins-on-mobile" in consistency_check(fingerprint)
+
+
+class TestAutomationArtifacts:
+    def test_webdriver_flag(self):
+        fingerprint = make_fingerprint(webdriver=True)
+        assert WEBDRIVER_FLAG in automation_artifacts(fingerprint)
+
+    def test_headless_ua(self):
+        fingerprint = make_fingerprint(headless_ua=True)
+        assert "headless-user-agent" in automation_artifacts(fingerprint)
+
+    def test_zero_plugins_desktop_chrome(self):
+        fingerprint = make_fingerprint(plugins_count=0)
+        assert NO_PLUGINS_DESKTOP_CHROME in automation_artifacts(fingerprint)
+
+    def test_zero_plugins_firefox_not_flagged(self):
+        fingerprint = make_fingerprint(browser="Firefox", plugins_count=0)
+        assert NO_PLUGINS_DESKTOP_CHROME not in automation_artifacts(
+            fingerprint
+        )
+
+    def test_clean_fingerprint_no_artifacts(self):
+        assert automation_artifacts(make_fingerprint()) == []
+
+
+@settings(max_examples=50)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_sampling_deterministic_per_seed(seed):
+    population = FingerprintPopulation()
+    a = population.sample(random.Random(seed))
+    b = population.sample(random.Random(seed))
+    assert a == b

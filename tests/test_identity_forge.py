@@ -1,0 +1,130 @@
+"""Tests for repro.identity.forge (attacker fingerprints + rotation)."""
+
+import random
+
+import pytest
+
+from repro.identity.fingerprint import (
+    automation_artifacts,
+    consistency_check,
+)
+from repro.identity.forge import (
+    BotIdentity,
+    FingerprintForge,
+    MIMICRY,
+    NAIVE_SPOOF,
+    RAW_HEADLESS,
+    RotationPolicy,
+)
+
+
+class TestForgeLevels:
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            FingerprintForge("quantum")
+
+    def test_raw_headless_has_artifacts(self):
+        forge = FingerprintForge(RAW_HEADLESS)
+        rng = random.Random(1)
+        for _ in range(20):
+            fingerprint = forge.forge(rng)
+            artifacts = automation_artifacts(fingerprint)
+            assert "navigator-webdriver-true" in artifacts
+            assert "headless-user-agent" in artifacts
+
+    def test_naive_spoof_scrubs_artifacts(self):
+        forge = FingerprintForge(NAIVE_SPOOF)
+        rng = random.Random(2)
+        for _ in range(50):
+            fingerprint = forge.forge(rng)
+            assert not fingerprint.webdriver
+            assert not fingerprint.headless_ua
+
+    def test_naive_spoof_often_inconsistent(self):
+        """Independent attribute mutation leaves detectable
+        contradictions a substantial fraction of the time."""
+        forge = FingerprintForge(NAIVE_SPOOF)
+        rng = random.Random(3)
+        inconsistent = sum(
+            1
+            for _ in range(300)
+            if consistency_check(forge.forge(rng))
+        )
+        assert inconsistent > 60  # at least ~20%
+
+    def test_mimicry_is_clean(self):
+        """Mimicry-level fingerprints are indistinguishable from the
+        genuine population by rules alone — the paper's core problem."""
+        forge = FingerprintForge(MIMICRY)
+        rng = random.Random(4)
+        for _ in range(200):
+            fingerprint = forge.forge(rng)
+            assert consistency_check(fingerprint) == []
+            assert automation_artifacts(fingerprint) == []
+
+
+class TestRotationPolicy:
+    def test_no_interval_means_no_timed_rotation(self):
+        policy = RotationPolicy(mean_interval=None)
+        assert policy.next_rotation_delay(random.Random(1)) is None
+
+    def test_interval_sampling_positive(self):
+        policy = RotationPolicy(mean_interval=3600.0)
+        rng = random.Random(1)
+        for _ in range(100):
+            assert policy.next_rotation_delay(rng) > 0
+
+    def test_mean_approximates_interval(self):
+        policy = RotationPolicy(mean_interval=1000.0)
+        rng = random.Random(7)
+        draws = [policy.next_rotation_delay(rng) for _ in range(3000)]
+        assert 900 < sum(draws) / len(draws) < 1100
+
+    def test_invalid_interval(self):
+        policy = RotationPolicy(mean_interval=-5.0)
+        with pytest.raises(ValueError):
+            policy.next_rotation_delay(random.Random(1))
+
+
+class TestBotIdentity:
+    def _identity(self, **policy_kwargs):
+        return BotIdentity(
+            FingerprintForge(MIMICRY),
+            RotationPolicy(**policy_kwargs),
+            random.Random(11),
+        )
+
+    def test_rotate_changes_fingerprint(self):
+        identity = self._identity()
+        before = identity.fingerprint.fingerprint_id
+        identity.rotate(now=10.0)
+        assert identity.fingerprint.fingerprint_id != before
+        assert identity.rotations == 1
+        assert identity.last_rotation_at == 10.0
+
+    def test_rotate_on_block(self):
+        identity = self._identity(rotate_on_block=True)
+        assert identity.maybe_rotate(now=5.0, was_blocked=True)
+        assert identity.rotations == 1
+
+    def test_no_rotate_without_trigger(self):
+        identity = self._identity(mean_interval=None, rotate_on_block=True)
+        assert not identity.maybe_rotate(now=5.0, was_blocked=False)
+        assert identity.rotations == 0
+
+    def test_block_rotation_disabled(self):
+        identity = self._identity(rotate_on_block=False)
+        assert not identity.maybe_rotate(now=5.0, was_blocked=True)
+
+    def test_timed_rotation_fires_after_deadline(self):
+        identity = self._identity(
+            mean_interval=100.0, rotate_on_block=False
+        )
+        # Far beyond any plausible exponential draw.
+        assert identity.maybe_rotate(now=1e7, was_blocked=False)
+
+    def test_timed_rotation_not_before_deadline(self):
+        identity = self._identity(
+            mean_interval=1e9, rotate_on_block=False
+        )
+        assert not identity.maybe_rotate(now=1.0, was_blocked=False)

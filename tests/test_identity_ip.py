@@ -1,0 +1,109 @@
+"""Tests for repro.identity.ip (IP pools)."""
+
+import random
+
+import pytest
+
+from repro.identity.ip import (
+    DATACENTER_ASNS,
+    DatacenterPool,
+    HomeIpAssigner,
+    IpAddress,
+    ResidentialProxyPool,
+    is_datacenter,
+)
+
+
+class TestDatacenterPool:
+    def test_leases_are_datacenter(self):
+        pool = DatacenterPool()
+        rng = random.Random(1)
+        for _ in range(20):
+            ip = pool.lease(rng)
+            assert not ip.residential
+            assert ip.asn in DATACENTER_ASNS
+            assert is_datacenter(ip)
+
+    def test_country_fixed(self):
+        pool = DatacenterPool(country="DE")
+        assert pool.lease(random.Random(1)).country == "DE"
+
+    def test_cost_accounting(self):
+        pool = DatacenterPool(cost_per_lease=0.01)
+        rng = random.Random(1)
+        for _ in range(5):
+            pool.lease(rng)
+        assert pool.leases_granted == 5
+        assert pool.total_cost == pytest.approx(0.05)
+
+
+class TestResidentialProxyPool:
+    def test_leases_are_residential(self):
+        pool = ResidentialProxyPool()
+        rng = random.Random(2)
+        for _ in range(20):
+            ip = pool.lease(rng)
+            assert ip.residential
+            assert not is_datacenter(ip)
+
+    def test_geo_targeting(self):
+        """The Case C requirement: exits pinned to the SMS country."""
+        pool = ResidentialProxyPool()
+        rng = random.Random(3)
+        for country in ("UZ", "IR", "NG", "GB"):
+            assert pool.lease(rng, country=country).country == country
+
+    def test_default_mix_has_spread(self):
+        pool = ResidentialProxyPool()
+        rng = random.Random(4)
+        countries = {pool.lease(rng).country for _ in range(200)}
+        assert len(countries) >= 8
+
+    def test_per_lease_cost_accumulates(self):
+        pool = ResidentialProxyPool(cost_per_lease=0.004)
+        rng = random.Random(5)
+        for _ in range(100):
+            pool.lease(rng)
+        assert pool.total_cost == pytest.approx(0.4)
+        assert pool.leases_granted == 100
+
+    def test_leases_by_country_tracked(self):
+        pool = ResidentialProxyPool()
+        rng = random.Random(6)
+        pool.lease(rng, country="UZ")
+        pool.lease(rng, country="UZ")
+        pool.lease(rng, country="IR")
+        assert pool.leases_by_country["UZ"] == 2
+        assert pool.leases_by_country["IR"] == 1
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            ResidentialProxyPool(cost_per_lease=-0.1)
+
+    def test_addresses_unique_enough(self):
+        pool = ResidentialProxyPool()
+        rng = random.Random(7)
+        addresses = {pool.lease(rng).address for _ in range(500)}
+        assert len(addresses) > 490
+
+
+class TestHomeIpAssigner:
+    def test_pinned_country(self):
+        assigner = HomeIpAssigner((("FR", 1.0),))
+        ip = assigner.assign(random.Random(1))
+        assert ip.country == "FR"
+        assert ip.residential
+
+    def test_explicit_country_override(self):
+        assigner = HomeIpAssigner()
+        assert assigner.assign(random.Random(1), country="TH").country == "TH"
+
+
+class TestIpAddress:
+    def test_frozen(self):
+        ip = IpAddress("1.2.3.4", "US", 7000, True)
+        with pytest.raises(AttributeError):
+            ip.country = "GB"
+
+    def test_str(self):
+        assert str(IpAddress("1.2.3.4", "US", 7000, True)) == "1.2.3.4"

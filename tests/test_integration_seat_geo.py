@@ -1,0 +1,107 @@
+"""End-to-end integration of the seat-hoarding and geo-velocity
+detectors against live attack traffic."""
+
+import pytest
+
+from repro.booking.seatmap import MIDDLE, SeatMap
+from repro.common import MANUAL_SPINNER, SMS_PUMPER
+from repro.core.detection.geo_velocity import GeoVelocityDetector
+from repro.core.detection.seats import SeatHoardingDetector
+from repro.scenarios.case_c import CaseCConfig, run_case_c
+from repro.scenarios.world import FlightSpec, WorldConfig, build_world
+from repro.sim.clock import DAY, HOUR
+from repro.traffic.legitimate import LegitimateConfig, LegitimatePopulation
+from repro.traffic.manual_spinner import ManualSeatSpinner, ManualSpinnerConfig
+
+
+class TestSeatHoardingEndToEnd:
+    @pytest.fixture(scope="class")
+    def world(self):
+        flights = [
+            FlightSpec(
+                "SEATMAP-1",
+                10 * DAY,
+                capacity=120,
+            )
+        ]
+        world = build_world(
+            WorldConfig(seed=3, flights=flights, hold_ttl=4 * HOUR)
+        )
+        # Re-create the flight with a seat map (FlightSpec has no seat
+        # map field; the scenario wires it manually).
+        flight = world.reservations.flight("SEATMAP-1")
+        flight.seat_map = SeatMap(rows=20)
+
+        LegitimatePopulation(
+            world.loop,
+            world.app,
+            world.rngs.stream("legit"),
+            LegitimateConfig(visitor_rate_per_hour=10),
+        ).start(at=0.0)
+        ManualSeatSpinner(
+            world.loop,
+            world.app,
+            world.rngs.stream("manual"),
+            ManualSpinnerConfig(target_flight="SEATMAP-1"),
+        ).start(at=0.0)
+        world.run_until(4 * DAY)
+        return world
+
+    def test_spinner_holds_middle_seats(self, world):
+        spinner_holds = [
+            h
+            for h in world.reservations.holds.all_holds()
+            if h.client.actor_class == MANUAL_SPINNER and h.seats
+        ]
+        assert spinner_holds
+        middles = sum(
+            1
+            for h in spinner_holds
+            for s in h.seats
+            if s.position == MIDDLE
+        )
+        total = sum(len(h.seats) for h in spinner_holds)
+        assert middles / total > 0.8
+
+    def test_detector_flags_only_the_spinner(self, world):
+        holds = world.reservations.holds.all_holds()
+        detector = SeatHoardingDetector()
+        flagged = set(detector.flagged_fingerprints(holds))
+        spinner_fps = {
+            h.client.fingerprint_id
+            for h in holds
+            if h.client.actor_class == MANUAL_SPINNER
+        }
+        legit_fps = {
+            h.client.fingerprint_id
+            for h in holds
+            if h.client.actor_class == "legit"
+        }
+        assert flagged  # someone was caught
+        assert flagged <= spinner_fps  # and only the attacker
+        assert not flagged & legit_fps
+
+
+class TestGeoVelocityEndToEnd:
+    def test_pumper_refs_flagged_in_case_c(self):
+        result = run_case_c(
+            CaseCConfig(seed=4, baseline_weekly_total=4000)
+        )
+        detector = GeoVelocityDetector()
+        delivered = result.world.sms.delivered_records()
+        flagged = set(detector.flagged_keys(delivered))
+        pumper_refs = {
+            r.booking_ref
+            for r in delivered
+            if r.client.actor_class == SMS_PUMPER and r.booking_ref
+        }
+        legit_keys = {
+            r.booking_ref or r.client.profile_id
+            for r in delivered
+            if r.client.actor_class == "legit"
+        }
+        # Every pumping booking reference trips impossible travel...
+        assert pumper_refs
+        assert pumper_refs <= flagged
+        # ... and no legitimate traveller does.
+        assert not flagged & legit_keys

@@ -1,0 +1,241 @@
+"""Tests for repro.core.mitigation: policies, blocking, honeypot."""
+
+import random
+
+import pytest
+
+from repro.booking.flight import Flight
+from repro.booking.passengers import sample_genuine_party
+from repro.booking.reservation import ReservationSystem
+from repro.common import ClientRef
+from repro.core.mitigation.blocking import BlockRuleManager
+from repro.core.mitigation.honeypot import HoneypotManager
+from repro.core.mitigation.policies import (
+    CaptchaPolicy,
+    FeatureRestrictionPolicy,
+    HoldTtlPolicy,
+    NipCapPolicy,
+    RateLimitPolicy,
+    SmsFeatureTogglePolicy,
+    loyalty_members_only,
+)
+from repro.identity.fingerprint import FingerprintPopulation
+from repro.sim.clock import Clock, HOUR
+from repro.sms.gateway import BOARDING_PASS, SmsGateway
+from repro.web.application import WebApplication
+from repro.web.ratelimit import key_by_ip
+from repro.web.request import (
+    BLOCKED,
+    HOLD,
+    OK,
+    RATE_LIMITED,
+    Request,
+    SEARCH,
+)
+
+
+@pytest.fixture
+def app():
+    clock = Clock()
+    reservations = ReservationSystem(clock, hold_ttl=1 * HOUR, max_nip=9)
+    reservations.add_flight(Flight("F1", "A", "NCE", "CDG", 1000 * HOUR, 60))
+    return WebApplication(
+        clock, reservations, SmsGateway(clock), random.Random(1)
+    )
+
+
+def make_request(path=SEARCH, fingerprint=None, profile_id="", ip="1.1.1.1",
+                 params=None):
+    fingerprint = fingerprint or FingerprintPopulation().sample(
+        random.Random(3)
+    )
+    return Request(
+        method="GET",
+        path=path,
+        client=ClientRef(
+            ip_address=ip,
+            ip_country="US",
+            ip_residential=True,
+            fingerprint_id=fingerprint.fingerprint_id,
+            user_agent=fingerprint.user_agent,
+            profile_id=profile_id,
+        ),
+        params=params or {},
+        fingerprint=fingerprint,
+    )
+
+
+class TestPolicies:
+    def test_nip_cap_apply_revert(self, app):
+        policy = NipCapPolicy(4)
+        policy.apply(app)
+        assert app.reservations.max_nip == 4
+        policy.revert(app)
+        assert app.reservations.max_nip == 9
+
+    def test_double_apply_rejected(self, app):
+        policy = NipCapPolicy(4)
+        policy.apply(app)
+        with pytest.raises(RuntimeError):
+            policy.apply(app)
+
+    def test_revert_without_apply_rejected(self, app):
+        with pytest.raises(RuntimeError):
+            NipCapPolicy(4).revert(app)
+
+    def test_rate_limit_policy(self, app):
+        policy = RateLimitPolicy("per-ip", key_by_ip, limit=1, window=60.0)
+        policy.apply(app)
+        assert app.handle(make_request()).ok
+        assert app.handle(make_request()).status == RATE_LIMITED
+        policy.revert(app)
+        assert app.handle(make_request()).ok
+
+    def test_feature_restriction_policy(self, app):
+        policy = FeatureRestrictionPolicy(SEARCH)
+        policy.apply(app)
+        assert app.handle(make_request()).status == BLOCKED
+        assert app.handle(
+            make_request(profile_id="loyal-7")
+        ).status == OK
+        policy.revert(app)
+        assert app.handle(make_request()).ok
+
+    def test_loyalty_predicate(self, app):
+        assert loyalty_members_only(make_request(profile_id="loyal-1"))
+        assert not loyalty_members_only(make_request(profile_id="user-1"))
+        assert not loyalty_members_only(make_request())
+
+    def test_captcha_policy(self, app):
+        policy = CaptchaPolicy(SEARCH)
+        policy.apply(app)
+        request = make_request()
+        bot_request = Request(
+            method="GET", path=SEARCH, client=request.client,
+            fingerprint=request.fingerprint, captcha_ability="none",
+        )
+        assert app.handle(bot_request).status == 401
+        policy.revert(app)
+        assert app.handle(bot_request).ok
+
+    def test_sms_toggle_policy(self, app):
+        policy = SmsFeatureTogglePolicy(BOARDING_PASS)
+        policy.apply(app)
+        assert not app.sms.kind_enabled(BOARDING_PASS)
+        policy.revert(app)
+        assert app.sms.kind_enabled(BOARDING_PASS)
+
+    def test_hold_ttl_policy(self, app):
+        policy = HoldTtlPolicy(120.0)
+        policy.apply(app)
+        assert app.reservations.hold_ttl == 120.0
+        policy.revert(app)
+        assert app.reservations.hold_ttl == 1 * HOUR
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            NipCapPolicy(0)
+        with pytest.raises(ValueError):
+            HoldTtlPolicy(0.0)
+
+
+class TestBlockRuleManager:
+    def test_block_fingerprint_deduplicates(self, app):
+        manager = BlockRuleManager(app)
+        assert manager.block_fingerprint_id("fp-x") is not None
+        assert manager.block_fingerprint_id("fp-x") is None
+        assert manager.rules_deployed == 1
+        assert manager.is_blocked("fp-x")
+
+    def test_blocked_fingerprint_requests_denied(self, app):
+        fingerprint = FingerprintPopulation().sample(random.Random(5))
+        manager = BlockRuleManager(app)
+        manager.block_fingerprint_id(fingerprint.fingerprint_id)
+        response = app.handle(make_request(fingerprint=fingerprint))
+        assert response.status == BLOCKED
+
+    def test_effectiveness_window_measured(self, app):
+        fingerprint = FingerprintPopulation().sample(random.Random(6))
+        manager = BlockRuleManager(app)
+        app.clock.advance_to(100.0)
+        manager.block_fingerprint_id(fingerprint.fingerprint_id)
+        app.clock.advance_to(500.0)
+        app.handle(make_request(fingerprint=fingerprint))
+        summaries = manager.effectiveness()
+        assert len(summaries) == 1
+        assert summaries[0].effective_window == pytest.approx(400.0)
+        assert manager.mean_effective_window() == pytest.approx(400.0)
+
+    def test_never_matched_rule_has_no_window(self, app):
+        manager = BlockRuleManager(app)
+        manager.block_fingerprint_id("fp-ghost")
+        assert manager.effectiveness()[0].effective_window is None
+        assert manager.mean_effective_window() is None
+
+    def test_block_ip(self, app):
+        manager = BlockRuleManager(app)
+        manager.block_ip("1.1.1.1")
+        assert app.handle(make_request(ip="1.1.1.1")).status == BLOCKED
+        assert app.handle(make_request(ip="2.2.2.2")).ok
+        assert manager.block_ip("1.1.1.1") is None
+
+
+class TestHoneypotManager:
+    def test_install_and_route(self, app):
+        manager = HoneypotManager(app)
+        fingerprint = FingerprintPopulation().sample(random.Random(7))
+        manager.add_suspect_fingerprint(fingerprint.fingerprint_id)
+        manager.install()
+        party = sample_genuine_party(random.Random(1), 3)
+        response = app.handle(
+            Request(
+                method="POST",
+                path=HOLD,
+                client=ClientRef(
+                    "4.4.4.4", "US", True,
+                    fingerprint.fingerprint_id, "UA",
+                ),
+                params={"flight_id": "F1", "passengers": party},
+                fingerprint=fingerprint,
+            )
+        )
+        assert response.ok
+        assert response.data.shadow
+        assert manager.redirected_requests == 1
+        assert manager.shadow_hold_count() == 1
+        assert manager.shadow_seats_absorbed() == 3
+        assert app.reservations.availability("F1") == 60
+
+    def test_non_suspects_untouched(self, app):
+        manager = HoneypotManager(app)
+        manager.install()
+        party = sample_genuine_party(random.Random(2), 2)
+        response = app.handle(
+            make_request(
+                path=HOLD,
+                params={"flight_id": "F1", "passengers": party},
+            )
+        )
+        assert response.ok
+        assert not response.data.shadow
+
+    def test_suspect_by_ip(self, app):
+        manager = HoneypotManager(app)
+        manager.add_suspect_ip("6.6.6.6")
+        assert manager.is_suspect(make_request(ip="6.6.6.6"))
+        assert not manager.is_suspect(make_request(ip="7.7.7.7"))
+        assert manager.suspect_count == 1
+
+    def test_double_install_rejected(self, app):
+        manager = HoneypotManager(app)
+        manager.install()
+        with pytest.raises(RuntimeError):
+            manager.install()
+
+    def test_uninstall(self, app):
+        manager = HoneypotManager(app)
+        manager.install()
+        manager.uninstall()
+        assert app.honeypot_router is None
+        with pytest.raises(RuntimeError):
+            manager.uninstall()

@@ -1,0 +1,331 @@
+"""Tests for the closed-loop MitigationController."""
+
+import random
+
+import pytest
+
+from repro.booking.flight import Flight
+from repro.booking.passengers import sample_gibberish_passenger
+from repro.common import ClientRef, SEAT_SPINNER
+from repro.core.mitigation.controller import (
+    ControllerConfig,
+    MitigationController,
+)
+from repro.identity.fingerprint import FingerprintPopulation
+from repro.identity.forge import FingerprintForge, RAW_HEADLESS
+from repro.scenarios.world import FlightSpec, WorldConfig, build_world
+from repro.sim.clock import HOUR, MINUTE, WEEK
+from repro.sms.gateway import BOARDING_PASS
+from repro.sms.numbers import sample_number
+from repro.traffic.legitimate import AVERAGE_WEEK_NIP_MIXTURE
+from repro.web.request import BOARDING_PASS_SMS, HOLD, Request
+
+
+def make_world():
+    return build_world(
+        WorldConfig(
+            seed=5,
+            flights=[FlightSpec("F1", 1000 * HOUR, capacity=5000)],
+            hold_ttl=10 * HOUR,
+        )
+    )
+
+
+def hold_request(fingerprint, nip=6, ip="8.8.4.4"):
+    rng = random.Random(hash(fingerprint.fingerprint_id) % 1000)
+    party = [sample_gibberish_passenger(rng) for _ in range(nip)]
+    return Request(
+        method="POST",
+        path=HOLD,
+        client=ClientRef(
+            ip_address=ip,
+            ip_country="US",
+            ip_residential=True,
+            fingerprint_id=fingerprint.fingerprint_id,
+            user_agent=fingerprint.user_agent,
+            actor="bot",
+            actor_class=SEAT_SPINNER,
+        ),
+        params={"flight_id": "F1", "passengers": party},
+        fingerprint=fingerprint,
+    )
+
+
+class TestNipCapBranch:
+    def test_nip_anomaly_triggers_cap(self):
+        world = make_world()
+        controller = MitigationController(
+            world.loop,
+            world.app,
+            ControllerConfig(
+                interval=1 * HOUR,
+                window=6 * HOUR,
+                baseline_nip=AVERAGE_WEEK_NIP_MIXTURE,
+                enable_nip_cap=True,
+                nip_cap_value=4,
+                enable_fingerprint_blocks=False,
+            ),
+        )
+        controller.start(at=1 * HOUR)
+        # Flood the window with NiP-6 holds (a seat-spinning wave).
+        fingerprint = FingerprintPopulation().sample(random.Random(1))
+
+        def flood():
+            for _ in range(10):
+                world.app.handle(hold_request(fingerprint))
+
+        for minute in range(0, 120, 10):
+            world.loop.schedule_at(minute * MINUTE, flood)
+        world.run_until(4 * HOUR)
+        assert world.app.reservations.max_nip == 4
+        assert controller.actions("nip-cap")
+
+    def test_no_cap_without_anomaly(self):
+        world = make_world()
+        controller = MitigationController(
+            world.loop,
+            world.app,
+            ControllerConfig(
+                baseline_nip=AVERAGE_WEEK_NIP_MIXTURE,
+                enable_fingerprint_blocks=False,
+            ),
+        )
+        controller.start(at=1 * HOUR)
+        world.run_until(6 * HOUR)
+        assert world.app.reservations.max_nip == 9
+        assert controller.timeline == []
+
+
+class TestFingerprintBranch:
+    def test_frequent_fingerprint_blocked(self):
+        world = make_world()
+        controller = MitigationController(
+            world.loop,
+            world.app,
+            ControllerConfig(
+                interval=1 * HOUR,
+                enable_nip_cap=False,
+                holds_per_fingerprint_threshold=3,
+                enable_artifact_blocks=False,
+            ),
+        )
+        controller.start(at=1 * HOUR)
+        fingerprint = FingerprintPopulation().sample(random.Random(2))
+
+        def burst():
+            for _ in range(5):
+                world.app.handle(hold_request(fingerprint, nip=2))
+
+        world.loop.schedule_at(10 * MINUTE, burst)
+        world.run_until(3 * HOUR)
+        assert controller.blocks.is_blocked(fingerprint.fingerprint_id)
+        assert controller.actions("fingerprint-block")
+
+    def test_artifact_fingerprint_blocked_once_seen(self):
+        world = make_world()
+        controller = MitigationController(
+            world.loop,
+            world.app,
+            ControllerConfig(
+                interval=1 * HOUR,
+                enable_nip_cap=False,
+                holds_per_fingerprint_threshold=999,
+            ),
+        )
+        controller.start(at=1 * HOUR)
+        headless = FingerprintForge(RAW_HEADLESS).forge(random.Random(3))
+        world.loop.schedule_at(
+            10 * MINUTE,
+            lambda: world.app.handle(hold_request(headless, nip=1)),
+        )
+        world.run_until(3 * HOUR)
+        assert controller.blocks.is_blocked(headless.fingerprint_id)
+        assert controller.actions("artifact-block")
+
+    def test_honeypot_mode_suspects_instead_of_blocking(self):
+        world = make_world()
+        controller = MitigationController(
+            world.loop,
+            world.app,
+            ControllerConfig(
+                interval=1 * HOUR,
+                enable_nip_cap=False,
+                holds_per_fingerprint_threshold=3,
+                honeypot_mode=True,
+            ),
+        )
+        controller.start(at=1 * HOUR)
+        fingerprint = FingerprintPopulation().sample(random.Random(4))
+
+        def burst():
+            for _ in range(5):
+                world.app.handle(hold_request(fingerprint, nip=2))
+
+        world.loop.schedule_at(10 * MINUTE, burst)
+        world.loop.schedule_at(90 * MINUTE, burst)
+        world.run_until(3 * HOUR)
+        # Not blocked; routed into the shadow inventory instead.
+        assert not controller.blocks.is_blocked(fingerprint.fingerprint_id)
+        assert controller.actions("honeypot-suspect")
+        assert controller.honeypot.shadow_hold_count() > 0
+
+
+class TestSmsBranch:
+    def _world_with_sms_controller(self, **overrides):
+        world = make_world()
+        config = dict(
+            interval=1 * HOUR,
+            window=6 * HOUR,
+            enable_nip_cap=False,
+            enable_fingerprint_blocks=False,
+            enable_sms_monitor=True,
+            sms_weekly_baseline={"UZ": 2, "GB": 450},
+            sms_min_window_count=10,
+            sms_disable_after_alarms=3,
+        )
+        config.update(overrides)
+        controller = MitigationController(
+            world.loop, world.app, ControllerConfig(**config)
+        )
+        controller.start(at=1 * HOUR)
+        return world, controller
+
+    def _pump(self, world, count=30, ref="REF1"):
+        rng = random.Random(9)
+        fingerprint = FingerprintPopulation().sample(rng)
+        for _ in range(count):
+            number = sample_number(rng, "UZ", controlled_by_attacker=True)
+            world.app.handle(
+                Request(
+                    method="POST",
+                    path=BOARDING_PASS_SMS,
+                    client=ClientRef(
+                        "5.5.5.5", "UZ", True,
+                        fingerprint.fingerprint_id, "UA",
+                    ),
+                    params={"booking_ref": ref, "phone": number},
+                    fingerprint=fingerprint,
+                )
+            )
+
+    def test_surge_deploys_rate_limit_then_disables(self):
+        world, controller = self._world_with_sms_controller()
+        for hour in (0.5, 1.5, 2.5, 3.5, 4.5):
+            world.loop.schedule_at(
+                hour * HOUR, lambda: self._pump(world)
+            )
+        world.run_until(8 * HOUR)
+        assert controller.actions("sms-rate-limit")
+        assert controller.actions("sms-feature-disabled")
+        assert not world.sms.kind_enabled(BOARDING_PASS)
+
+    def test_no_alarm_on_baseline_traffic(self):
+        world, controller = self._world_with_sms_controller()
+        world.run_until(8 * HOUR)
+        assert controller.timeline == []
+        assert world.sms.kind_enabled(BOARDING_PASS)
+
+
+class TestGeoVelocityBranch:
+    def test_impossible_travel_blocks_booking_ref(self):
+        """The baseline-free branch: pumped refs get blocked without
+        any per-country baseline configured."""
+        from repro.core.detection.geo_velocity import GeoVelocityConfig
+
+        world = make_world()
+        controller = MitigationController(
+            world.loop,
+            world.app,
+            ControllerConfig(
+                interval=1 * HOUR,
+                window=6 * HOUR,
+                enable_nip_cap=False,
+                enable_fingerprint_blocks=False,
+                enable_geo_velocity=True,
+            ),
+        )
+        controller.start(at=1 * HOUR)
+
+        rng = random.Random(7)
+        population = FingerprintPopulation()
+
+        def pump_from_everywhere():
+            for country in ("UZ", "IR", "KG", "JO", "NG", "KH"):
+                fingerprint = population.sample(rng)
+                number = sample_number(
+                    rng, country, controlled_by_attacker=True
+                )
+                world.app.handle(
+                    Request(
+                        method="POST",
+                        path=BOARDING_PASS_SMS,
+                        client=ClientRef(
+                            f"9.9.9.{rng.randint(1, 254)}",
+                            country,
+                            True,
+                            fingerprint.fingerprint_id,
+                            "UA",
+                        ),
+                        params={"booking_ref": "PUMPED", "phone": number},
+                        fingerprint=fingerprint,
+                    )
+                )
+
+        world.loop.schedule_at(10 * MINUTE, pump_from_everywhere)
+        world.run_until(3 * HOUR)
+        assert controller.actions("geo-velocity-block")
+        # Further requests citing the blocked ref are denied at the edge.
+        fingerprint = population.sample(rng)
+        response = world.app.handle(
+            Request(
+                method="POST",
+                path=BOARDING_PASS_SMS,
+                client=ClientRef(
+                    "9.9.9.9", "UZ", True,
+                    fingerprint.fingerprint_id, "UA",
+                ),
+                params={
+                    "booking_ref": "PUMPED",
+                    "phone": sample_number(rng, "UZ"),
+                },
+                fingerprint=fingerprint,
+            )
+        )
+        assert response.status == 403
+
+    def test_normal_refs_untouched(self):
+        world = make_world()
+        controller = MitigationController(
+            world.loop,
+            world.app,
+            ControllerConfig(
+                interval=1 * HOUR,
+                enable_nip_cap=False,
+                enable_fingerprint_blocks=False,
+                enable_geo_velocity=True,
+            ),
+        )
+        controller.start(at=1 * HOUR)
+        rng = random.Random(8)
+        fingerprint = FingerprintPopulation().sample(rng)
+
+        def ordinary_user():
+            world.app.handle(
+                Request(
+                    method="POST",
+                    path=BOARDING_PASS_SMS,
+                    client=ClientRef(
+                        "8.8.8.8", "FR", True,
+                        fingerprint.fingerprint_id, "UA",
+                    ),
+                    params={
+                        "booking_ref": "NORMAL",
+                        "phone": sample_number(rng, "FR"),
+                    },
+                    fingerprint=fingerprint,
+                )
+            )
+
+        world.loop.schedule_at(10 * MINUTE, ordinary_user)
+        world.run_until(3 * HOUR)
+        assert not controller.actions("geo-velocity-block")

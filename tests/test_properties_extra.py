@@ -1,0 +1,153 @@
+"""Extra property-based tests on pure functions and data structures."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.booking.seatmap import (
+    ANY,
+    AVAILABLE,
+    MIDDLE_BLOCK,
+    PREFERENCES,
+    SeatMap,
+    SeatMapError,
+    TOGETHER,
+    WINDOW_AISLE,
+)
+from repro.core.detection.anomaly import chi_square_sf, jensen_shannon
+from repro.core.detection.fusion import FusionDetector
+from repro.core.detection.verdict import Verdict
+from repro.analysis.reports import format_percent, render_table
+
+
+class TestSeatMapProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rows=st.integers(min_value=1, max_value=10),
+        picks=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=6),
+                st.sampled_from(PREFERENCES),
+            ),
+            max_size=12,
+        ),
+    )
+    def test_picks_never_overlap_and_conserve_capacity(self, rows, picks):
+        """Property: successive pick+hold rounds never hand out the
+        same seat twice, and held + available == capacity."""
+        seat_map = SeatMap(rows=rows)
+        handed_out = set()
+        for count, preference in picks:
+            if count > seat_map.available_count():
+                with pytest.raises(SeatMapError):
+                    seat_map.pick(count, preference)
+                continue
+            seats = seat_map.pick(count, preference)
+            assert len(seats) == count
+            assert len(set(seats)) == count
+            assert not (set(seats) & handed_out)
+            seat_map.hold(seats)
+            handed_out.update(seats)
+            assert (
+                seat_map.available_count() + len(handed_out)
+                == seat_map.capacity
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows=st.integers(min_value=2, max_value=10))
+    def test_together_pick_is_adjacent(self, rows):
+        seat_map = SeatMap(rows=rows)
+        seats = seat_map.pick(3, TOGETHER)
+        assert len({s.row for s in seats}) == 1
+        letters = sorted(ord(s.letter) for s in seats)
+        assert letters[2] - letters[0] == 2
+
+
+class TestFusionProperties:
+    @settings(max_examples=60)
+    @given(
+        scores=st.lists(
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_fused_score_bounded_and_monotone(self, scores):
+        """Property: the noisy-OR score is within [0, 1] and at least
+        as large as any single weighted contribution."""
+        fusion = FusionDetector(weights={"d": 0.8})
+        verdicts = [
+            [
+                Verdict(
+                    subject_id="S",
+                    detector="d",
+                    score=score,
+                    is_bot=score >= 0.5,
+                )
+            ]
+            for score in scores
+        ]
+        fused = fusion.fuse(verdicts)[0]
+        assert 0.0 <= fused.score <= 1.0
+        assert fused.score >= 0.8 * max(scores) - 1e-9
+
+    @settings(max_examples=40)
+    @given(score=st.floats(min_value=0.0, max_value=1.0))
+    def test_adding_evidence_never_lowers_score(self, score):
+        fusion = FusionDetector(weights={"d": 0.5})
+
+        def verdict(value):
+            return Verdict("S", "d", value, value >= 0.5)
+
+        one = fusion.fuse([[verdict(score)]])[0].score
+        two = fusion.fuse([[verdict(score)], [verdict(score)]])[0].score
+        assert two >= one - 1e-12
+
+
+class TestStatsProperties:
+    @settings(max_examples=60)
+    @given(
+        dof=st.integers(min_value=1, max_value=20),
+        a=st.floats(min_value=0.0, max_value=100.0),
+        b=st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_chi_square_sf_monotone(self, dof, a, b):
+        low, high = min(a, b), max(a, b)
+        assert chi_square_sf(low, dof) >= chi_square_sf(high, dof) - 1e-12
+
+    @settings(max_examples=60)
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.01, max_value=5.0),
+            min_size=1,
+            max_size=6,
+        ),
+        scale=st.floats(min_value=0.1, max_value=100.0),
+    )
+    def test_jsd_scale_invariant(self, weights, scale):
+        p = dict(enumerate(weights))
+        q = {k: v * scale for k, v in p.items()}
+        assert jensen_shannon(p, q) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestReportProperties:
+    @settings(max_examples=40)
+    @given(
+        rows=st.lists(
+            st.tuples(st.text(max_size=8), st.integers()),
+            max_size=8,
+        )
+    )
+    def test_render_table_total_lines(self, rows):
+        """Header + separator + one line per row, whatever the data."""
+        text = render_table(["a", "b"], [list(r) for r in rows])
+        assert len(text.splitlines()) == 2 + len(rows)
+
+    @settings(max_examples=60)
+    @given(value=st.floats(min_value=0.0, max_value=1e9))
+    def test_format_percent_roundtrip(self, value):
+        rendered = format_percent(value)
+        assert rendered.endswith("%")
+        parsed = float(rendered[:-1].replace(",", ""))
+        assert parsed == pytest.approx(round(value), abs=0.51)

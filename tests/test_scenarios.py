@@ -1,0 +1,218 @@
+"""Integration tests over the pre-wired scenarios (scaled down so the
+whole file stays fast; the full-size runs live in benchmarks/)."""
+
+import pytest
+
+from repro.common import SEAT_SPINNER
+from repro.scenarios.case_a import CaseAConfig, run_case_a
+from repro.scenarios.case_b import CaseBConfig, run_case_b
+from repro.scenarios.case_c import (
+    CaseCConfig,
+    PER_REF,
+    TABLE1_SURGES,
+    case_c_attack_totals,
+    case_c_attack_weights,
+    case_c_baseline_weekly,
+    run_case_c,
+)
+from repro.scenarios.world import (
+    FlightSpec,
+    WorldConfig,
+    build_world,
+    default_flight_schedule,
+)
+from repro.sim.clock import DAY, HOUR, WEEK
+
+
+class TestWorldBuilder:
+    def test_build_world_wires_substrates(self):
+        world = build_world(WorldConfig(seed=3))
+        assert world.app.reservations is world.reservations
+        assert world.app.sms is world.sms
+        assert world.sms.telco is world.telco
+        assert len(world.reservations.flights()) == 40
+
+    def test_reproducible_flight_schedule(self):
+        schedule = default_flight_schedule(count=5)
+        assert len(schedule) == 5
+        assert len({s.flight_id for s in schedule}) == 5
+
+    def test_colluding_countries_registered(self):
+        world = build_world(
+            WorldConfig(seed=1, colluding_countries=("UZ", "IR"))
+        )
+        assert world.telco.carrier_for("UZ").colluding
+        assert world.telco.carrier_for("IR").colluding
+        assert not world.telco.carrier_for("GB").colluding
+
+    def test_run_until_expires_holds(self):
+        world = build_world(WorldConfig(seed=1))
+        world.run_until(1 * HOUR)
+        assert world.now == 1 * HOUR
+
+
+SMALL_CASE_A = CaseAConfig(
+    seed=3,
+    visitor_rate_per_hour=6.0,
+    attack_start=2 * DAY,
+    cap_at=4 * DAY,
+    departure_time=6 * DAY + 2.5 * DAY,
+    target_capacity=120,
+    attacker_target_seats=60,
+)
+
+
+class TestCaseA:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_case_a(SMALL_CASE_A)
+
+    def test_attacker_surges_nip6(self, result):
+        # Week boundaries differ in the small config; use the raw
+        # records: the attacker holds exist and use NiP 6 before the
+        # cap, 4 after.
+        attack = [
+            r
+            for r in result.world.reservations.held_records()
+            if r.client.actor_class == SEAT_SPINNER
+        ]
+        assert attack
+        before_cap = [r for r in attack if r.time < 4 * DAY]
+        after_cap = [r for r in attack if r.time > 4 * DAY + HOUR]
+        assert before_cap and all(r.nip == 6 for r in before_cap)
+        assert after_cap and all(r.nip <= 4 for r in after_cap)
+
+    def test_attacker_adapts_to_cap(self, result):
+        assert result.attacker_final_nip == 4
+        assert result.attacker_nip_adaptations
+
+    def test_arms_race_produces_rotations(self, result):
+        assert result.attacker_rotations > 3
+        assert result.attacker_blocks_encountered >= (
+            result.attacker_rotations
+        )
+
+    def test_attack_stops_two_days_before_departure(self, result):
+        margin = result.config.stop_before_departure
+        assert result.last_attack_hold_time is not None
+        assert (
+            result.last_attack_hold_time
+            <= result.departure_time - margin + 1
+        )
+
+    def test_block_rules_deployed_and_matched(self, result):
+        matched = [
+            r for r in result.rule_effectiveness if r.matches > 0
+        ]
+        assert matched
+
+    def test_no_mitigation_variant(self):
+        config = CaseAConfig(
+            seed=3,
+            visitor_rate_per_hour=6.0,
+            attack_start=2 * DAY,
+            cap_at=None,
+            controller_enabled=False,
+            departure_time=5 * DAY,
+            target_capacity=120,
+            attacker_target_seats=60,
+        )
+        result = run_case_a(config)
+        assert result.cap_applied_at is None
+        assert result.attacker_rotations == 0
+        assert result.attacker_final_nip == 6
+
+
+class TestCaseB:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_case_b(CaseBConfig(seed=5, duration=6 * DAY))
+
+    def test_both_campaigns_detected(self, result):
+        assert result.automated_coverage > 0.9
+        assert result.manual_coverage > 0.8
+
+    def test_low_false_positives(self, result):
+        assert result.legit_false_positive_rate < 0.05
+
+    def test_volume_detection_misses_both(self, result):
+        assert result.volume_recall.get("seat-spinner", 0.0) < 0.2
+        assert result.volume_recall.get("manual-spinner", 0.0) < 0.2
+
+    def test_expected_finding_kinds(self, result):
+        assert "birthdate-rotation" in result.finding_kinds
+        assert "name-set-permutation" in result.finding_kinds
+
+
+class TestCaseCCalibration:
+    def test_baseline_pins_present(self):
+        baseline = case_c_baseline_weekly()
+        assert baseline["UZ"] == 2
+        assert baseline["GB"] == 450
+        assert sum(baseline.values()) >= 40_000
+
+    def test_attack_totals_follow_table1(self):
+        baseline = case_c_baseline_weekly()
+        totals = case_c_attack_totals(baseline)
+        for code, surge in TABLE1_SURGES.items():
+            expected = surge / 100.0 * baseline[code]
+            assert totals[code] == pytest.approx(expected, abs=1.0)
+
+    def test_campaign_spans_42_countries(self):
+        assert len(case_c_attack_totals()) == 42
+
+    def test_attack_weights_normalised(self):
+        weights = case_c_attack_weights()
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_global_increase_near_25_percent(self):
+        baseline = case_c_baseline_weekly()
+        totals = case_c_attack_totals(baseline)
+        increase = sum(totals.values()) / sum(baseline.values())
+        assert 0.15 < increase < 0.35
+
+    def test_variant_validation(self):
+        with pytest.raises(ValueError):
+            CaseCConfig(variant="firewall")
+
+
+class TestCaseCSmall:
+    """A 1/10-scale Case C run: shapes, not exact magnitudes."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_case_c(
+            CaseCConfig(seed=2, baseline_weekly_total=5_000)
+        )
+
+    def test_high_cost_countries_surge(self, result):
+        surges = {
+            s.country_code: s.surge_percent
+            for s in result.surge_table_expected
+        }
+        for code in ("UZ", "IR", "KG", "JO", "NG", "KH"):
+            assert surges[code] > 500.0, code
+
+    def test_large_markets_modest(self, result):
+        surges = {
+            s.country_code: s.surge_percent
+            for s in result.surge_table_expected
+        }
+        for code in ("GB", "CN", "TH"):
+            assert surges[code] < 200.0, code
+
+    def test_attack_spans_many_countries(self, result):
+        assert result.countries_targeted >= 35
+
+    def test_attacker_profitable_unprotected(self, result):
+        assert result.attacker_ledger.net > 0
+
+    def test_per_ref_variant_strangles_attack(self):
+        result = run_case_c(
+            CaseCConfig(
+                seed=2, baseline_weekly_total=5_000, variant=PER_REF
+            )
+        )
+        assert result.attacker_sms_delivered < 500
+        assert result.detection_latency is not None
+        assert result.detection_latency < 6 * HOUR

@@ -1,0 +1,84 @@
+"""Tests for repro.sim.clock."""
+
+import pytest
+
+from repro.sim.clock import (
+    Clock,
+    DAY,
+    HOUR,
+    MINUTE,
+    SECOND,
+    WEEK,
+    format_duration,
+)
+
+
+class TestDurations:
+    def test_constants_compose(self):
+        assert MINUTE == 60 * SECOND
+        assert HOUR == 60 * MINUTE
+        assert DAY == 24 * HOUR
+        assert WEEK == 7 * DAY
+
+    def test_five_point_three_hours(self):
+        # The paper's rotation constant, used throughout the scenarios.
+        assert 5.3 * HOUR == pytest.approx(19080.0)
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_custom_start(self):
+        assert Clock(start=5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            Clock(start=-1.0)
+
+    def test_advance_to(self):
+        clock = Clock()
+        clock.advance_to(12.5)
+        assert clock.now == 12.5
+
+    def test_advance_to_same_time_ok(self):
+        clock = Clock(start=3.0)
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_rewind_rejected(self):
+        clock = Clock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.0)
+
+    def test_advance_by(self):
+        clock = Clock()
+        clock.advance_by(7.0)
+        clock.advance_by(0.0)
+        assert clock.now == 7.0
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            Clock().advance_by(-0.1)
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds, expected",
+        [
+            (0, "0s"),
+            (45, "45s"),
+            (90, "1m30s"),
+            (120, "2m"),
+            (HOUR, "1h"),
+            (5.3 * HOUR, "5h18m"),
+            (DAY, "1d"),
+            (DAY + 3 * HOUR, "1d3h"),
+            (2 * WEEK, "14d"),
+        ],
+    )
+    def test_rendering(self, seconds, expected):
+        assert format_duration(seconds) == expected
+
+    def test_negative(self):
+        assert format_duration(-90) == "-1m30s"

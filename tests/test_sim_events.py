@@ -1,0 +1,165 @@
+"""Tests for repro.sim.events (the discrete-event loop)."""
+
+import pytest
+
+from repro.sim.clock import Clock
+from repro.sim.events import EventLoop
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_at(3.0, lambda: seen.append("c"))
+        loop.schedule_at(1.0, lambda: seen.append("a"))
+        loop.schedule_at(2.0, lambda: seen.append("b"))
+        loop.run_until(10.0)
+        assert seen == ["a", "b", "c"]
+
+    def test_ties_broken_fifo(self):
+        loop = EventLoop()
+        seen = []
+        for tag in ("first", "second", "third"):
+            loop.schedule_at(5.0, lambda t=tag: seen.append(t))
+        loop.run_until(10.0)
+        assert seen == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_times(self):
+        loop = EventLoop()
+        stamps = []
+        loop.schedule_at(2.0, lambda: stamps.append(loop.now))
+        loop.schedule_at(4.0, lambda: stamps.append(loop.now))
+        loop.run_until(10.0)
+        assert stamps == [2.0, 4.0]
+
+    def test_clock_finishes_at_horizon(self):
+        loop = EventLoop()
+        loop.schedule_at(1.0, lambda: None)
+        loop.run_until(10.0)
+        assert loop.now == 10.0
+
+    def test_events_beyond_horizon_stay_queued(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_at(15.0, lambda: seen.append("late"))
+        loop.run_until(10.0)
+        assert seen == []
+        assert loop.pending == 1
+        loop.run_until(20.0)
+        assert seen == ["late"]
+
+    def test_scheduling_in_past_rejected(self):
+        loop = EventLoop(Clock(start=5.0))
+        with pytest.raises(ValueError):
+            loop.schedule_at(4.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            loop.schedule_in(-1.0, lambda: None)
+
+    def test_schedule_in_relative(self):
+        loop = EventLoop(Clock(start=10.0))
+        stamps = []
+        loop.schedule_in(5.0, lambda: stamps.append(loop.now))
+        loop.run_until(20.0)
+        assert stamps == [15.0]
+
+    def test_callbacks_can_schedule_more(self):
+        loop = EventLoop()
+        seen = []
+
+        def first():
+            seen.append("first")
+            loop.schedule_in(1.0, lambda: seen.append("second"))
+
+        loop.schedule_at(1.0, first)
+        loop.run_until(5.0)
+        assert seen == ["first", "second"]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        loop = EventLoop()
+        seen = []
+        handle = loop.schedule_at(1.0, lambda: seen.append("x"))
+        handle.cancel()
+        loop.run_until(5.0)
+        assert seen == []
+        assert handle.cancelled
+
+    def test_pending_excludes_cancelled(self):
+        loop = EventLoop()
+        keep = loop.schedule_at(1.0, lambda: None)
+        drop = loop.schedule_at(2.0, lambda: None)
+        drop.cancel()
+        assert loop.pending == 1
+        assert not keep.cancelled
+
+    def test_handle_exposes_when_and_label(self):
+        loop = EventLoop()
+        handle = loop.schedule_at(3.0, lambda: None, label="probe")
+        assert handle.when == 3.0
+        assert handle.label == "probe"
+
+
+class TestStopAndRunAll:
+    def test_stop_halts_processing(self):
+        loop = EventLoop()
+        seen = []
+
+        def stopper():
+            seen.append("stop")
+            loop.stop()
+
+        loop.schedule_at(1.0, stopper)
+        loop.schedule_at(2.0, lambda: seen.append("never"))
+        loop.run_until(10.0)
+        assert seen == ["stop"]
+
+    def test_run_resumes_after_stop(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_at(1.0, loop.stop)
+        loop.schedule_at(2.0, lambda: seen.append("later"))
+        loop.run_until(10.0)
+        loop.run_until(10.0)
+        assert seen == ["later"]
+
+    def test_run_all_drains_queue(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_at(1.0, lambda: seen.append(1))
+        loop.schedule_at(100.0, lambda: seen.append(2))
+        loop.run_all()
+        assert seen == [1, 2]
+        assert loop.now == 100.0
+
+    def test_run_all_limit_catches_runaway(self):
+        loop = EventLoop()
+
+        def reschedule():
+            loop.schedule_in(1.0, reschedule)
+
+        loop.schedule_at(0.0, reschedule)
+        with pytest.raises(RuntimeError):
+            loop.run_all(limit=100)
+
+    def test_events_processed_counter(self):
+        loop = EventLoop()
+        for i in range(5):
+            loop.schedule_at(float(i), lambda: None)
+        loop.run_until(10.0)
+        assert loop.events_processed == 5
+
+
+class TestExceptionPropagation:
+    def test_callback_exception_propagates(self):
+        loop = EventLoop()
+
+        def boom():
+            raise RuntimeError("actor crashed")
+
+        loop.schedule_at(1.0, boom)
+        with pytest.raises(RuntimeError, match="actor crashed"):
+            loop.run_until(5.0)

@@ -1,0 +1,120 @@
+"""Tests for repro.sim.process (the actor base class)."""
+
+import pytest
+
+from repro.sim.events import EventLoop
+from repro.sim.process import Process
+
+
+class CountingProcess(Process):
+    """Steps a fixed number of times at a fixed period."""
+
+    def __init__(self, loop, steps=3, period=1.0):
+        super().__init__(loop, name="counter")
+        self.remaining = steps
+        self.period = period
+        self.stamps = []
+
+    def step(self):
+        self.stamps.append(self.loop.now)
+        self.remaining -= 1
+        if self.remaining == 0:
+            return None
+        return self.period
+
+
+class TestLifecycle:
+    def test_runs_fixed_steps_then_stops(self):
+        loop = EventLoop()
+        process = CountingProcess(loop, steps=3, period=2.0)
+        process.start(at=1.0)
+        loop.run_until(100.0)
+        assert process.stamps == [1.0, 3.0, 5.0]
+        assert not process.running
+        assert process.steps_taken == 3
+
+    def test_start_defaults_to_now(self):
+        loop = EventLoop()
+        process = CountingProcess(loop, steps=1)
+        process.start()
+        loop.run_until(10.0)
+        assert process.stamps == [0.0]
+
+    def test_double_start_rejected(self):
+        loop = EventLoop()
+        process = CountingProcess(loop)
+        process.start()
+        with pytest.raises(RuntimeError):
+            process.start()
+
+    def test_stop_cancels_pending_step(self):
+        loop = EventLoop()
+        process = CountingProcess(loop, steps=10)
+        process.start(at=0.0)
+        loop.run_until(2.5)
+        process.stop()
+        loop.run_until(100.0)
+        assert process.steps_taken == 3  # t = 0, 1, 2 only
+
+    def test_stop_is_idempotent(self):
+        loop = EventLoop()
+        process = CountingProcess(loop)
+        process.start()
+        process.stop()
+        process.stop()
+        assert not process.running
+
+    def test_negative_delay_from_step_rejected(self):
+        class BadProcess(Process):
+            def step(self):
+                return -1.0
+
+        loop = EventLoop()
+        process = BadProcess(loop)
+        process.start()
+        with pytest.raises(ValueError):
+            loop.run_until(1.0)
+
+
+class TestHooks:
+    def test_on_start_and_on_stop_called(self):
+        calls = []
+
+        class HookedProcess(Process):
+            def step(self):
+                return None
+
+            def on_start(self):
+                calls.append("start")
+
+            def on_stop(self):
+                calls.append("stop")
+
+        loop = EventLoop()
+        process = HookedProcess(loop)
+        process.start()
+        loop.run_until(1.0)
+        assert calls == ["start", "stop"]
+
+    def test_name_defaults_to_class_name(self):
+        loop = EventLoop()
+
+        class MyActor(Process):
+            def step(self):
+                return None
+
+        assert MyActor(loop).name == "MyActor"
+
+    def test_step_can_restart_after_stop(self):
+        """A stopped process can be recreated (not restarted in place);
+        starting a stopped instance again is allowed once stop() ran."""
+        loop = EventLoop()
+        process = CountingProcess(loop, steps=1)
+        process.start()
+        loop.run_until(1.0)
+        assert not process.running
+        # Restart after completion is permitted (fresh schedule).
+        process.remaining = 1
+        process.start(at=5.0)
+        loop.run_until(10.0)
+        assert process.stamps == [0.0, 5.0]

@@ -1,0 +1,245 @@
+"""Tests for repro.sms: countries, numbers, telco, gateway."""
+
+import random
+
+import pytest
+
+from repro.common import ClientRef
+from repro.sim.clock import Clock, WEEK
+from repro.sms.countries import (
+    COUNTRIES,
+    all_codes,
+    get_country,
+    high_cost_codes,
+    legit_weights,
+)
+from repro.sms.gateway import (
+    BOARDING_PASS,
+    NOTIFICATION,
+    OTP,
+    REJECT_FEATURE_DISABLED,
+    REJECT_QUOTA_EXHAUSTED,
+    SmsGateway,
+)
+from repro.sms.numbers import PhoneNumber, sample_number
+from repro.sms.telco import LocalCarrier, TelcoNetwork
+
+
+def make_client():
+    return ClientRef(
+        ip_address="5.6.7.8",
+        ip_country="GB",
+        ip_residential=True,
+        fingerprint_id="fp-9",
+        user_agent="UA",
+    )
+
+
+class TestCountries:
+    def test_registry_has_table1_countries(self):
+        for code in ("UZ", "IR", "KG", "JO", "NG", "KH", "SG", "GB",
+                     "CN", "TH"):
+            assert get_country(code).code == code
+
+    def test_enough_countries_for_42_destination_attack(self):
+        assert len(COUNTRIES) >= 42
+
+    def test_codes_unique(self):
+        codes = all_codes()
+        assert len(codes) == len(set(codes))
+
+    def test_unknown_code(self):
+        with pytest.raises(KeyError):
+            get_country("XX")
+
+    def test_high_cost_have_high_fees(self):
+        normal_fees = [
+            c.termination_fee for c in COUNTRIES if not c.high_cost
+        ]
+        for code in high_cost_codes():
+            assert get_country(code).termination_fee > max(normal_fees) / 2
+
+    def test_legit_weights_normalised(self):
+        weights = legit_weights()
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert all(w >= 0 for w in weights.values())
+
+    def test_high_cost_have_tiny_legit_traffic(self):
+        weights = legit_weights()
+        assert weights["UZ"] < weights["GB"] / 100
+
+
+class TestNumbers:
+    def test_e164_uses_dial_code(self):
+        number = PhoneNumber("UZ", "123456789")
+        assert number.e164.startswith("+998")
+
+    def test_sample_number_valid(self):
+        number = sample_number(random.Random(1), "IR")
+        assert number.country_code == "IR"
+        assert len(number.subscriber) == 9
+
+    def test_sample_number_unknown_country(self):
+        with pytest.raises(KeyError):
+            sample_number(random.Random(1), "ZZ")
+
+    def test_attacker_control_flag(self):
+        number = sample_number(
+            random.Random(1), "UZ", controlled_by_attacker=True
+        )
+        assert number.controlled_by_attacker
+
+
+class TestTelco:
+    def test_honest_carrier_no_kickback(self):
+        telco = TelcoNetwork()
+        number = sample_number(
+            random.Random(1), "UZ", controlled_by_attacker=True
+        )
+        settlement = telco.settle(number)
+        assert settlement.attacker_revenue == 0.0
+        assert settlement.termination_fee_paid == pytest.approx(
+            get_country("UZ").termination_fee
+        )
+
+    def test_colluding_carrier_kicks_back(self):
+        telco = TelcoNetwork()
+        telco.register_carrier(
+            LocalCarrier(
+                "shady-uz", "UZ", colluding=True, attacker_revenue_share=0.5
+            )
+        )
+        number = sample_number(
+            random.Random(1), "UZ", controlled_by_attacker=True
+        )
+        settlement = telco.settle(number)
+        assert settlement.attacker_revenue == pytest.approx(
+            get_country("UZ").termination_fee * 0.5
+        )
+
+    def test_collusion_needs_attacker_number(self):
+        """A colluding carrier only shares revenue on numbers the
+        attacker actually controls."""
+        telco = TelcoNetwork()
+        telco.register_carrier(
+            LocalCarrier("shady-uz", "UZ", colluding=True)
+        )
+        number = sample_number(random.Random(1), "UZ")
+        assert telco.settle(number).attacker_revenue == 0.0
+
+    def test_non_compensation_policy_zeroes_flow(self):
+        """The Section V mitigation: withhold fees from flagged
+        carriers and the attacker's revenue dies with them."""
+        telco = TelcoNetwork()
+        telco.register_carrier(
+            LocalCarrier("shady-uz", "UZ", colluding=True)
+        )
+        telco.flag_carrier("UZ")
+        telco.enable_non_compensation_policy()
+        number = sample_number(
+            random.Random(1), "UZ", controlled_by_attacker=True
+        )
+        settlement = telco.settle(number)
+        assert settlement.withheld
+        assert settlement.termination_fee_paid == 0.0
+        assert settlement.attacker_revenue == 0.0
+        # The app owner still pays for the send.
+        assert settlement.app_owner_cost > 0
+
+    def test_non_compensation_spares_unflagged(self):
+        telco = TelcoNetwork()
+        telco.enable_non_compensation_policy()
+        number = sample_number(random.Random(1), "GB")
+        assert not telco.settle(number).withheld
+
+    def test_duplicate_carrier_rejected(self):
+        telco = TelcoNetwork()
+        telco.register_carrier(LocalCarrier("a", "UZ"))
+        with pytest.raises(ValueError):
+            telco.register_carrier(LocalCarrier("b", "UZ"))
+
+    def test_totals(self):
+        telco = TelcoNetwork()
+        rng = random.Random(2)
+        for _ in range(10):
+            telco.settle(sample_number(rng, "GB"))
+        assert telco.total_app_owner_cost() == pytest.approx(
+            10 * get_country("GB").sms_cost
+        )
+
+    def test_invalid_revenue_share(self):
+        with pytest.raises(ValueError):
+            LocalCarrier("x", "UZ", attacker_revenue_share=1.5)
+
+
+class TestGateway:
+    def _gateway(self, **kwargs):
+        return SmsGateway(Clock(), **kwargs)
+
+    def test_send_delivers_and_settles(self):
+        gateway = self._gateway()
+        number = sample_number(random.Random(1), "GB")
+        record = gateway.send(number, OTP, make_client())
+        assert record.delivered
+        assert record.settlement is not None
+        assert gateway.metrics.counter("sms.sent") == 1
+
+    def test_unknown_kind_rejected(self):
+        gateway = self._gateway()
+        number = sample_number(random.Random(1), "GB")
+        with pytest.raises(ValueError):
+            gateway.send(number, "carrier-pigeon", make_client())
+
+    def test_feature_toggle(self):
+        gateway = self._gateway()
+        gateway.disable_kind(BOARDING_PASS)
+        number = sample_number(random.Random(1), "GB")
+        record = gateway.send(
+            number, BOARDING_PASS, make_client(), booking_ref="R1"
+        )
+        assert not record.delivered
+        assert record.reject_reason == REJECT_FEATURE_DISABLED
+        # Other kinds still work.
+        assert gateway.send(number, OTP, make_client()).delivered
+        gateway.enable_kind(BOARDING_PASS)
+        assert gateway.send(
+            number, BOARDING_PASS, make_client(), booking_ref="R1"
+        ).delivered
+
+    def test_quota_blocks_everyone(self):
+        """Once pumping exhausts the weekly quota, legitimate users
+        lose the feature too — the collateral damage of Section II-B."""
+        gateway = self._gateway(weekly_quota=3)
+        number = sample_number(random.Random(1), "GB")
+        for _ in range(3):
+            assert gateway.send(number, OTP, make_client()).delivered
+        rejected = gateway.send(number, OTP, make_client())
+        assert not rejected.delivered
+        assert rejected.reject_reason == REJECT_QUOTA_EXHAUSTED
+
+    def test_quota_resets_weekly(self):
+        clock = Clock()
+        gateway = SmsGateway(clock, weekly_quota=1)
+        number = sample_number(random.Random(1), "GB")
+        assert gateway.send(number, OTP, make_client()).delivered
+        assert not gateway.send(number, OTP, make_client()).delivered
+        clock.advance_to(1 * WEEK + 1)
+        assert gateway.send(number, OTP, make_client()).delivered
+
+    def test_records_between_window(self):
+        clock = Clock()
+        gateway = SmsGateway(clock)
+        number = sample_number(random.Random(1), "GB")
+        for t in (0.0, 10.0, 20.0, 30.0):
+            clock.advance_to(t)
+            gateway.send(number, OTP, make_client())
+        window = gateway.records_between(10.0, 30.0)
+        assert [r.time for r in window] == [10.0, 20.0]
+
+    def test_rejected_sends_not_in_delivered(self):
+        gateway = self._gateway()
+        gateway.disable_kind(OTP)
+        number = sample_number(random.Random(1), "GB")
+        gateway.send(number, OTP, make_client())
+        assert gateway.delivered_records() == []
+        assert len(gateway.records) == 1

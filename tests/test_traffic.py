@@ -1,0 +1,429 @@
+"""Tests for repro.traffic: legitimate population and attackers."""
+
+import random
+
+import pytest
+
+from repro.common import (
+    LEGIT,
+    MANUAL_SPINNER,
+    SCRAPER,
+    SEAT_SPINNER,
+    SMS_PUMPER,
+)
+from repro.identity.forge import (
+    BotIdentity,
+    FingerprintForge,
+    MIMICRY,
+    RAW_HEADLESS,
+    RotationPolicy,
+)
+from repro.identity.ip import DatacenterPool, ResidentialProxyPool
+from repro.scenarios.world import FlightSpec, WorldConfig, build_world
+from repro.sim.clock import DAY, HOUR
+from repro.sms.gateway import BOARDING_PASS
+from repro.traffic.legitimate import (
+    AVERAGE_WEEK_NIP_MIXTURE,
+    LegitimateConfig,
+    LegitimatePopulation,
+)
+from repro.traffic.manual_spinner import ManualSeatSpinner, ManualSpinnerConfig
+from repro.traffic.scraper import ScraperBot, ScraperConfig
+from repro.traffic.seat_spinner import (
+    FIXED_NAME_ROTATING_DOB,
+    GIBBERISH,
+    SeatSpinnerBot,
+    SeatSpinnerConfig,
+)
+from repro.traffic.sms_baseline import BaselineSmsConfig, BaselineSmsTraffic
+from repro.traffic.sms_pumper import SmsPumperBot, SmsPumperConfig
+
+
+def make_world(seed=1, capacity=400, hold_ttl=2 * HOUR, flights=3):
+    specs = [
+        FlightSpec(f"F{i}", 30 * DAY, capacity=capacity)
+        for i in range(flights)
+    ]
+    return build_world(
+        WorldConfig(seed=seed, flights=specs, hold_ttl=hold_ttl)
+    )
+
+
+def spinner(world, **config_overrides):
+    config = dict(target_flight="F0", preferred_nip=6, target_seats=60)
+    config.update(config_overrides)
+    return SeatSpinnerBot(
+        world.loop,
+        world.app,
+        BotIdentity(
+            FingerprintForge(MIMICRY),
+            RotationPolicy(rotate_on_block=True),
+            world.rngs.stream("bot.identity"),
+        ),
+        ResidentialProxyPool(),
+        world.rngs.stream("bot"),
+        SeatSpinnerConfig(**config),
+    )
+
+
+class TestLegitimatePopulation:
+    def test_funnels_produce_holds_and_payments(self):
+        world = make_world()
+        population = LegitimatePopulation(
+            world.loop,
+            world.app,
+            world.rngs.stream("legit"),
+            LegitimateConfig(visitor_rate_per_hour=40),
+        )
+        population.start(at=0.0)
+        world.run_until(2 * DAY)
+        metrics = world.metrics
+        assert metrics.counter("booking.holds_created") > 50
+        assert metrics.counter("booking.holds_confirmed") > 20
+        assert population.visitors_spawned > 100
+
+    def test_nip_mixture_approximated(self):
+        world = make_world(capacity=3000)
+        population = LegitimatePopulation(
+            world.loop,
+            world.app,
+            world.rngs.stream("legit"),
+            LegitimateConfig(visitor_rate_per_hour=80),
+        )
+        population.start(at=0.0)
+        world.run_until(3 * DAY)
+        held = world.reservations.held_records()
+        share_1 = sum(1 for r in held if r.nip == 1) / len(held)
+        assert 0.40 < share_1 < 0.60
+        share_6_plus = sum(1 for r in held if r.nip >= 6) / len(held)
+        assert share_6_plus < 0.10
+
+    def test_groups_rebook_at_cap(self):
+        """Fig. 1's legit-side adjustment: a capped group re-books at
+        the new maximum."""
+        world = make_world()
+        world.reservations.set_max_nip(4)
+        population = LegitimatePopulation(
+            world.loop,
+            world.app,
+            world.rngs.stream("legit"),
+            LegitimateConfig(
+                visitor_rate_per_hour=60,
+                retry_at_cap_probability=1.0,
+            ),
+        )
+        population.start(at=0.0)
+        world.run_until(2 * DAY)
+        held = world.reservations.held_records()
+        assert max(r.nip for r in held) == 4
+        rejections = world.metrics.counter("booking.reject.nip-exceeds-cap")
+        assert rejections > 0
+        share_4 = sum(1 for r in held if r.nip == 4) / len(held)
+        # Baseline share at 4 is ~5%; with 5+ groups folding in it rises.
+        assert share_4 > 0.08
+
+    def test_all_traffic_labelled_legit(self):
+        world = make_world()
+        population = LegitimatePopulation(
+            world.loop, world.app, world.rngs.stream("legit")
+        )
+        population.start(at=0.0)
+        world.run_until(6 * HOUR)
+        assert all(
+            entry.client.actor_class == LEGIT
+            for entry in world.app.log.entries()
+        )
+
+
+class TestSeatSpinnerBot:
+    def test_keeps_target_seats_held(self):
+        world = make_world(hold_ttl=1 * HOUR)
+        bot = spinner(world, target_seats=60)
+        bot.start(at=0.0)
+        world.run_until(6 * HOUR)
+        assert bot.seats_currently_held == 60
+        assert world.reservations.availability("F0") == 340
+
+    def test_reholds_after_expiry(self):
+        world = make_world(hold_ttl=1 * HOUR)
+        bot = spinner(world, target_seats=30)
+        bot.start(at=0.0)
+        world.run_until(10 * HOUR)
+        # 30 seats at NiP 6 = 5 holds per ~1 h wave, ~10 waves.
+        assert bot.holds_created >= 40
+
+    def test_adapts_to_nip_cap(self):
+        world = make_world()
+        world.reservations.set_max_nip(4)
+        bot = spinner(world, preferred_nip=6)
+        bot.start(at=0.0)
+        world.run_until(2 * HOUR)
+        assert bot.current_nip == 4
+        assert bot.nip_adaptations
+        assert bot.seats_currently_held > 0
+
+    def test_stops_before_departure(self):
+        world = make_world()
+        bot = spinner(world)
+        bot.config = SeatSpinnerConfig(
+            target_flight="F0",
+            preferred_nip=6,
+            target_seats=30,
+            stop_before_departure=29 * DAY,  # departure is at day 30
+        )
+        bot.start(at=0.0)
+        world.run_until(2 * DAY)
+        assert bot.holds_created > 0
+        created_before = bot.holds_created
+        world.run_until(3 * DAY)
+        assert bot.holds_created == created_before
+        assert not bot.running
+
+    def test_rotates_identity_when_blocked(self):
+        world = make_world(hold_ttl=1 * HOUR)
+        bot = spinner(world, target_seats=30)
+        blocked_id = bot.identity.fingerprint.fingerprint_id
+        world.app.add_block_rule(
+            "ban", lambda r: r.client.fingerprint_id == blocked_id
+        )
+        bot.start(at=0.0)
+        world.run_until(1 * HOUR + 15 * 60)  # past the first re-hold wave
+        assert bot.blocks_encountered > 0
+        assert bot.identity.rotations > 0
+        assert bot.seats_currently_held > 0  # attack continues regardless
+
+    def test_gibberish_style_names(self):
+        world = make_world()
+        bot = spinner(world, passenger_style=GIBBERISH)
+        bot.start(at=0.0)
+        world.run_until(1 * HOUR)
+        held = world.reservations.held_records()
+        assert held
+        assert all(p.first_name.islower() for p in held[0].passengers)
+
+    def test_fixed_name_rotating_dob_style(self):
+        world = make_world(hold_ttl=1 * HOUR)
+        bot = spinner(
+            world,
+            passenger_style=FIXED_NAME_ROTATING_DOB,
+            target_seats=60,
+        )
+        bot.start(at=0.0)
+        world.run_until(5 * HOUR)
+        held = [
+            r
+            for r in world.reservations.held_records()
+            if r.client.actor_class == SEAT_SPINNER
+        ]
+        leads = {r.passengers[0].name_key for r in held}
+        birthdates = {r.passengers[0].birthdate for r in held}
+        assert len(leads) == 1          # fixed lead name
+        assert len(birthdates) > 3      # rotating birthdates
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SeatSpinnerConfig(target_flight="F0", preferred_nip=0)
+        with pytest.raises(ValueError):
+            SeatSpinnerConfig(target_flight="F0", passenger_style="weird")
+
+
+class TestManualSpinner:
+    def test_fixed_name_pool_reused(self):
+        world = make_world()
+        manual = ManualSeatSpinner(
+            world.loop,
+            world.app,
+            world.rngs.stream("manual"),
+            ManualSpinnerConfig(target_flight="F0", name_pool_size=5),
+        )
+        manual.start(at=0.0)
+        world.run_until(3 * DAY)
+        held = [
+            r
+            for r in world.reservations.held_records()
+            if r.client.actor_class == MANUAL_SPINNER
+        ]
+        assert len(held) > 10
+        # The fixed pool dominates: the 5 most frequent name keys cover
+        # the vast majority of passenger entries (misspelled variants
+        # are occasional one-offs).
+        from collections import Counter
+
+        counts = Counter(
+            p.name_key for r in held for p in r.passengers
+        )
+        total = sum(counts.values())
+        top5 = sum(count for _, count in counts.most_common(5))
+        assert top5 / total > 0.7
+
+    def test_human_cadence_is_slow(self):
+        world = make_world()
+        manual = ManualSeatSpinner(
+            world.loop,
+            world.app,
+            world.rngs.stream("manual"),
+            ManualSpinnerConfig(target_flight="F0"),
+        )
+        manual.start(at=0.0)
+        world.run_until(1 * DAY)
+        # A human cannot sustain thousands of requests a day.
+        assert manual.attempts < 200
+
+    def test_many_ips_few_devices(self):
+        world = make_world()
+        manual = ManualSeatSpinner(
+            world.loop,
+            world.app,
+            world.rngs.stream("manual"),
+            ManualSpinnerConfig(target_flight="F0"),
+        )
+        manual.start(at=0.0)
+        world.run_until(5 * DAY)
+        entries = [
+            e
+            for e in world.app.log.entries()
+            if e.client.actor_class == MANUAL_SPINNER
+        ]
+        ips = {e.client.ip_address for e in entries}
+        fingerprints = {e.client.fingerprint_id for e in entries}
+        assert len(ips) > 3            # broad IP range
+        assert len(fingerprints) <= 2  # one or two personal devices
+
+
+class TestSmsPumper:
+    def _pumper(self, world, **overrides):
+        config = dict(setup_flight="F0", sms_per_hour=120.0)
+        config.update(overrides)
+        return SmsPumperBot(
+            world.loop,
+            world.app,
+            BotIdentity(
+                FingerprintForge(MIMICRY),
+                RotationPolicy(mean_interval=2 * HOUR),
+                world.rngs.stream("pumper.identity"),
+            ),
+            ResidentialProxyPool(),
+            world.rngs.stream("pumper"),
+            SmsPumperConfig(**config),
+        )
+
+    def test_setup_phase_buys_tickets(self):
+        world = make_world()
+        bot = self._pumper(world, tickets_to_buy=3)
+        bot.start(at=0.0)
+        world.run_until(1 * HOUR)
+        assert len(bot.booking_refs) == 3
+        assert world.reservations.flight("F0").inventory.confirmed == 3
+
+    def test_pumping_delivers_sms(self):
+        world = make_world()
+        bot = self._pumper(world)
+        bot.start(at=0.0)
+        world.run_until(6 * HOUR)
+        assert bot.sms_sent > 400
+        pumped = [
+            r
+            for r in world.sms.delivered_records()
+            if r.client.actor_class == SMS_PUMPER
+        ]
+        assert all(r.kind == BOARDING_PASS for r in pumped)
+        assert all(r.number.controlled_by_attacker for r in pumped)
+
+    def test_geo_matched_proxies(self):
+        """Exit-IP country matches the destination number country."""
+        world = make_world()
+        bot = self._pumper(world)
+        bot.start(at=0.0)
+        world.run_until(2 * HOUR)
+        pumped = [
+            r
+            for r in world.sms.delivered_records()
+            if r.client.actor_class == SMS_PUMPER
+        ]
+        assert pumped
+        assert all(
+            r.client.ip_country == r.number.country_code for r in pumped
+        )
+
+    def test_stops_when_feature_removed(self):
+        world = make_world()
+        bot = self._pumper(world, give_up_after_disabled=5)
+        bot.start(at=0.0)
+        world.run_until(1 * HOUR)
+        world.sms.disable_kind(BOARDING_PASS)
+        world.run_until(3 * HOUR)
+        assert not bot.running
+        sent_at_giveup = bot.sms_sent
+        world.run_until(5 * HOUR)
+        assert bot.sms_sent == sent_at_giveup
+
+
+class TestScraper:
+    def test_high_volume_within_duration(self):
+        world = make_world()
+        bot = ScraperBot(
+            world.loop,
+            world.app,
+            BotIdentity(
+                FingerprintForge(RAW_HEADLESS),
+                RotationPolicy(),
+                world.rngs.stream("scraper.identity"),
+            ),
+            world.rngs.stream("scraper"),
+            ScraperConfig(requests_per_hour=600.0, duration=4 * HOUR),
+        )
+        bot.start(at=0.0)
+        world.run_until(8 * HOUR)
+        assert 1800 < bot.requests_made < 3200
+        assert not bot.running
+
+    def test_uses_datacenter_ips(self):
+        world = make_world()
+        bot = ScraperBot(
+            world.loop,
+            world.app,
+            BotIdentity(
+                FingerprintForge(RAW_HEADLESS),
+                RotationPolicy(),
+                world.rngs.stream("scraper.identity"),
+            ),
+            world.rngs.stream("scraper"),
+            ScraperConfig(requests_per_hour=120.0, duration=1 * HOUR),
+        )
+        bot.start(at=0.0)
+        world.run_until(2 * HOUR)
+        entries = [
+            e
+            for e in world.app.log.entries()
+            if e.client.actor_class == SCRAPER
+        ]
+        assert entries
+        assert all(not e.client.ip_residential for e in entries)
+
+
+class TestBaselineSms:
+    def test_rate_and_mix(self):
+        world = make_world()
+        traffic = BaselineSmsTraffic(
+            world.loop,
+            world.app,
+            world.rngs.stream("baseline"),
+            BaselineSmsConfig(
+                sms_per_hour=100.0,
+                country_weights={"GB": 0.8, "UZ": 0.2},
+            ),
+        )
+        traffic.start(at=0.0)
+        world.run_until(10 * HOUR)
+        delivered = world.sms.delivered_records()
+        assert 800 < len(delivered) < 1200
+        gb_share = sum(
+            1 for r in delivered if r.country_code == "GB"
+        ) / len(delivered)
+        assert 0.7 < gb_share < 0.9
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BaselineSmsConfig(sms_per_hour=0.0)
+        with pytest.raises(ValueError):
+            BaselineSmsConfig(otp_fraction=1.5)

@@ -1,0 +1,258 @@
+"""Tests for repro.web.application (the edge pipeline + handlers)."""
+
+import random
+
+import pytest
+
+from repro.booking.flight import Flight
+from repro.booking.passengers import sample_genuine_party
+from repro.booking.reservation import ReservationSystem
+from repro.common import ClientRef
+from repro.identity.captcha import CaptchaGateModel
+from repro.identity.fingerprint import FingerprintPopulation
+from repro.sim.clock import Clock, HOUR
+from repro.sms.gateway import SmsGateway
+from repro.sms.numbers import sample_number
+from repro.web.application import WebApplication
+from repro.web.ratelimit import RateLimitRule, key_by_ip
+from repro.web.request import (
+    BLOCKED,
+    BOARDING_PASS_SMS,
+    CAPTCHA_FAILED,
+    CAPTCHA_NONE,
+    CAPTCHA_SOLVER,
+    CONFLICT,
+    FLIGHT_DETAILS,
+    HOLD,
+    NOT_FOUND,
+    OK,
+    OTP_LOGIN,
+    PAY,
+    RATE_LIMITED,
+    Request,
+    SEARCH,
+)
+
+
+@pytest.fixture
+def app():
+    clock = Clock()
+    reservations = ReservationSystem(clock, hold_ttl=1 * HOUR)
+    reservations.add_flight(Flight("F1", "A", "NCE", "CDG", 1000 * HOUR, 50))
+    sms = SmsGateway(clock)
+    return WebApplication(clock, reservations, sms, random.Random(1))
+
+
+def make_request(path, params=None, fingerprint=None, profile_id="",
+                 ip="3.3.3.3", captcha="human"):
+    if fingerprint is None:
+        fingerprint = FingerprintPopulation().sample(random.Random(5))
+    return Request(
+        method="POST",
+        path=path,
+        client=ClientRef(
+            ip_address=ip,
+            ip_country="FR",
+            ip_residential=True,
+            fingerprint_id=fingerprint.fingerprint_id,
+            user_agent=fingerprint.user_agent,
+            profile_id=profile_id,
+        ),
+        params=params or {},
+        fingerprint=fingerprint,
+        captcha_ability=captcha,
+    )
+
+
+def party(n=2, seed=0):
+    return sample_genuine_party(random.Random(seed), n)
+
+
+class TestHandlers:
+    def test_search_lists_flights(self, app):
+        response = app.handle(make_request(SEARCH))
+        assert response.ok
+        assert response.data[0]["flight_id"] == "F1"
+        assert response.data[0]["available"] == 50
+
+    def test_flight_details(self, app):
+        response = app.handle(
+            make_request(FLIGHT_DETAILS, {"flight_id": "F1"})
+        )
+        assert response.ok
+        assert response.data["price"] > 0
+
+    def test_details_unknown_flight(self, app):
+        response = app.handle(
+            make_request(FLIGHT_DETAILS, {"flight_id": "F9"})
+        )
+        assert response.status == NOT_FOUND
+
+    def test_hold_and_pay_flow(self, app):
+        held = app.handle(
+            make_request(
+                HOLD, {"flight_id": "F1", "passengers": party(3)}
+            )
+        )
+        assert held.ok
+        paid = app.handle(
+            make_request(PAY, {"hold_id": held.data.hold_id})
+        )
+        assert paid.ok
+        assert app.reservations.flight("F1").inventory.confirmed == 3
+
+    def test_pay_unknown_hold(self, app):
+        response = app.handle(make_request(PAY, {"hold_id": "H999"}))
+        assert response.status == NOT_FOUND
+
+    def test_pay_expired_hold_conflicts(self, app):
+        held = app.handle(
+            make_request(HOLD, {"flight_id": "F1", "passengers": party()})
+        )
+        app.clock.advance_to(2 * HOUR)
+        response = app.handle(
+            make_request(PAY, {"hold_id": held.data.hold_id})
+        )
+        assert response.status == CONFLICT
+
+    def test_hold_rejection_maps_to_conflict(self, app):
+        app.reservations.set_max_nip(2)
+        response = app.handle(
+            make_request(HOLD, {"flight_id": "F1", "passengers": party(5)})
+        )
+        assert response.status == CONFLICT
+        assert response.outcome == "nip-exceeds-cap"
+
+    def test_otp_login_sends_sms(self, app):
+        phone = sample_number(random.Random(1), "FR")
+        response = app.handle(make_request(OTP_LOGIN, {"phone": phone}))
+        assert response.ok
+        assert len(app.sms.delivered_records()) == 1
+
+    def test_boarding_pass_sms(self, app):
+        phone = sample_number(random.Random(1), "GB")
+        response = app.handle(
+            make_request(
+                BOARDING_PASS_SMS,
+                {"booking_ref": "R1", "phone": phone},
+            )
+        )
+        assert response.ok
+        assert app.sms.records[-1].booking_ref == "R1"
+
+    def test_unknown_path(self, app):
+        response = app.handle(make_request("/nope"))
+        assert response.status == NOT_FOUND
+
+    def test_missing_param_raises(self, app):
+        with pytest.raises(KeyError):
+            app.handle(make_request(FLIGHT_DETAILS))
+
+
+class TestEdgePipeline:
+    def test_block_rule_fires_first(self, app):
+        app.add_block_rule("ban-ip", lambda r: r.client.ip_address == "3.3.3.3")
+        response = app.handle(make_request(SEARCH))
+        assert response.status == BLOCKED
+        assert response.blocked_by == "ban-ip"
+        rule = app.block_rules()[0]
+        assert rule.matches == 1
+        assert rule.last_matched_at is not None
+
+    def test_duplicate_block_rule_rejected(self, app):
+        app.add_block_rule("r", lambda r: False)
+        with pytest.raises(ValueError):
+            app.add_block_rule("r", lambda r: False)
+
+    def test_remove_block_rule(self, app):
+        app.add_block_rule("r", lambda r: True)
+        app.remove_block_rule("r")
+        assert app.handle(make_request(SEARCH)).ok
+
+    def test_restriction_blocks_non_loyal(self, app):
+        app.restrict_path(
+            HOLD, lambda r: r.client.profile_id.startswith("loyal")
+        )
+        blocked = app.handle(
+            make_request(HOLD, {"flight_id": "F1", "passengers": party()})
+        )
+        assert blocked.status == BLOCKED
+        assert blocked.outcome == "restricted"
+        allowed = app.handle(
+            make_request(
+                HOLD,
+                {"flight_id": "F1", "passengers": party()},
+                profile_id="loyal-001",
+            )
+        )
+        assert allowed.ok
+
+    def test_rate_limit_returns_429(self, app):
+        app.ratelimits.add_rule(
+            RateLimitRule("per-ip", key_by_ip, limit=1, window=100.0)
+        )
+        assert app.handle(make_request(SEARCH)).ok
+        response = app.handle(make_request(SEARCH))
+        assert response.status == RATE_LIMITED
+        assert response.blocked_by == "per-ip"
+
+    def test_captcha_blocks_botswithout_solver(self, app):
+        app.add_captcha(HOLD, CaptchaGateModel())
+        response = app.handle(
+            make_request(
+                HOLD,
+                {"flight_id": "F1", "passengers": party()},
+                captcha=CAPTCHA_NONE,
+            )
+        )
+        assert response.status == CAPTCHA_FAILED
+
+    def test_captcha_solver_costs_money(self, app):
+        app.add_captcha(HOLD, CaptchaGateModel(solver_pass_rate=1.0))
+        request = make_request(
+            HOLD,
+            {"flight_id": "F1", "passengers": party()},
+            captcha=CAPTCHA_SOLVER,
+        )
+        app.handle(request)
+        assert sum(app.captcha_costs_by_actor.values()) > 0
+
+    def test_captcha_removed(self, app):
+        app.add_captcha(SEARCH, CaptchaGateModel())
+        app.remove_captcha(SEARCH)
+        assert app.handle(make_request(SEARCH, captcha=CAPTCHA_NONE)).ok
+
+    def test_every_request_logged(self, app):
+        app.add_block_rule("ban-all", lambda r: True)
+        app.handle(make_request(SEARCH))
+        app.remove_block_rule("ban-all")
+        app.handle(make_request(SEARCH))
+        assert len(app.log) == 2
+        statuses = [e.status for e in app.log.entries()]
+        assert statuses == [BLOCKED, OK]
+
+    def test_fingerprints_collected_at_edge(self, app):
+        fingerprint = FingerprintPopulation().sample(random.Random(9))
+        app.handle(make_request(SEARCH, fingerprint=fingerprint))
+        assert (
+            app.fingerprints_seen[fingerprint.fingerprint_id] == fingerprint
+        )
+
+
+class TestHoneypotRouting:
+    def test_suspect_holds_go_to_shadow(self, app):
+        app.honeypot_router = lambda r: r.client.ip_address == "3.3.3.3"
+        response = app.handle(
+            make_request(HOLD, {"flight_id": "F1", "passengers": party()})
+        )
+        assert response.ok
+        assert response.data.shadow
+        assert app.reservations.availability("F1") == 50
+
+    def test_non_suspects_hit_real_inventory(self, app):
+        app.honeypot_router = lambda r: False
+        response = app.handle(
+            make_request(HOLD, {"flight_id": "F1", "passengers": party()})
+        )
+        assert not response.data.shadow
+        assert app.reservations.availability("F1") == 48

@@ -1,0 +1,120 @@
+"""Tests for repro.web.logs (web log + sessionization)."""
+
+import pytest
+
+from repro.common import ClientRef, LEGIT, SEAT_SPINNER
+from repro.web.logs import LogEntry, WebLog, sessionize
+
+
+def make_entry(time, ip="1.1.1.1", fingerprint="fp1", actor_class=LEGIT,
+               path="/search", status=200):
+    return LogEntry(
+        time=time,
+        method="GET",
+        path=path,
+        status=status,
+        client=ClientRef(
+            ip_address=ip,
+            ip_country="US",
+            ip_residential=True,
+            fingerprint_id=fingerprint,
+            user_agent="UA",
+            actor_class=actor_class,
+        ),
+    )
+
+
+class TestWebLog:
+    def test_append_and_read(self):
+        log = WebLog()
+        log.append(make_entry(1.0))
+        log.append(make_entry(2.0))
+        assert len(log) == 2
+        assert [e.time for e in log.entries()] == [1.0, 2.0]
+
+    def test_time_ordering_enforced(self):
+        log = WebLog()
+        log.append(make_entry(5.0))
+        with pytest.raises(ValueError):
+            log.append(make_entry(4.0))
+
+    def test_entries_between(self):
+        log = WebLog()
+        for t in (0.0, 5.0, 10.0, 15.0):
+            log.append(make_entry(t))
+        assert [e.time for e in log.entries_between(5.0, 15.0)] == [
+            5.0,
+            10.0,
+        ]
+
+
+class TestSessionize:
+    def test_groups_by_ip_and_fingerprint(self):
+        log = WebLog()
+        log.append(make_entry(0.0, ip="1.1.1.1", fingerprint="a"))
+        log.append(make_entry(1.0, ip="2.2.2.2", fingerprint="a"))
+        log.append(make_entry(2.0, ip="1.1.1.1", fingerprint="a"))
+        sessions = sessionize(log)
+        assert len(sessions) == 2
+
+    def test_idle_gap_splits_sessions(self):
+        log = WebLog()
+        log.append(make_entry(0.0))
+        log.append(make_entry(100.0))
+        log.append(make_entry(100.0 + 31 * 60))  # past the 30-min gap
+        sessions = sessionize(log)
+        assert len(sessions) == 2
+        assert sessions[0].request_count == 2
+
+    def test_gap_exactly_at_threshold_keeps_session(self):
+        log = WebLog()
+        log.append(make_entry(0.0))
+        log.append(make_entry(30 * 60.0))
+        assert len(sessionize(log)) == 1
+
+    def test_rotation_shreds_sessions(self):
+        """A client changing fingerprint per request produces one
+        session per request — the sessionization blind spot rotation
+        exploits."""
+        log = WebLog()
+        for i in range(5):
+            log.append(make_entry(float(i), fingerprint=f"fp{i}"))
+        assert len(sessionize(log)) == 5
+
+    def test_session_properties(self):
+        log = WebLog()
+        log.append(make_entry(10.0))
+        log.append(make_entry(40.0))
+        session = sessionize(log)[0]
+        assert session.start == 10.0
+        assert session.end == 40.0
+        assert session.duration == 30.0
+        assert session.request_count == 2
+
+    def test_actor_class_majority(self):
+        log = WebLog()
+        log.append(make_entry(0.0, actor_class=SEAT_SPINNER))
+        log.append(make_entry(1.0, actor_class=SEAT_SPINNER))
+        log.append(make_entry(2.0, actor_class=LEGIT))
+        session = sessionize(log)[0]
+        assert session.actor_class == SEAT_SPINNER
+        assert session.is_attacker
+
+    def test_sessions_sorted_by_start(self):
+        log = WebLog()
+        log.append(make_entry(5.0, ip="b"))
+        log.append(make_entry(6.0, ip="a"))
+        log.append(make_entry(7.0, ip="b"))
+        sessions = sessionize(log)
+        assert [s.start for s in sessions] == [5.0, 6.0]
+
+    def test_invalid_idle_gap(self):
+        with pytest.raises(ValueError):
+            sessionize(WebLog(), idle_gap=0.0)
+
+    def test_session_ids_unique(self):
+        log = WebLog()
+        for i in range(10):
+            log.append(make_entry(float(i), ip=f"ip{i}"))
+        ids = {s.session_id for s in sessionize(log)}
+        assert len(ids) == 10
