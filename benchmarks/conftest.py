@@ -11,6 +11,16 @@ import os
 OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
 
 
+def bench_workers(default: int = 4) -> int:
+    """Worker-process count for runner-based benchmarks.
+
+    Override with ``REPRO_BENCH_WORKERS`` (e.g. 1 on constrained CI
+    boxes); the default asks for 4 so multi-core hosts demonstrate the
+    sweep speedup.
+    """
+    return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", default)))
+
+
 def save_artifact(name: str, text: str) -> None:
     """Print a regenerated table/figure and persist it to output/."""
     os.makedirs(OUTPUT_DIR, exist_ok=True)

@@ -13,50 +13,69 @@ target shows why:
   detection (more block rules, more forced rotations).
 
 Shortening holds does not stop Denial of Inventory; it taxes it.
+
+Since PR 1 the sweep runs through :mod:`repro.runner` (one worker
+process per TTL arm), with the serial backend re-run as a bit-for-bit
+determinism cross-check.
 """
 
+import time
+
 import pytest
-from conftest import save_artifact
+from conftest import bench_workers, save_artifact
 
 from repro.analysis.reports import render_table
-from repro.economics.reports import attacker_seat_seconds
-from repro.scenarios.case_a import CaseAConfig, TARGET_FLIGHT, run_case_a
+from repro.runner import SweepSpec, run_sweep
 from repro.sim.clock import DAY, HOUR, WEEK, format_duration
 
 TTLS = (0.5 * HOUR, 2 * HOUR, 5 * HOUR, 12 * HOUR)
 
-
-def run_ttl_point(ttl: float):
-    config = CaseAConfig(
-        seed=19,
-        hold_ttl=ttl,
-        cap_at=None,
-        attack_start=1 * WEEK,
-        departure_time=2 * WEEK + 2.5 * DAY,
-    )
-    result = run_case_a(config)
-    displaced = attacker_seat_seconds(
-        result.world.reservations, TARGET_FLIGHT
-    )
-    holds = result.attacker_holds_created
-    return {
-        "holds": holds,
-        "seat_hours": displaced.attacker_seat_hours,
-        "seat_hours_per_hold": (
-            displaced.attacker_seat_hours / holds if holds else 0.0
-        ),
-        "rotations": result.attacker_rotations,
-        "rules": len(result.rule_effectiveness),
-    }
+SPEC = SweepSpec(
+    scenario="case-a",
+    base={
+        "cap_at": None,
+        "attack_start": 1 * WEEK,
+        "departure_time": 2 * WEEK + 2.5 * DAY,
+    },
+    grid={"hold_ttl": TTLS},
+    replications=1,
+    master_seed=19,
+)
 
 
-def _sweep():
-    return {ttl: run_ttl_point(ttl) for ttl in TTLS}
+def _point_metrics(result):
+    points = {}
+    for cell in result.cells:
+        metrics = dict(cell.metrics)
+        holds = metrics["attacker_holds_created"]
+        metrics["seat_hours_per_hold"] = (
+            metrics["attacker_seat_hours"] / holds if holds else 0.0
+        )
+        points[dict(cell.params)["hold_ttl"]] = metrics
+    return points
 
 
 def test_hold_ttl_ablation(benchmark):
-    points = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    workers = bench_workers()
+    started = time.perf_counter()
+    serial = run_sweep(SPEC, workers=1)
+    serial_elapsed = time.perf_counter() - started
 
+    parallel = benchmark.pedantic(
+        lambda: run_sweep(SPEC, workers=workers, backend="process"),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert _point_metrics(serial) == _point_metrics(parallel)
+    points = _point_metrics(parallel)
+
+    speedup = serial_elapsed / parallel.elapsed if parallel.elapsed else 0.0
+    timing = (
+        f"runner timing: serial {serial_elapsed:.2f}s, "
+        f"{workers}-worker {parallel.elapsed:.2f}s "
+        f"(speedup {speedup:.2f}x)"
+    )
     save_artifact(
         "hold_ttl_ablation",
         render_table(
@@ -66,25 +85,26 @@ def test_hold_ttl_ablation(benchmark):
             [
                 [
                     format_duration(ttl),
-                    point["holds"],
-                    f"{point['seat_hours']:.0f}",
+                    int(point["attacker_holds_created"]),
+                    f"{point['attacker_seat_hours']:.0f}",
                     f"{point['seat_hours_per_hold']:.2f}",
-                    point["rotations"],
-                    point["rules"],
+                    int(point["attacker_rotations"]),
+                    int(point["rules_deployed"]),
                 ]
                 for ttl, point in sorted(points.items())
             ],
             title="Hold-TTL ablation (fixed 120-seat block target)",
-        ),
+        )
+        + f"\n{timing}",
     )
 
     # Damage is roughly TTL-independent: the attacker re-holds whatever
     # expires, so total seat-hours denied stay within a 2x band.
-    seat_hours = [points[ttl]["seat_hours"] for ttl in TTLS]
+    seat_hours = [points[ttl]["attacker_seat_hours"] for ttl in TTLS]
     assert max(seat_hours) < 2.0 * min(seat_hours)
 
     # The attacker's request footprint scales inversely with TTL...
-    holds = [points[ttl]["holds"] for ttl in TTLS]
+    holds = [points[ttl]["attacker_holds_created"] for ttl in TTLS]
     assert holds == sorted(holds, reverse=True)
     assert holds[0] > 5 * holds[-1]
 
@@ -93,4 +113,7 @@ def test_hold_ttl_ablation(benchmark):
     assert efficiency == sorted(efficiency)
 
     # ... and short TTLs force far more defender detections/rotations.
-    assert points[TTLS[0]]["rotations"] > points[TTLS[-1]]["rotations"]
+    assert (
+        points[TTLS[0]]["attacker_rotations"]
+        > points[TTLS[-1]]["attacker_rotations"]
+    )

@@ -11,50 +11,66 @@ what fraction of the bot's hold attempts the block rules actually stop:
 * a slow rotator (24 h) loses most of its attempts to blocks and its
   hold throughput collapses;
 * blocked fraction rises monotonically with the rotation interval.
+
+Since PR 1 the sweep runs through :mod:`repro.runner`: the four arms
+fan out over worker processes, and the serial run doubles as a
+determinism check — both backends must agree bit for bit.
 """
 
+import time
+
 import pytest
-from conftest import save_artifact
+from conftest import bench_workers, save_artifact
 
 from repro.analysis.reports import render_table
-from repro.scenarios.case_a import CaseAConfig, run_case_a
+from repro.runner import SweepSpec, run_sweep
 from repro.sim.clock import DAY, HOUR, WEEK, format_duration
 
 INTERVALS = (0.5 * HOUR, 2 * HOUR, 8 * HOUR, 24 * HOUR)
 
+SPEC = SweepSpec(
+    scenario="case-a",
+    base={
+        "cap_at": None,
+        "rotate_on_block": False,
+        "attack_start": 1 * WEEK,
+        "departure_time": 2 * WEEK + 2.5 * DAY,
+    },
+    grid={"rotation_mean_interval": INTERVALS},
+    replications=1,
+    master_seed=17,
+)
 
-def run_rotation_point(interval: float):
-    config = CaseAConfig(
-        seed=17,
-        cap_at=None,
-        rotation_mean_interval=interval,
-        rotate_on_block=False,
-        attack_start=1 * WEEK,
-        departure_time=2 * WEEK + 2.5 * DAY,
-    )
-    result = run_case_a(config)
-    attempts = (
-        result.attacker_holds_created + result.attacker_blocks_encountered
-    )
-    blocked_fraction = (
-        result.attacker_blocks_encountered / attempts if attempts else 0.0
-    )
+
+def _point_metrics(result):
     return {
-        "blocked_fraction": blocked_fraction,
-        "holds": result.attacker_holds_created,
-        "blocks": result.attacker_blocks_encountered,
-        "rotations": result.attacker_rotations,
-        "rules": len(result.rule_effectiveness),
+        dict(cell.params)["rotation_mean_interval"]: cell.metrics
+        for cell in result.cells
     }
 
 
-def _sweep():
-    return {interval: run_rotation_point(interval) for interval in INTERVALS}
-
-
 def test_rotation_ablation(benchmark):
-    points = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    workers = bench_workers()
+    started = time.perf_counter()
+    serial = run_sweep(SPEC, workers=1)
+    serial_elapsed = time.perf_counter() - started
 
+    parallel = benchmark.pedantic(
+        lambda: run_sweep(SPEC, workers=workers, backend="process"),
+        rounds=1,
+        iterations=1,
+    )
+
+    # The runner's determinism contract: backends agree bit for bit.
+    assert _point_metrics(serial) == _point_metrics(parallel)
+    points = _point_metrics(parallel)
+
+    speedup = serial_elapsed / parallel.elapsed if parallel.elapsed else 0.0
+    timing = (
+        f"runner timing: serial {serial_elapsed:.2f}s, "
+        f"{workers}-worker {parallel.elapsed:.2f}s "
+        f"(speedup {speedup:.2f}x)"
+    )
     save_artifact(
         "rotation_ablation",
         render_table(
@@ -63,15 +79,16 @@ def test_rotation_ablation(benchmark):
             [
                 [
                     format_duration(interval),
-                    point["blocks"],
-                    point["holds"],
+                    int(point["attacker_blocks_encountered"]),
+                    int(point["attacker_holds_created"]),
                     f"{point['blocked_fraction'] * 100:.1f}%",
-                    point["rules"],
+                    int(point["rules_deployed"]),
                 ]
                 for interval, point in sorted(points.items())
             ],
             title="Rotation cadence vs block-rule effectiveness",
-        ),
+        )
+        + f"\n{timing}",
     )
 
     fractions = [
@@ -85,9 +102,12 @@ def test_rotation_ablation(benchmark):
     # ... a slow one loses the majority of its attempts...
     assert fractions[-1] > 0.5
     # ... and its hold throughput collapses relative to the fast one.
-    assert points[INTERVALS[-1]]["holds"] < points[INTERVALS[0]]["holds"] / 2
+    assert (
+        points[INTERVALS[-1]]["attacker_holds_created"]
+        < points[INTERVALS[0]]["attacker_holds_created"] / 2
+    )
 
     # The defender worked equally hard in every arm: it deployed rules
     # proportional to the identities it saw.
     for interval in INTERVALS:
-        assert points[interval]["rules"] > 0
+        assert points[interval]["rules_deployed"] > 0

@@ -23,6 +23,7 @@ Subpackages
 ``repro.economics``  attacker/defender ledgers and deterrence analysis
 ``repro.analysis``   distributions, evaluation, report rendering
 ``repro.scenarios``  pre-wired Case A/B/C and benchmark scenarios
+``repro.runner``     parallel sweep/replication orchestrator
 """
 
 from . import (

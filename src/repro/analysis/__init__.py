@@ -1,5 +1,11 @@
 """Analysis helpers: distributions, evaluation, report rendering."""
 
+from .aggregate import (
+    SummaryStats,
+    aggregate_metrics,
+    mean_ci,
+    t_quantile,
+)
 from .distributions import (
     nip_counts,
     nip_shares,
@@ -20,6 +26,10 @@ from .reports import (
 )
 
 __all__ = [
+    "SummaryStats",
+    "aggregate_metrics",
+    "mean_ci",
+    "t_quantile",
     "nip_counts",
     "nip_shares",
     "share_of",

@@ -1,0 +1,126 @@
+"""Replication aggregation: means and confidence intervals.
+
+The paper's claims are distributional, so sweep results are reported as
+``mean +/- t * s / sqrt(n)`` over independent replications.  The
+Student-t quantiles are tabulated here (two-sided 90/95/99%) to keep
+scipy out of the runtime dependencies; beyond 30 degrees of freedom the
+normal quantile is an excellent approximation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence, Tuple
+
+#: Two-sided Student-t quantiles by confidence level, indexed df-1
+#: (df 1..30).  Values beyond df=30 fall back to the normal quantile.
+_T_TABLE: Dict[float, Tuple[float, ...]] = {
+    0.90: (
+        6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833,
+        1.812, 1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734,
+        1.729, 1.725, 1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703,
+        1.701, 1.699, 1.697,
+    ),
+    0.95: (
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+        2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+        2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+        2.048, 2.045, 2.042,
+    ),
+    0.99: (
+        63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250,
+        3.169, 3.106, 3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878,
+        2.861, 2.845, 2.831, 2.819, 2.807, 2.797, 2.787, 2.779, 2.771,
+        2.763, 2.756, 2.750,
+    ),
+}
+
+_Z_FALLBACK: Dict[float, float] = {0.90: 1.645, 0.95: 1.960, 0.99: 2.576}
+
+
+def t_quantile(df: int, confidence: float = 0.95) -> float:
+    """Two-sided Student-t critical value for ``df`` degrees of freedom.
+
+    >>> t_quantile(4)
+    2.776
+    >>> t_quantile(1000)
+    1.96
+    """
+    if confidence not in _T_TABLE:
+        raise ValueError(
+            f"unsupported confidence {confidence}; "
+            f"choose one of {sorted(_T_TABLE)}"
+        )
+    if df < 1:
+        raise ValueError(f"degrees of freedom must be >= 1: {df}")
+    table = _T_TABLE[confidence]
+    if df <= len(table):
+        return table[df - 1]
+    return _Z_FALLBACK[confidence]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean and confidence interval over replication values."""
+
+    count: int
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+
+    @property
+    def half_width(self) -> float:
+        return (self.ci_high - self.ci_low) / 2.0
+
+    def __str__(self) -> str:
+        if self.count < 2:
+            return f"{self.mean:.4g}"
+        return f"{self.mean:.4g} +/- {self.half_width:.3g}"
+
+
+def mean_ci(
+    values: Iterable[float], confidence: float = 0.95
+) -> SummaryStats:
+    """Mean with a Student-t confidence interval.
+
+    With fewer than two values the interval collapses to the mean
+    (there is no dispersion estimate to widen it with).
+    """
+    data = [float(value) for value in values]
+    if not data:
+        raise ValueError("mean_ci needs at least one value")
+    count = len(data)
+    mean = sum(data) / count
+    if count < 2:
+        return SummaryStats(count, mean, 0.0, mean, mean, confidence)
+    variance = sum((value - mean) ** 2 for value in data) / (count - 1)
+    std = math.sqrt(variance)
+    half = t_quantile(count - 1, confidence) * std / math.sqrt(count)
+    return SummaryStats(
+        count, mean, std, mean - half, mean + half, confidence
+    )
+
+
+def aggregate_metrics(
+    metric_dicts: Sequence[Dict[str, float]],
+    confidence: float = 0.95,
+) -> Dict[str, SummaryStats]:
+    """Per-metric :func:`mean_ci` across replication metric dicts.
+
+    Only metrics present in *every* replication are aggregated; a
+    partial metric would silently average over a biased subset.
+    """
+    if not metric_dicts:
+        return {}
+    names = set(metric_dicts[0])
+    for metrics in metric_dicts[1:]:
+        names &= set(metrics)
+    return {
+        name: mean_ci(
+            [metrics[name] for metrics in metric_dicts], confidence
+        )
+        for name in sorted(names)
+    }

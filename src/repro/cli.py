@@ -9,17 +9,22 @@ Usage::
     python -m repro case-c --variant per-ref
     python -m repro detectors           # Section III detector matrix
     python -m repro behavioural         # Section V behavioural stack
+    python -m repro sweep --scenario case-a \
+        --param hold_ttl=1800,7200 --reps 8 --workers 4
 
 Every command accepts ``--seed`` for a different (still deterministic)
 run.  Scaled-down variants are available where full-size runs take more
-than a few seconds (``table1 --scale``).
+than a few seconds (``table1 --scale``).  The case-study commands also
+accept ``--reps N --workers W`` to run N independent replications
+through :mod:`repro.runner` (in W worker processes) and report each
+metric as mean +/- 95% CI instead of a single draw.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .analysis.reports import (
     format_percent,
@@ -27,6 +32,87 @@ from .analysis.reports import (
     render_weekly_nip,
 )
 from .sim.clock import format_duration
+
+
+def _parse_param_value(text: str) -> object:
+    """One sweep value from the command line: int/float/None/bool/str."""
+    lowered = text.strip()
+    if lowered == "None":
+        return None
+    if lowered in ("True", "False"):
+        return lowered == "True"
+    for cast in (int, float):
+        try:
+            return cast(lowered)
+        except ValueError:
+            continue
+    return lowered
+
+
+def _parse_param(text: str) -> Tuple[str, List[object]]:
+    """``name=v1,v2,...`` -> (name, values)."""
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"expected name=value[,value...]: {text!r}"
+        )
+    name, _, values = text.partition("=")
+    parsed = [_parse_param_value(value) for value in values.split(",")]
+    return name.strip(), parsed
+
+
+def _print_aggregate_table(
+    result, metrics: Optional[Sequence[str]], title: str
+) -> None:
+    """One row per grid point: swept axes + mean +/- CI per metric."""
+    axes = sorted(result.spec.grid)
+    rows = []
+    chosen: Optional[Sequence[str]] = metrics
+    for params, stats in result.aggregate_all():
+        if chosen is None:
+            chosen = sorted(stats)
+        rows.append(
+            [params[axis] for axis in axes]
+            + [str(stats[name]) for name in chosen if name in stats]
+        )
+    headers = list(axes) + list(chosen or [])
+    print(render_table(headers, rows, title=title))
+    print(
+        f"\n{len(result.cells)} cells "
+        f"({result.spec.replications} replications/point), "
+        f"backend={result.backend}, workers={result.workers}, "
+        f"cache hits={result.cache_hits}, "
+        f"elapsed={result.elapsed:.2f}s"
+    )
+
+
+def _run_replicated(
+    scenario: str, base: Dict[str, object], args: argparse.Namespace
+) -> int:
+    """Shared --reps/--workers path for the case-study commands."""
+    from .runner import SweepSpec, run_sweep
+
+    try:
+        result = run_sweep(
+            SweepSpec(
+                scenario=scenario,
+                base=base,
+                replications=args.reps,
+                master_seed=args.seed,
+            ),
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+        )
+    except (TypeError, ValueError) as error:
+        raise SystemExit(f"error: {error}")
+    _print_aggregate_table(
+        result,
+        None,
+        title=(
+            f"{scenario}: {args.reps} replications "
+            f"(master seed {args.seed}, mean +/- 95% CI)"
+        ),
+    )
+    return 0
 
 
 def _cmd_fig1(args: argparse.Namespace) -> int:
@@ -83,6 +169,8 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 def _cmd_case_a(args: argparse.Namespace) -> int:
     from .scenarios.case_a import CaseAConfig, run_case_a
 
+    if args.reps > 1 or args.workers > 1:
+        return _run_replicated("case-a", {}, args)
     result = run_case_a(CaseAConfig(seed=args.seed))
     interval = result.measured_rotation_interval
     print(render_table(
@@ -110,6 +198,8 @@ def _cmd_case_a(args: argparse.Namespace) -> int:
 def _cmd_case_b(args: argparse.Namespace) -> int:
     from .scenarios.case_b import CaseBConfig, run_case_b
 
+    if args.reps > 1 or args.workers > 1:
+        return _run_replicated("case-b", {}, args)
     result = run_case_b(CaseBConfig(seed=args.seed))
     print(render_table(
         ["Metric", "Value"],
@@ -133,6 +223,15 @@ def _cmd_case_b(args: argparse.Namespace) -> int:
 def _cmd_case_c(args: argparse.Namespace) -> int:
     from .scenarios.case_c import CaseCConfig, run_case_c
 
+    if args.reps > 1 or args.workers > 1:
+        return _run_replicated(
+            "case-c",
+            {
+                "variant": args.variant,
+                "baseline_weekly_total": int(48_000 / args.scale),
+            },
+            args,
+        )
     result = run_case_c(
         CaseCConfig(
             seed=args.seed,
@@ -219,6 +318,47 @@ def _cmd_behavioural(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .runner import SweepSpec, run_sweep, scenario_names
+
+    if args.scenario not in scenario_names():
+        raise SystemExit(
+            f"unknown scenario {args.scenario!r}; "
+            f"choose from {', '.join(scenario_names())}"
+        )
+    grid: Dict[str, List[object]] = {}
+    base: Dict[str, object] = {}
+    for name, values in args.param or []:
+        if len(values) == 1:
+            base[name] = values[0]
+        else:
+            grid[name] = values
+    try:
+        result = run_sweep(
+            SweepSpec(
+                scenario=args.scenario,
+                base=base,
+                grid=grid,
+                replications=args.reps,
+                master_seed=args.seed,
+            ),
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+        )
+    except (TypeError, ValueError) as error:
+        raise SystemExit(f"error: {error}")
+    _print_aggregate_table(
+        result,
+        args.metric or None,
+        title=(
+            f"sweep {args.scenario}: "
+            f"{len(result.points())} points x {args.reps} replications "
+            f"(master seed {args.seed}, mean +/- 95% CI)"
+        ),
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -235,14 +375,30 @@ def build_parser() -> argparse.ArgumentParser:
         sub.set_defaults(handler=handler)
         return sub
 
+    def add_runner_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--reps", type=int, default=1,
+            help="independent replications to run through repro.runner",
+        )
+        sub.add_argument(
+            "--workers", type=int, default=1,
+            help="worker processes (1 = serial in-process)",
+        )
+        sub.add_argument(
+            "--cache-dir", default=None,
+            help="directory for the on-disk result cache (off by default)",
+        )
+
     add("fig1", _cmd_fig1, "Fig. 1: weekly NiP distributions (Case A)")
     table1 = add("table1", _cmd_table1, "Table I: SMS country surges")
     table1.add_argument(
         "--scale", type=float, default=1.0,
         help="downscale traffic volume by this factor (default 1 = full)",
     )
-    add("case-a", _cmd_case_a, "Case A arms-race metrics")
-    add("case-b", _cmd_case_b, "Case B passenger-detail heuristics")
+    case_a = add("case-a", _cmd_case_a, "Case A arms-race metrics")
+    add_runner_args(case_a)
+    case_b = add("case-b", _cmd_case_b, "Case B passenger-detail heuristics")
+    add_runner_args(case_b)
     case_c = add("case-c", _cmd_case_c, "Case C SMS pumping")
     case_c.add_argument(
         "--variant",
@@ -250,9 +406,28 @@ def build_parser() -> argparse.ArgumentParser:
         default="unprotected",
     )
     case_c.add_argument("--scale", type=float, default=1.0)
+    add_runner_args(case_c)
     add("detectors", _cmd_detectors, "Section III detector matrix")
     add("behavioural", _cmd_behavioural,
         "Section V behavioural stack (extension)")
+    sweep = add(
+        "sweep", _cmd_sweep,
+        "parameter sweep x replications via the parallel runner",
+    )
+    sweep.add_argument(
+        "--scenario", required=True,
+        help="registered scenario name (case-a, case-b, case-c)",
+    )
+    sweep.add_argument(
+        "--param", action="append", type=_parse_param, metavar="NAME=V1[,V2...]",
+        help="config field to fix (one value) or sweep (several values); "
+        "repeatable",
+    )
+    sweep.add_argument(
+        "--metric", action="append",
+        help="metric column(s) to report (default: all)",
+    )
+    add_runner_args(sweep)
     return parser
 
 
@@ -265,6 +440,7 @@ _DEFAULT_SEEDS = {
     "case-c": 1,
     "detectors": 31,
     "behavioural": 41,
+    "sweep": 0,
 }
 
 

@@ -1,0 +1,57 @@
+"""Parallel sweep/replication runner.
+
+Fan scenario replications out across worker processes without giving up
+bit-for-bit determinism:
+
+>>> from repro.runner import SweepSpec, run_sweep
+>>> spec = SweepSpec(
+...     scenario="case-a",
+...     base={"departure_time": 4 * 86400.0, "attack_start": 86400.0},
+...     grid={"hold_ttl": (1800.0, 18000.0)},
+...     replications=4,
+...     master_seed=7,
+... )
+>>> result = run_sweep(spec, workers=4)        # doctest: +SKIP
+>>> result.aggregate({"hold_ttl": 1800.0})     # doctest: +SKIP
+
+See :mod:`repro.runner.spec` for the seeding/caching contract and
+:mod:`repro.runner.core` for the backends.
+"""
+
+from .cache import CACHE_VERSION, ResultCache
+from .core import (
+    CellResult,
+    PROCESS,
+    SERIAL,
+    SweepResult,
+    default_workers,
+    execute_cell,
+    run_sweep,
+)
+from .registry import (
+    ScenarioEntry,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from .spec import CellSpec, SweepSpec, canonical_json, config_hash
+
+__all__ = [
+    "CACHE_VERSION",
+    "ResultCache",
+    "CellResult",
+    "PROCESS",
+    "SERIAL",
+    "SweepResult",
+    "default_workers",
+    "execute_cell",
+    "run_sweep",
+    "ScenarioEntry",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+    "CellSpec",
+    "SweepSpec",
+    "canonical_json",
+    "config_hash",
+]

@@ -1,0 +1,96 @@
+"""On-disk result cache for sweep cells.
+
+One JSON file per cell, keyed by ``(scenario, config_hash, seed)`` —
+the code-irrelevant identity of a cell.  Re-running a sweep therefore
+only computes missing cells; changing any config field or the master
+seed changes the key and naturally invalidates exactly the affected
+cells.
+
+Files are written atomically (tmp + rename) and carry a payload
+checksum; a truncated, hand-edited or bit-rotted file fails
+verification and is treated as a miss (recomputed and rewritten), never
+as a crash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Optional
+
+from .spec import canonical_json
+
+#: Bump when the payload layout changes; old files become misses.
+CACHE_VERSION = 1
+
+
+def _payload_checksum(payload: Dict[str, object]) -> str:
+    return hashlib.sha256(
+        canonical_json(payload).encode("utf-8")
+    ).hexdigest()
+
+
+class ResultCache:
+    """Directory of per-cell JSON results with integrity checking."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+
+    def path_for(self, scenario: str, config_hash: str, seed: int) -> str:
+        return os.path.join(
+            self.directory, f"{scenario}_{config_hash[:16]}_{seed}.json"
+        )
+
+    def load(
+        self, scenario: str, config_hash: str, seed: int
+    ) -> Optional[Dict[str, object]]:
+        """The cached payload, or None on miss/corruption."""
+        path = self.path_for(scenario, config_hash, seed)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                envelope = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        payload = envelope.get("payload")
+        if (
+            not isinstance(payload, dict)
+            or envelope.get("version") != CACHE_VERSION
+            or envelope.get("checksum") != _payload_checksum(payload)
+        ):
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(
+        self,
+        scenario: str,
+        config_hash: str,
+        seed: int,
+        payload: Dict[str, object],
+    ) -> None:
+        """Atomically persist one cell's payload."""
+        os.makedirs(self.directory, exist_ok=True)
+        path = self.path_for(scenario, config_hash, seed)
+        envelope = {
+            "version": CACHE_VERSION,
+            "scenario": scenario,
+            "config_hash": config_hash,
+            "seed": seed,
+            "checksum": _payload_checksum(payload),
+            "payload": payload,
+        }
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(envelope, handle)
+        os.replace(tmp_path, path)

@@ -1,0 +1,66 @@
+"""Registry of sweepable scenarios.
+
+The parallel runner refers to scenarios by *name* rather than by
+function object so that a work item — ``(scenario name, params, seed)``
+— is trivially picklable and cache-keyable.  Each entry binds the name
+to the scenario's config dataclass and its *cell function*: a
+module-level pure function of a config that returns only plain data
+(see :func:`repro.scenarios.case_a.case_a_cell`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Mapping
+
+from ..scenarios.case_a import CaseAConfig, case_a_cell
+from ..scenarios.case_b import CaseBConfig, case_b_cell
+from ..scenarios.case_c import CaseCConfig, case_c_cell
+
+
+@dataclass(frozen=True)
+class ScenarioEntry:
+    """One sweepable scenario: its config type and cell function."""
+
+    name: str
+    config_cls: type
+    cell_fn: Callable[[object], Dict[str, object]]
+
+    def build_config(self, params: Mapping[str, object], seed: int):
+        """Instantiate the config from sweep params plus a derived seed.
+
+        Unknown parameter names raise ``TypeError`` from the dataclass
+        constructor — a sweep over a misspelled field fails loudly
+        instead of silently running defaults.
+        """
+        config = self.config_cls(**dict(params))
+        return replace(config, seed=seed)
+
+
+_REGISTRY: Dict[str, ScenarioEntry] = {}
+
+
+def register_scenario(
+    name: str,
+    config_cls: type,
+    cell_fn: Callable[[object], Dict[str, object]],
+) -> None:
+    """Register (or re-register) a scenario under ``name``."""
+    _REGISTRY[name] = ScenarioEntry(name, config_cls, cell_fn)
+
+
+def get_scenario(name: str) -> ScenarioEntry:
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {scenario_names()}"
+        )
+    return _REGISTRY[name]
+
+
+def scenario_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+register_scenario("case-a", CaseAConfig, case_a_cell)
+register_scenario("case-b", CaseBConfig, case_b_cell)
+register_scenario("case-c", CaseCConfig, case_c_cell)

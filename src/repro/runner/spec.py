@@ -1,0 +1,153 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` names a registered scenario, a parameter grid and
+a replication count; expanding it yields one :class:`CellSpec` per
+``(grid point, replication)`` pair.  Each cell carries
+
+* a *config hash* — a stable digest of the cell's scenario parameters
+  (seed excluded), independent of dict insertion order and of the code
+  that produced the dict, and
+* a *derived seed* — ``derive_replication_seed(master_seed,
+  config_hash, replication)`` — so cells are statistically independent
+  but the whole sweep is a pure function of the master seed.
+
+The ``(config_hash, seed)`` pair is also the result-cache key: editing
+any parameter or the master seed invalidates exactly the affected
+cells.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..sim.rng import derive_replication_seed
+
+
+def canonical_json(value: object) -> str:
+    """Deterministic JSON: sorted keys, tuples as lists, no whitespace.
+
+    >>> canonical_json({"b": 2, "a": (1, None)})
+    '{"a":[1,null],"b":2}'
+    """
+
+    def normalise(node: object) -> object:
+        if isinstance(node, Mapping):
+            return {str(key): normalise(node[key]) for key in node}
+        if isinstance(node, (list, tuple)):
+            return [normalise(item) for item in node]
+        if isinstance(node, bool) or node is None:
+            return node
+        if isinstance(node, (int, float, str)):
+            return node
+        raise TypeError(
+            f"sweep parameters must be JSON-representable; got "
+            f"{type(node).__name__}: {node!r}"
+        )
+
+    return json.dumps(
+        normalise(value), sort_keys=True, separators=(",", ":")
+    )
+
+
+def config_hash(params: Mapping[str, object]) -> str:
+    """Stable hex digest of a cell's parameters, ignoring any ``seed``.
+
+    The seed is excluded because the runner *assigns* seeds (derived
+    from the master seed); two cells that differ only in seed are the
+    same configuration, just different replications.
+    """
+    relevant = {key: value for key, value in params.items() if key != "seed"}
+    return hashlib.sha256(
+        canonical_json(relevant).encode("utf-8")
+    ).hexdigest()
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One unit of work: a scenario config plus a replication index."""
+
+    scenario: str
+    params: Tuple[Tuple[str, object], ...]
+    replication: int
+    config_hash: str
+    seed: int
+
+    def params_dict(self) -> Dict[str, object]:
+        return dict(self.params)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A parameter grid x replications over one registered scenario.
+
+    ``base`` holds overrides applied to every cell; ``grid`` maps
+    parameter names to the values to sweep (full cross product).  The
+    ``seed`` field of the scenario config must not appear in either —
+    seeding is the runner's job.
+
+    >>> spec = SweepSpec(
+    ...     scenario="case-a",
+    ...     grid={"hold_ttl": (1800.0, 7200.0)},
+    ...     replications=2,
+    ... )
+    >>> [cell.replication for cell in spec.cells()]
+    [0, 1, 0, 1]
+    >>> len({cell.seed for cell in spec.cells()})
+    4
+    """
+
+    scenario: str
+    base: Mapping[str, object] = field(default_factory=dict)
+    grid: Mapping[str, Sequence[object]] = field(default_factory=dict)
+    replications: int = 1
+    master_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.replications < 1:
+            raise ValueError(
+                f"replications must be >= 1: {self.replications}"
+            )
+        for source in (self.base, self.grid):
+            if "seed" in source:
+                raise ValueError(
+                    "'seed' cannot be swept or fixed: the runner derives "
+                    "each cell's seed from (master_seed, config_hash, "
+                    "replication)"
+                )
+        for name, values in self.grid.items():
+            if not values:
+                raise ValueError(f"grid axis {name!r} has no values")
+
+    def points(self) -> List[Dict[str, object]]:
+        """All grid points (base merged in), in deterministic order."""
+        axes = sorted(self.grid)
+        combos = itertools.product(*(self.grid[axis] for axis in axes))
+        points = []
+        for combo in combos:
+            params = dict(self.base)
+            params.update(zip(axes, combo))
+            points.append(params)
+        return points
+
+    def cells(self) -> List[CellSpec]:
+        """Expand the grid x replications into cell specs."""
+        cells = []
+        for params in self.points():
+            digest = config_hash(params)
+            for replication in range(self.replications):
+                cells.append(
+                    CellSpec(
+                        scenario=self.scenario,
+                        params=tuple(sorted(params.items())),
+                        replication=replication,
+                        config_hash=digest,
+                        seed=derive_replication_seed(
+                            self.master_seed, digest, replication
+                        ),
+                    )
+                )
+        return cells

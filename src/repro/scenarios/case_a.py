@@ -136,6 +136,64 @@ class CaseAResult:
         return span / self.attacker_rotations
 
 
+def case_a_cell(config: CaseAConfig) -> Dict[str, object]:
+    """Picklable sweep-cell entry point for Case A.
+
+    A pure function of ``config`` returning only plain data — scalar
+    ``metrics``, a JSON-able ``info`` dict, and the world's metrics
+    ``recorder`` snapshot — so :mod:`repro.runner` can run it in a
+    worker process and ship the result back across the pickle boundary
+    (a full :class:`CaseAResult` holds the event loop and is not
+    picklable).
+    """
+    from ..economics.reports import attacker_seat_seconds
+
+    result = run_case_a(config)
+    displaced = attacker_seat_seconds(
+        result.world.reservations, TARGET_FLIGHT
+    )
+    attempts = (
+        result.attacker_holds_created + result.attacker_blocks_encountered
+    )
+    interval = result.measured_rotation_interval
+    return {
+        "metrics": {
+            "attacker_holds_created": float(result.attacker_holds_created),
+            "attacker_rotations": float(result.attacker_rotations),
+            "attacker_blocks_encountered": float(
+                result.attacker_blocks_encountered
+            ),
+            "blocked_fraction": (
+                result.attacker_blocks_encountered / attempts
+                if attempts
+                else 0.0
+            ),
+            "rules_deployed": float(len(result.rule_effectiveness)),
+            "attacker_seat_hours": displaced.attacker_seat_hours,
+            "legit_holds_total": float(result.legit_holds_total),
+            "target_availability_end": float(
+                result.target_availability_end
+            ),
+            "target_legit_confirmed_seats": float(
+                result.target_legit_confirmed_seats
+            ),
+            "attacker_final_nip": float(result.attacker_final_nip),
+            "measured_rotation_interval": (
+                interval if interval is not None else 0.0
+            ),
+        },
+        "info": {
+            "week_counts": [
+                {str(nip): count for nip, count in week.items()}
+                for week in result.week_counts
+            ],
+            "cap_applied_at": result.cap_applied_at,
+            "last_attack_hold_time": result.last_attack_hold_time,
+        },
+        "recorder": result.world.metrics.snapshot(),
+    }
+
+
 def run_case_a(config: Optional[CaseAConfig] = None) -> CaseAResult:
     """Run the full three-week Case A scenario."""
     config = config or CaseAConfig()

@@ -101,6 +101,36 @@ def _coverage(hold_ids: Set[str], flagged: Set[str]) -> float:
     return len(hold_ids & flagged) / len(hold_ids)
 
 
+def case_b_cell(config: CaseBConfig) -> Dict[str, object]:
+    """Picklable sweep-cell entry point for Case B.
+
+    Pure function of ``config`` returning plain data only (scalar
+    metrics + recorder snapshot) so :mod:`repro.runner` workers can
+    return it across the pickle boundary.
+    """
+    result = run_case_b(config)
+    return {
+        "metrics": {
+            "automated_coverage": result.automated_coverage,
+            "manual_coverage": result.manual_coverage,
+            "legit_false_positive_rate": result.legit_false_positive_rate,
+            "automated_holds": float(result.automated_holds),
+            "manual_holds": float(result.manual_holds),
+            "legit_holds": float(result.legit_holds),
+            "findings": float(len(result.findings)),
+            "sessions": float(len(result.sessions)),
+            "volume_recall_automated": result.volume_recall.get(
+                SEAT_SPINNER, 0.0
+            ),
+            "volume_recall_manual": result.volume_recall.get(
+                MANUAL_SPINNER, 0.0
+            ),
+        },
+        "info": {"finding_kinds": sorted(result.finding_kinds)},
+        "recorder": result.world.metrics.snapshot(),
+    }
+
+
 def run_case_b(config: Optional[CaseBConfig] = None) -> CaseBResult:
     """Run both campaigns and the passenger-detail analysis."""
     config = config or CaseBConfig()

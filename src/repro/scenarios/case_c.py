@@ -212,6 +212,46 @@ class CaseCResult:
         return rows[:top]
 
 
+def case_c_cell(config: CaseCConfig) -> Dict[str, object]:
+    """Picklable sweep-cell entry point for Case C.
+
+    Pure function of ``config`` returning plain data only (scalar
+    metrics, the Table I view, recorder snapshot) so
+    :mod:`repro.runner` workers can return it across the pickle
+    boundary.
+    """
+    result = run_case_c(config)
+    latency = result.detection_latency
+    return {
+        "metrics": {
+            "attacker_sms_delivered": float(result.attacker_sms_delivered),
+            "attacker_sms_attempts_blocked": float(
+                result.attacker_sms_attempts_blocked
+            ),
+            "global_increase_percent": result.global_increase_percent,
+            "countries_targeted": float(result.countries_targeted),
+            "detection_latency": latency if latency is not None else -1.0,
+            "defender_sms_cost": result.defender_sms_cost,
+            "attacker_net": result.attacker_ledger.net,
+            "feature_disabled": (
+                1.0 if result.feature_disabled_at is not None else 0.0
+            ),
+        },
+        "info": {
+            "table1": [
+                {
+                    "country": surge.country_code,
+                    "baseline": surge.baseline_count,
+                    "window": surge.window_count,
+                    "surge_percent": surge.surge_percent,
+                }
+                for surge in result.table1_rows()
+            ],
+        },
+        "recorder": result.world.metrics.snapshot(),
+    }
+
+
 def run_case_c(config: Optional[CaseCConfig] = None) -> CaseCResult:
     """Run the two-week Case C scenario in the chosen variant."""
     config = config or CaseCConfig()

@@ -117,7 +117,15 @@ class MetricsRecorder:
         return [(start + i * bucket, total) for i, total in enumerate(sums)]
 
     def merge(self, other: "MetricsRecorder") -> None:
-        """Fold another recorder's counters and series into this one."""
+        """Fold another recorder's counters and series into this one.
+
+        Counter merging is associative and commutative (plain sums);
+        series merging is associative and *order-stable*: points are
+        kept time-sorted, and among points with equal timestamps this
+        recorder's points precede ``other``'s (Python's sort is stable),
+        so folding replications in a fixed order always yields the same
+        sequence no matter which worker produced each piece.
+        """
         for name, value in other._counters.items():
             self._counters[name] += value
         for name, value in other._gauges.items():
@@ -127,6 +135,43 @@ class MetricsRecorder:
                 self._series[name] + points, key=lambda p: p.time
             )
             self._series[name] = merged
+
+    # -- serialisation -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-data view of the recorder.
+
+        The result contains only dicts/lists/floats/strings, so it can
+        cross process boundaries (pickling worker results) and be
+        serialised to JSON (the sweep result cache) without loss.
+        """
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "series": {
+                name: [[point.time, point.value] for point in points]
+                for name, points in self._series.items()
+            },
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: Dict[str, object]) -> "MetricsRecorder":
+        """Rebuild a recorder from :meth:`snapshot` output.
+
+        Round-trips exactly: ``MetricsRecorder.from_snapshot(r.snapshot())``
+        has the same counters, gauges and series as ``r``.
+        """
+        recorder = cls()
+        for name, value in dict(data.get("counters", {})).items():
+            recorder._counters[name] = float(value)
+        for name, value in dict(data.get("gauges", {})).items():
+            recorder._gauges[name] = float(value)
+        for name, points in dict(data.get("series", {})).items():
+            recorder._series[name] = [
+                TimePoint(float(time), float(value))
+                for time, value in points
+            ]
+        return recorder
 
 
 def summarise(values: Iterable[float]) -> Dict[str, float]:

@@ -33,6 +33,19 @@ def derive_seed(master_seed: int, name: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+def derive_replication_seed(
+    master_seed: int, config_hash: str, replication: int
+) -> int:
+    """Seed for one replication of one sweep cell.
+
+    Every ``(master_seed, config_hash, replication)`` triple maps to an
+    independent 64-bit seed, so sweep cells and their replications get
+    disjoint RNG streams regardless of which worker process runs them —
+    the property the parallel runner's determinism rests on.
+    """
+    return derive_seed(master_seed, f"cell:{config_hash}:rep:{replication}")
+
+
 class RngRegistry:
     """Factory for independent, named, reproducible random streams.
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _parse_param, build_parser, main
 
 
 class TestParser:
@@ -58,3 +58,50 @@ class TestCommands:
         assert main(["detectors"]) == 0
         out = capsys.readouterr().out
         assert "abuse-pipeline" in out
+
+
+class TestSweepCommand:
+    """The repro.runner-backed sweep/replication surface."""
+
+    def test_param_parsing(self):
+        assert _parse_param("hold_ttl=1800,7200.5") == (
+            "hold_ttl", [1800, 7200.5]
+        )
+        assert _parse_param("cap_at=None") == ("cap_at", [None])
+        assert _parse_param("variant=per-ref") == ("variant", ["per-ref"])
+        with pytest.raises(Exception):
+            _parse_param("no-equals-sign")
+
+    def test_sweep_requires_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+    def test_sweep_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--scenario", "case-z"])
+
+    def test_sweep_small_case_a(self, capsys):
+        assert main([
+            "sweep", "--scenario", "case-a",
+            "--param", "visitor_rate_per_hour=5.0",
+            "--param", "attack_start=86400",
+            "--param", "cap_at=None",
+            "--param", "departure_time=259200",
+            "--param", "target_capacity=120",
+            "--param", "attacker_target_seats=60",
+            "--param", "hold_ttl=7200,18000",
+            "--reps", "2",
+            "--metric", "attacker_holds_created",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 points x 2 replications" in out
+        assert "attacker_holds_created" in out
+        assert "+/-" in out
+
+    def test_case_b_replicated(self, capsys):
+        assert main([
+            "case-b", "--reps", "2", "--seed", "25",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 replications" in out
+        assert "automated_coverage" in out

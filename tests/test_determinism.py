@@ -8,10 +8,12 @@ every headline number.
 
 import pytest
 
+from repro.runner import SweepSpec, config_hash, run_sweep
 from repro.scenarios.case_a import CaseAConfig, run_case_a
 from repro.scenarios.case_b import CaseBConfig, run_case_b
 from repro.scenarios.case_c import CaseCConfig, run_case_c
 from repro.sim.clock import DAY
+from repro.sim.rng import derive_replication_seed
 
 
 SMALL_A = CaseAConfig(
@@ -83,3 +85,49 @@ class TestCaseCDeterminism:
         assert first.attacker_ledger.net == pytest.approx(
             second.attacker_ledger.net
         )
+
+
+class TestRunnerDeterminism:
+    """The sweep runner is as reproducible as the scenarios it wraps."""
+
+    SPEC = SweepSpec(
+        scenario="case-a",
+        base={
+            "visitor_rate_per_hour": 5.0,
+            "attack_start": 1 * DAY,
+            "cap_at": None,
+            "departure_time": 3 * DAY,
+            "target_capacity": 120,
+            "attacker_target_seats": 60,
+        },
+        replications=2,
+        master_seed=29,
+    )
+
+    def test_same_sweep_twice_is_identical(self):
+        first = run_sweep(self.SPEC, workers=1)
+        second = run_sweep(self.SPEC, workers=1)
+        assert [cell.seed for cell in first.cells] == [
+            cell.seed for cell in second.cells
+        ]
+        assert [cell.metrics for cell in first.cells] == [
+            cell.metrics for cell in second.cells
+        ]
+        assert [cell.recorder_snapshot for cell in first.cells] == [
+            cell.recorder_snapshot for cell in second.cells
+        ]
+
+    def test_cell_seeds_are_pure_functions_of_identity(self):
+        for cell in self.SPEC.cells():
+            assert cell.seed == derive_replication_seed(
+                self.SPEC.master_seed, cell.config_hash, cell.replication
+            )
+
+    def test_config_hash_ignores_seed_and_key_order(self):
+        params = dict(self.SPEC.base)
+        shuffled = dict(reversed(list(params.items())))
+        assert config_hash(params) == config_hash(shuffled)
+        with_seed = dict(params, seed=123)
+        assert config_hash(params) == config_hash(with_seed)
+        changed = dict(params, target_capacity=121)
+        assert config_hash(params) != config_hash(changed)

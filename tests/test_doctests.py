@@ -4,14 +4,22 @@ import doctest
 
 import pytest
 
+import repro.analysis.aggregate
 import repro.analysis.reports
+import repro.runner.spec
 import repro.sim.clock
 import repro.sim.rng
 
 
 @pytest.mark.parametrize(
     "module",
-    [repro.sim.clock, repro.sim.rng, repro.analysis.reports],
+    [
+        repro.sim.clock,
+        repro.sim.rng,
+        repro.analysis.reports,
+        repro.analysis.aggregate,
+        repro.runner.spec,
+    ],
     ids=lambda m: m.__name__,
 )
 def test_module_doctests(module):

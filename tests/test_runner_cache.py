@@ -1,0 +1,158 @@
+"""Correctness of the on-disk sweep result cache.
+
+* a warm run returns results identical to the cold run that filled it,
+  without recomputing (verified via hit/miss accounting);
+* changing any config field or the master seed changes the cache key,
+  so stale cells can never be served;
+* corrupted cache files (truncated, tampered, or garbage) are detected,
+  recomputed and rewritten — never crashed on, never trusted.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.runner import ResultCache, SweepSpec, run_sweep
+from repro.sim.clock import DAY, HOUR
+
+SPEC = SweepSpec(
+    scenario="case-a",
+    base={
+        "visitor_rate_per_hour": 5.0,
+        "attack_start": 1 * DAY,
+        "cap_at": None,
+        "departure_time": 3 * DAY,
+        "target_capacity": 120,
+        "attacker_target_seats": 60,
+    },
+    grid={"hold_ttl": (2 * HOUR, 5 * HOUR)},
+    replications=2,
+    master_seed=31,
+)
+
+
+def cell_views(result):
+    return [
+        (cell.seed, cell.metrics, cell.recorder_snapshot)
+        for cell in result.cells
+    ]
+
+
+class TestCacheCorrectness:
+    def test_warm_run_matches_cold_run(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cold = run_sweep(SPEC, workers=1, cache_dir=cache_dir)
+        assert cold.cache_hits == 0
+        assert cold.cache_misses == len(cold.cells)
+
+        warm = run_sweep(SPEC, workers=1, cache_dir=cache_dir)
+        assert warm.cache_hits == len(warm.cells)
+        assert warm.cache_misses == 0
+        assert all(cell.from_cache for cell in warm.cells)
+        assert cell_views(warm) == cell_views(cold)
+        # And the warm run is dramatically cheaper.
+        assert warm.elapsed < cold.elapsed
+
+    def test_partial_cache_only_computes_missing_cells(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cold = run_sweep(SPEC, workers=1, cache_dir=cache_dir)
+        victim = cold.cells[1]
+        os.remove(
+            ResultCache(cache_dir).path_for(
+                victim.scenario, victim.config_hash, victim.seed
+            )
+        )
+        rerun = run_sweep(SPEC, workers=1, cache_dir=cache_dir)
+        assert rerun.cache_hits == len(cold.cells) - 1
+        assert rerun.cache_misses == 1
+        assert cell_views(rerun) == cell_views(cold)
+
+    def test_config_change_invalidates_the_cell(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_sweep(SPEC, workers=1, cache_dir=cache_dir)
+
+        changed = SweepSpec(
+            scenario=SPEC.scenario,
+            base=dict(SPEC.base, visitor_rate_per_hour=6.0),
+            grid=SPEC.grid,
+            replications=SPEC.replications,
+            master_seed=SPEC.master_seed,
+        )
+        rerun = run_sweep(changed, workers=1, cache_dir=cache_dir)
+        assert rerun.cache_hits == 0
+        assert rerun.cache_misses == len(rerun.cells)
+
+    def test_master_seed_change_invalidates_every_cell(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_sweep(SPEC, workers=1, cache_dir=cache_dir)
+
+        reseeded = SweepSpec(
+            scenario=SPEC.scenario,
+            base=SPEC.base,
+            grid=SPEC.grid,
+            replications=SPEC.replications,
+            master_seed=SPEC.master_seed + 1,
+        )
+        rerun = run_sweep(reseeded, workers=1, cache_dir=cache_dir)
+        assert rerun.cache_hits == 0
+        assert rerun.cache_misses == len(rerun.cells)
+
+
+class TestCacheCorruption:
+    @pytest.mark.parametrize(
+        "vandalise",
+        [
+            lambda text: text[: len(text) // 2],      # truncated write
+            lambda text: "not json at all {",          # garbage
+            lambda text: text.replace(                 # tampered payload
+                '"metrics"', '"metricz"', 1
+            ),
+            lambda text: json.dumps(                   # wrong version
+                dict(json.loads(text), version=999)
+            ),
+            lambda text: json.dumps(                   # checksum mismatch
+                dict(json.loads(text), checksum="0" * 64)
+            ),
+        ],
+        ids=["truncated", "garbage", "tampered", "version", "checksum"],
+    )
+    def test_corrupted_cell_is_recomputed_not_crashed_on(
+        self, tmp_path, vandalise
+    ):
+        cache_dir = str(tmp_path / "cache")
+        cold = run_sweep(SPEC, workers=1, cache_dir=cache_dir)
+        victim = cold.cells[0]
+        path = ResultCache(cache_dir).path_for(
+            victim.scenario, victim.config_hash, victim.seed
+        )
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(vandalise(text))
+
+        rerun = run_sweep(SPEC, workers=1, cache_dir=cache_dir)
+        assert rerun.cache_corrupt == 1
+        assert rerun.cache_misses == 1
+        assert rerun.cache_hits == len(cold.cells) - 1
+        assert cell_views(rerun) == cell_views(cold)
+
+        # The corrupt file was rewritten: a third run is all hits.
+        healed = run_sweep(SPEC, workers=1, cache_dir=cache_dir)
+        assert healed.cache_corrupt == 0
+        assert healed.cache_hits == len(cold.cells)
+
+
+class TestResultCacheUnit:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        payload = {"metrics": {"x": 1.0}, "info": {}, "recorder": {}}
+        cache.store("case-a", "abc123", 42, payload)
+        assert cache.load("case-a", "abc123", 42) == payload
+        assert cache.hits == 1
+
+    def test_missing_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.load("case-a", "abc123", 42) is None
+        assert cache.misses == 1
+        assert cache.corrupt == 0

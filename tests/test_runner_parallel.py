@@ -1,0 +1,129 @@
+"""Serial vs parallel equivalence of the sweep runner.
+
+The acceptance bar for :mod:`repro.runner`: a serial run and a
+multi-worker process-pool run of the same :class:`SweepSpec` must
+produce *identical* merged metrics — exact equality on counters, the
+same series points in the same order — because every cell's randomness
+is a pure function of ``(master_seed, config_hash, replication)`` and
+results are reassembled in spec order regardless of scheduling.
+
+Worker count defaults to 4; CI can lower it via ``REPRO_TEST_WORKERS``.
+"""
+
+import os
+
+import pytest
+
+from repro.runner import SweepSpec, run_sweep
+from repro.sim.clock import DAY, HOUR
+
+WORKERS = max(2, int(os.environ.get("REPRO_TEST_WORKERS", "4")))
+
+#: Scaled-down sweeps, one per case study; two replications each so the
+#: merge path (not just single-cell execution) is exercised.
+CASE_A_SPEC = SweepSpec(
+    scenario="case-a",
+    base={
+        "visitor_rate_per_hour": 5.0,
+        "attack_start": 1 * DAY,
+        "cap_at": 2 * DAY,
+        "departure_time": 4 * DAY,
+        "target_capacity": 120,
+        "attacker_target_seats": 60,
+    },
+    grid={"hold_ttl": (2 * HOUR, 5 * HOUR)},
+    replications=2,
+    master_seed=23,
+)
+
+CASE_B_SPEC = SweepSpec(
+    scenario="case-b",
+    base={"duration": 4 * DAY},
+    replications=2,
+    master_seed=25,
+)
+
+CASE_C_SPEC = SweepSpec(
+    scenario="case-c",
+    base={"baseline_weekly_total": 3000},
+    grid={"variant": ("unprotected", "per-ref")},
+    replications=1,
+    master_seed=26,
+)
+
+
+def assert_equivalent(spec: SweepSpec) -> None:
+    serial = run_sweep(spec, workers=1)
+    parallel = run_sweep(spec, workers=WORKERS, backend="process")
+
+    assert serial.backend == "serial"
+    assert parallel.backend == "process"
+    assert len(serial.cells) == len(parallel.cells)
+
+    for ser, par in zip(serial.cells, parallel.cells):
+        assert ser.params == par.params
+        assert ser.replication == par.replication
+        assert ser.seed == par.seed
+        # Exact equality on every scalar metric...
+        assert ser.metrics == par.metrics
+        # ... and on the raw recorder payloads (counters + series).
+        assert ser.recorder_snapshot == par.recorder_snapshot
+
+    for params in spec.points():
+        merged_serial = serial.merged_recorder(params).snapshot()
+        merged_parallel = parallel.merged_recorder(params).snapshot()
+        assert merged_serial["counters"] == merged_parallel["counters"]
+        # Same series points, same order.
+        assert merged_serial["series"] == merged_parallel["series"]
+        assert serial.aggregate(params) == parallel.aggregate(params)
+
+
+class TestSerialParallelEquivalence:
+    def test_case_a(self):
+        assert_equivalent(CASE_A_SPEC)
+
+    def test_case_b(self):
+        assert_equivalent(CASE_B_SPEC)
+
+    def test_case_c(self):
+        assert_equivalent(CASE_C_SPEC)
+
+
+class TestSweepStructure:
+    def test_cells_are_seeded_independently(self):
+        cells = CASE_A_SPEC.cells()
+        assert len(cells) == 4  # 2 TTLs x 2 replications
+        assert len({cell.seed for cell in cells}) == len(cells)
+        # Replications share the point's config hash, not its seed.
+        by_hash = {}
+        for cell in cells:
+            by_hash.setdefault(cell.config_hash, []).append(cell)
+        assert len(by_hash) == 2
+        for group in by_hash.values():
+            assert [cell.replication for cell in group] == [0, 1]
+
+    def test_master_seed_changes_every_cell_seed(self):
+        reseeded = SweepSpec(
+            scenario=CASE_A_SPEC.scenario,
+            base=CASE_A_SPEC.base,
+            grid=CASE_A_SPEC.grid,
+            replications=CASE_A_SPEC.replications,
+            master_seed=CASE_A_SPEC.master_seed + 1,
+        )
+        original = {cell.seed for cell in CASE_A_SPEC.cells()}
+        changed = {cell.seed for cell in reseeded.cells()}
+        assert original.isdisjoint(changed)
+
+    def test_seed_cannot_be_swept(self):
+        with pytest.raises(ValueError, match="seed"):
+            SweepSpec(scenario="case-a", base={"seed": 1})
+        with pytest.raises(ValueError, match="seed"):
+            SweepSpec(scenario="case-a", grid={"seed": (1, 2)})
+
+    def test_unknown_scenario_and_field_fail_loudly(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            run_sweep(SweepSpec(scenario="case-z"))
+        with pytest.raises(TypeError):
+            run_sweep(
+                SweepSpec(scenario="case-a", base={"no_such_field": 1})
+            )
