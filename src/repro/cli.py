@@ -9,6 +9,8 @@ Usage::
     python -m repro case-c --variant per-ref
     python -m repro detectors           # Section III detector matrix
     python -m repro behavioural         # Section V behavioural stack
+    python -m repro stream --honeypot --capture run.trace
+    python -m repro replay run.trace --compare-batch
     python -m repro sweep --scenario case-a \
         --param hold_ttl=1800,7200 --reps 8 --workers 4
 
@@ -318,6 +320,99 @@ def _cmd_behavioural(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .scenarios.streaming import StreamCaseAConfig, run_stream_case_a
+
+    if args.reps > 1 or args.workers > 1:
+        return _run_replicated(
+            "stream-case-a",
+            {
+                "streaming": not args.no_streaming,
+                "honeypot_mode": args.honeypot,
+            },
+            args,
+        )
+    result = run_stream_case_a(
+        StreamCaseAConfig(
+            seed=args.seed,
+            streaming=not args.no_streaming,
+            honeypot_mode=args.honeypot,
+            trace_path=args.capture,
+        )
+    )
+    ttfb = result.time_to_first_block
+    print(render_table(
+        ["Metric", "Value"],
+        [
+            ["streaming", "on" if result.config.streaming else "off"],
+            ["mitigation mode",
+             "honeypot" if result.config.honeypot_mode else "blocking"],
+            ["time to first block",
+             format_duration(ttfb) if ttfb is not None else "-"],
+            ["online mitigation actions", result.online_actions],
+            ["attacker holds created", result.attacker_holds_created],
+            ["attacker rotations", result.base.attacker_rotations],
+            ["legit seats sold (target flight)",
+             result.target_legit_confirmed_seats],
+            ["events processed", result.events_processed],
+            ["peak open sessions", result.peak_open_sessions],
+            ["peak tracked clients", result.peak_tracked_clients],
+        ],
+        title="Case A (streaming variant): online detection + mitigation",
+    ))
+    if args.capture:
+        print(f"\ntrace captured: {args.capture} "
+              f"({result.trace_entries} entries)")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .scenarios.streaming import build_stream_pipeline
+    from .trace import TraceReader, replay_trace
+
+    with TraceReader(args.trace) as reader:
+        meta = dict(reader.meta)
+    pipeline = build_stream_pipeline()
+    report, stats = replay_trace(args.trace, pipeline)
+    bots = report.bot_subjects()
+    print(render_table(
+        ["Metric", "Value"],
+        [
+            ["trace", args.trace],
+            ["captured from", str(meta.get("scenario", "?"))],
+            ["entries replayed", stats.entries],
+            ["replay throughput",
+             f"{stats.events_per_second:,.0f} events/sec"],
+            ["sessions closed", report.sessions_closed],
+            ["peak open sessions", report.peak_open_sessions],
+            ["fused subjects", len(report.fused)],
+            ["bot subjects", len(bots)],
+        ],
+        title="Trace replay through the streaming pipeline",
+    ))
+    if args.compare_batch:
+        from .scenarios.streaming import default_stream_adapters
+        from .stream import batch_session_verdicts
+        from .trace import rebuild_log
+
+        detectors = [
+            adapter.detector
+            for adapter in default_stream_adapters()
+            if hasattr(adapter, "detector")
+        ]
+        batch = set(batch_session_verdicts(rebuild_log(args.trace), detectors))
+        stream = set(report.session_verdicts)
+        if batch == stream:
+            print(f"\nbatch equivalence: OK "
+                  f"({len(stream)} session verdicts identical)")
+            return 0
+        print(f"\nbatch equivalence: MISMATCH "
+              f"(stream-only: {len(stream - batch)}, "
+              f"batch-only: {len(batch - stream)})")
+        return 1
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .runner import SweepSpec, run_sweep, scenario_names
 
@@ -410,6 +505,34 @@ def build_parser() -> argparse.ArgumentParser:
     add("detectors", _cmd_detectors, "Section III detector matrix")
     add("behavioural", _cmd_behavioural,
         "Section V behavioural stack (extension)")
+    stream = add(
+        "stream", _cmd_stream,
+        "Case A with the online streaming detection/mitigation pipeline",
+    )
+    stream.add_argument(
+        "--no-streaming", action="store_true",
+        help="ablation: run the same world without the online pipeline",
+    )
+    stream.add_argument(
+        "--honeypot", action="store_true",
+        help="route convicted fingerprints to decoy inventory "
+        "instead of blocking",
+    )
+    stream.add_argument(
+        "--capture", metavar="TRACE", default=None,
+        help="also record the run's web log to this trace file",
+    )
+    add_runner_args(stream)
+    replay = add(
+        "replay", _cmd_replay,
+        "replay a captured trace through the streaming pipeline",
+    )
+    replay.add_argument("trace", help="trace file written by --capture")
+    replay.add_argument(
+        "--compare-batch", action="store_true",
+        help="also run the batch pipeline on the rebuilt log and "
+        "verify verdict equivalence",
+    )
     sweep = add(
         "sweep", _cmd_sweep,
         "parameter sweep x replications via the parallel runner",
@@ -440,6 +563,8 @@ _DEFAULT_SEEDS = {
     "case-c": 1,
     "detectors": 31,
     "behavioural": 41,
+    "stream": 7,
+    "replay": 0,
     "sweep": 0,
 }
 

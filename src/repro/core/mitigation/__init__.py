@@ -6,7 +6,9 @@
   with effectiveness auditing,
 * :mod:`~repro.core.mitigation.honeypot` — decoy-inventory routing,
 * :mod:`~repro.core.mitigation.controller` — the closed detect-and-
-  respond loop driving the arms race scenarios.
+  respond loop driving the arms race scenarios,
+* :mod:`~repro.core.mitigation.online` — streaming verdict intake that
+  deploys mitigations mid-simulation.
 """
 
 from .blocking import BlockRuleManager, RuleEffectiveness
@@ -16,6 +18,7 @@ from .controller import (
     MitigationController,
 )
 from .honeypot import HoneypotManager
+from .online import OnlineVerdictSink
 from .policies import (
     CaptchaPolicy,
     FeatureRestrictionPolicy,
@@ -34,6 +37,7 @@ __all__ = [
     "MitigationAction",
     "MitigationController",
     "HoneypotManager",
+    "OnlineVerdictSink",
     "CaptchaPolicy",
     "FeatureRestrictionPolicy",
     "HoldTtlPolicy",

@@ -1,0 +1,82 @@
+"""Online verdict intake: mitigation while the attack is running.
+
+The periodic :class:`~repro.core.mitigation.controller.MitigationController`
+re-reads logs on a timer; this sink instead receives fused verdicts
+from :class:`repro.stream.pipeline.StreamPipeline` the moment a subject
+crosses the bot threshold, and deploys the block (or honeypot routing)
+immediately — the paper's defenses all fired on live traffic, and
+time-to-first-block is the metric the streaming scenario headline pins.
+
+Only *entity* subjects (``fp:<fingerprint_id>``) are actionable: a
+session verdict arrives after its client has gone idle, so it is
+recorded but cannot be turned into a useful edge rule.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...core.detection.verdict import Verdict
+from ...web.application import WebApplication
+from ..mitigation.blocking import BlockRuleManager
+from ..mitigation.controller import MitigationAction
+from ..mitigation.honeypot import HoneypotManager
+from ...stream.adapters import FP_SUBJECT_PREFIX
+
+
+class OnlineVerdictSink:
+    """Turns streaming convictions into immediate edge mitigations."""
+
+    def __init__(
+        self,
+        app: WebApplication,
+        honeypot_mode: bool = False,
+        max_actions: Optional[int] = None,
+    ) -> None:
+        self.app = app
+        self.honeypot_mode = honeypot_mode
+        self.max_actions = max_actions
+        self.blocks = BlockRuleManager(app)
+        self.honeypot = HoneypotManager(app)
+        if honeypot_mode:
+            self.honeypot.install()
+        self.timeline: List[MitigationAction] = []
+        self.first_block_time: Optional[float] = None
+        self.session_verdicts_ignored = 0
+
+    def handle(self, verdict: Verdict, now: float) -> None:
+        """One fused bot verdict from the stream pipeline."""
+        if not verdict.subject_id.startswith(FP_SUBJECT_PREFIX):
+            self.session_verdicts_ignored += 1
+            return
+        if (
+            self.max_actions is not None
+            and len(self.timeline) >= self.max_actions
+        ):
+            return
+        fingerprint_id = verdict.subject_id[len(FP_SUBJECT_PREFIX):]
+        if self.honeypot_mode:
+            if fingerprint_id in self.honeypot._suspect_fingerprints:
+                return
+            self.honeypot.add_suspect_fingerprint(fingerprint_id)
+            kind = "stream-honeypot-suspect"
+        else:
+            if self.blocks.block_fingerprint_id(fingerprint_id) is None:
+                return
+            kind = "stream-fingerprint-block"
+        if self.first_block_time is None:
+            self.first_block_time = now
+        self.timeline.append(
+            MitigationAction(
+                time=now,
+                kind=kind,
+                detail=(
+                    f"{fingerprint_id} fused score "
+                    f"{verdict.score:.3f} ({', '.join(verdict.reasons)})"
+                ),
+            )
+        )
+
+    @property
+    def actions_taken(self) -> int:
+        return len(self.timeline)

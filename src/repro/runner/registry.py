@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Mapping
 from ..scenarios.case_a import CaseAConfig, case_a_cell
 from ..scenarios.case_b import CaseBConfig, case_b_cell
 from ..scenarios.case_c import CaseCConfig, case_c_cell
+from ..scenarios.streaming import StreamCaseAConfig, stream_case_a_cell
 
 
 @dataclass(frozen=True)
@@ -64,3 +65,4 @@ def scenario_names() -> List[str]:
 register_scenario("case-a", CaseAConfig, case_a_cell)
 register_scenario("case-b", CaseBConfig, case_b_cell)
 register_scenario("case-c", CaseCConfig, case_c_cell)
+register_scenario("stream-case-a", StreamCaseAConfig, stream_case_a_cell)

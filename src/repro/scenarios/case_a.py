@@ -19,7 +19,7 @@ one, reproducing the 5.3 h arms race.  The attack stops
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..analysis.distributions import nip_counts, nip_shares
 from ..core.detection.rotation import LinkedEntity, link_booking_records
@@ -194,8 +194,16 @@ def case_a_cell(config: CaseAConfig) -> Dict[str, object]:
     }
 
 
-def run_case_a(config: Optional[CaseAConfig] = None) -> CaseAResult:
-    """Run the full three-week Case A scenario."""
+def run_case_a(
+    config: Optional[CaseAConfig] = None,
+    on_world: Optional[Callable[[World], None]] = None,
+) -> CaseAResult:
+    """Run the full three-week Case A scenario.
+
+    ``on_world`` runs right after the world is built, before any actor
+    starts — the hook streaming consumers (trace capture, the online
+    detection pipeline) use to attach to ``world.app.log``.
+    """
     config = config or CaseAConfig()
 
     flights = default_flight_schedule(
@@ -215,6 +223,8 @@ def run_case_a(config: Optional[CaseAConfig] = None) -> CaseAResult:
             hold_ttl=config.hold_ttl,
         )
     )
+    if on_world is not None:
+        on_world(world)
     loop, rngs, app = world.loop, world.rngs, world.app
 
     population = LegitimatePopulation(

@@ -21,7 +21,7 @@ misspelling clusters for the human.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from ..common import LEGIT, MANUAL_SPINNER, SEAT_SPINNER
 from ..core.detection.passenger_details import (
@@ -131,8 +131,15 @@ def case_b_cell(config: CaseBConfig) -> Dict[str, object]:
     }
 
 
-def run_case_b(config: Optional[CaseBConfig] = None) -> CaseBResult:
-    """Run both campaigns and the passenger-detail analysis."""
+def run_case_b(
+    config: Optional[CaseBConfig] = None,
+    on_world: Optional[Callable[[World], None]] = None,
+) -> CaseBResult:
+    """Run both campaigns and the passenger-detail analysis.
+
+    ``on_world`` runs right after world construction, before any actor
+    starts (streaming/trace wiring hook).
+    """
     config = config or CaseBConfig()
 
     flights = default_flight_schedule(
@@ -159,6 +166,8 @@ def run_case_b(config: Optional[CaseBConfig] = None) -> CaseBResult:
             seed=config.seed, flights=flights, hold_ttl=config.hold_ttl
         )
     )
+    if on_world is not None:
+        on_world(world)
     loop, rngs, app = world.loop, world.rngs, world.app
 
     population = LegitimatePopulation(

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..common import SMS_PUMPER
 from ..core.detection.anomaly import CountrySurge, SmsSurgeMonitor
@@ -252,8 +252,15 @@ def case_c_cell(config: CaseCConfig) -> Dict[str, object]:
     }
 
 
-def run_case_c(config: Optional[CaseCConfig] = None) -> CaseCResult:
-    """Run the two-week Case C scenario in the chosen variant."""
+def run_case_c(
+    config: Optional[CaseCConfig] = None,
+    on_world: Optional[Callable[[World], None]] = None,
+) -> CaseCResult:
+    """Run the two-week Case C scenario in the chosen variant.
+
+    ``on_world`` runs right after world construction, before any actor
+    starts (streaming/trace wiring hook).
+    """
     config = config or CaseCConfig()
 
     world = build_world(
@@ -270,6 +277,8 @@ def run_case_c(config: Optional[CaseCConfig] = None) -> CaseCResult:
             colluding_countries=tuple(high_cost_codes()),
         )
     )
+    if on_world is not None:
+        on_world(world)
     loop, rngs, app = world.loop, world.rngs, world.app
 
     baseline_weekly = case_c_baseline_weekly(config.baseline_weekly_total)
@@ -395,7 +404,7 @@ def run_case_c(config: Optional[CaseCConfig] = None) -> CaseCResult:
     )
 
     detection_time: Optional[float] = None
-    for entry in app.log.entries():
+    for entry in app.log.iter_entries():
         if entry.path == BOARDING_PASS_SMS and entry.status == 429:
             detection_time = entry.time
             break

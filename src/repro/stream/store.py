@@ -1,0 +1,108 @@
+"""Bounded-memory keyed state for streaming consumers.
+
+A production stream processor cannot keep one state blob per client
+forever — "heavy traffic from millions of users" means the keyed state
+must be evicted once a client goes idle.  :class:`KeyedStore` is the
+small primitive every streaming component here builds on: a dict of
+per-key state with last-touched timestamps, idle eviction, an optional
+hard key cap (oldest-idle-first overflow eviction), and peak-size
+accounting so tests can assert the memory bound actually holds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class KeyedStore(Generic[K, V]):
+    """Per-key state with idle eviction and peak-size accounting.
+
+    All time values are *event time* (the simulation clock), never wall
+    clock — eviction decisions must be deterministic and replayable.
+    """
+
+    def __init__(self, max_keys: Optional[int] = None) -> None:
+        if max_keys is not None and max_keys < 1:
+            raise ValueError(f"max_keys must be >= 1: {max_keys}")
+        self.max_keys = max_keys
+        self._values: Dict[K, V] = {}
+        self._last_touched: Dict[K, float] = {}
+        self.peak_size = 0
+        self.evictions = 0
+
+    # -- access ----------------------------------------------------------------
+
+    def get(self, key: K) -> Optional[V]:
+        return self._values.get(key)
+
+    def get_or_create(
+        self, key: K, now: float, factory: Callable[[], V]
+    ) -> Tuple[V, List[Tuple[K, V]]]:
+        """Fetch (touching) or create the state for ``key``.
+
+        Returns ``(value, overflow)`` where ``overflow`` lists entries
+        evicted to respect ``max_keys`` — the caller decides what a
+        forced eviction means (e.g. force-closing a session).
+        """
+        overflow: List[Tuple[K, V]] = []
+        if key not in self._values:
+            if (
+                self.max_keys is not None
+                and len(self._values) >= self.max_keys
+            ):
+                overflow = self._evict_oldest(
+                    len(self._values) - self.max_keys + 1
+                )
+            self._values[key] = factory()
+            self.peak_size = max(self.peak_size, len(self._values))
+        self._last_touched[key] = now
+        return self._values[key], overflow
+
+    def touch(self, key: K, now: float) -> None:
+        if key in self._values:
+            self._last_touched[key] = now
+
+    def pop(self, key: K) -> Optional[V]:
+        self._last_touched.pop(key, None)
+        return self._values.pop(key, None)
+
+    # -- eviction -------------------------------------------------------------
+
+    def evict_idle(self, now: float, idle_gap: float) -> List[Tuple[K, V]]:
+        """Remove every key untouched for more than ``idle_gap``."""
+        stale = [
+            key
+            for key, touched in self._last_touched.items()
+            if now - touched > idle_gap
+        ]
+        evicted = []
+        for key in stale:
+            evicted.append((key, self._values.pop(key)))
+            del self._last_touched[key]
+        self.evictions += len(evicted)
+        return evicted
+
+    def _evict_oldest(self, count: int) -> List[Tuple[K, V]]:
+        oldest = sorted(
+            self._last_touched.items(), key=lambda item: item[1]
+        )[:count]
+        evicted = []
+        for key, _ in oldest:
+            evicted.append((key, self._values.pop(key)))
+            del self._last_touched[key]
+        self.evictions += len(evicted)
+        return evicted
+
+    # -- introspection ------------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[K, V]]:
+        return iter(list(self._values.items()))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._values

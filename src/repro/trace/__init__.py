@@ -1,0 +1,41 @@
+"""repro.trace — capture and replay of request streams.
+
+A trace is a compact, append-only, checksummed record of every
+:class:`~repro.web.logs.LogEntry` a scenario emitted.  Capturing
+decouples traffic generation from detection evaluation: record a
+scenario once, then replay it through :mod:`repro.stream` offline —
+for detector tuning, replay-at-speed throughput benchmarks, or
+batch-vs-stream equivalence checks — without re-simulating the world.
+
+* :mod:`~repro.trace.format` — the ``RPTR`` binary format (versioned
+  header, string interning, CRC32 framing) with writer and reader;
+* :mod:`~repro.trace.capture` — attach a writer to a live
+  :class:`~repro.web.logs.WebLog`;
+* :mod:`~repro.trace.replay` — feed a trace back through a
+  :class:`~repro.stream.pipeline.StreamPipeline`.
+"""
+
+from .capture import TraceCapture
+from .format import (
+    TRACE_MAGIC,
+    TRACE_VERSION,
+    TraceCorruption,
+    TraceError,
+    TraceReader,
+    TraceWriter,
+)
+from .replay import ReplayStats, read_entries, rebuild_log, replay_trace
+
+__all__ = [
+    "ReplayStats",
+    "TRACE_MAGIC",
+    "TRACE_VERSION",
+    "TraceCapture",
+    "TraceCorruption",
+    "TraceError",
+    "TraceReader",
+    "TraceWriter",
+    "read_entries",
+    "rebuild_log",
+    "replay_trace",
+]

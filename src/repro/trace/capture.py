@@ -1,0 +1,47 @@
+"""Live trace capture from a running scenario.
+
+:class:`TraceCapture` bridges :meth:`WebLog.subscribe` to a
+:class:`~repro.trace.format.TraceWriter`: attach it to a world's log
+before traffic starts and every request lands in the trace file as it
+is served.  Use as a context manager so the footer (count + CRC) is
+written even when the scenario raises.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..web.logs import WebLog
+from .format import TraceWriter
+
+
+class TraceCapture:
+    """Subscribes a trace writer to one (or more) live web logs."""
+
+    def __init__(
+        self, path: str, meta: Optional[Dict[str, object]] = None
+    ) -> None:
+        self.writer = TraceWriter(path, meta=meta)
+        self._unsubscribes: list = []
+
+    def attach(self, log: WebLog) -> Callable[[], None]:
+        """Start recording ``log``; returns the unsubscribe callable."""
+        unsubscribe = log.subscribe(self.writer.write)
+        self._unsubscribes.append(unsubscribe)
+        return unsubscribe
+
+    def __enter__(self) -> "TraceCapture":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        for unsubscribe in self._unsubscribes:
+            unsubscribe()
+        self._unsubscribes.clear()
+        self.writer.close()
+
+    @property
+    def entries_written(self) -> int:
+        return self.writer.entries_written

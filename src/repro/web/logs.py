@@ -10,7 +10,7 @@ standard log-analysis pipeline the paper describes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..common import ClientRef
 
@@ -31,22 +31,73 @@ class LogEntry:
     outcome: str = ""
 
 
+#: Observer signature for :meth:`WebLog.subscribe`.
+LogObserver = Callable[[LogEntry], None]
+
+
 class WebLog:
-    """Append-only request log with time-ordered access."""
+    """Append-only request log with time-ordered access.
+
+    Consumers that need the whole log as they please can call
+    :meth:`entries` (a defensive copy); hot paths should iterate
+    :meth:`iter_entries` instead, and *online* consumers (the streaming
+    detection pipeline, trace capture) should :meth:`subscribe` and be
+    handed each entry as it lands.
+    """
 
     def __init__(self) -> None:
         self._entries: List[LogEntry] = []
+        self._observers: List[LogObserver] = []
+        self._notifying = False
 
     def append(self, entry: LogEntry) -> None:
+        if self._notifying:
+            raise RuntimeError(
+                "re-entrant WebLog.append: a subscribed observer may not "
+                "append to the log it is observing"
+            )
         if self._entries and entry.time < self._entries[-1].time:
             raise ValueError(
                 f"log entries must be time-ordered: {entry.time} < "
                 f"{self._entries[-1].time}"
             )
         self._entries.append(entry)
+        if self._observers:
+            self._notifying = True
+            try:
+                for observer in tuple(self._observers):
+                    observer(entry)
+            finally:
+                self._notifying = False
+
+    def subscribe(self, observer: LogObserver) -> Callable[[], None]:
+        """Register ``observer`` to receive every future entry.
+
+        Returns an unsubscribe callable.  Observers run synchronously
+        inside :meth:`append` (after the entry is committed) and must
+        not append to the same log — re-entrant appends raise.
+        """
+        self._observers.append(observer)
+
+        def unsubscribe() -> None:
+            try:
+                self._observers.remove(observer)
+            except ValueError:
+                pass  # already unsubscribed
+
+        return unsubscribe
+
+    @property
+    def observer_count(self) -> int:
+        return len(self._observers)
 
     def entries(self) -> List[LogEntry]:
+        """A defensive copy of the whole log (O(n) per call)."""
         return list(self._entries)
+
+    def iter_entries(self) -> Iterator[LogEntry]:
+        """Read-only iteration without copying the backing list."""
+        return iter(self._entries)
 
     def entries_between(self, start: float, end: float) -> List[LogEntry]:
         return [e for e in self._entries if start <= e.time < end]
@@ -114,7 +165,7 @@ def sessionize(
     open_sessions: Dict[Tuple[str, str], Session] = {}
     finished: List[Session] = []
     counter = 0
-    for entry in log.entries():
+    for entry in log.iter_entries():
         key = (entry.client.ip_address, entry.client.fingerprint_id)
         session = open_sessions.get(key)
         if session is not None and entry.time - session.end > idle_gap:

@@ -60,6 +60,36 @@ class TestCommands:
         assert "abuse-pipeline" in out
 
 
+class TestStreamCommands:
+    """The streaming/replay surface: capture a run, replay the trace."""
+
+    def test_stream_capture_then_replay(self, capsys, tmp_path):
+        trace = str(tmp_path / "run.rptr")
+        assert main(["stream", "--capture", trace]) == 0
+        out = capsys.readouterr().out
+        assert "time to first block" in out
+        assert "trace captured" in out
+
+        assert main(["replay", trace, "--compare-batch"]) == 0
+        out = capsys.readouterr().out
+        assert "events/sec" in out
+        assert "batch equivalence: OK" in out
+
+    def test_stream_ablation_never_blocks(self, capsys):
+        assert main(["stream", "--no-streaming"]) == 0
+        out = capsys.readouterr().out
+        assert "off" in out
+        assert "| -" in out  # no first block without the pipeline
+
+    def test_replay_rejects_corrupt_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.rptr"
+        bad.write_bytes(b"not a trace at all")
+        from repro.trace import TraceCorruption
+
+        with pytest.raises(TraceCorruption):
+            main(["replay", str(bad)])
+
+
 class TestSweepCommand:
     """The repro.runner-backed sweep/replication surface."""
 

@@ -1,0 +1,87 @@
+"""Tests for repro.stream.store (bounded keyed state)."""
+
+import pytest
+
+from repro.stream import KeyedStore
+
+
+class TestKeyedStore:
+    def test_get_or_create_creates_once(self):
+        store = KeyedStore()
+        first, overflow = store.get_or_create("a", 0.0, list)
+        assert overflow == []
+        second, _ = store.get_or_create("a", 1.0, list)
+        assert first is second
+        assert len(store) == 1
+
+    def test_get_and_contains(self):
+        store = KeyedStore()
+        assert store.get("a") is None
+        assert "a" not in store
+        store.get_or_create("a", 0.0, dict)
+        assert store.get("a") == {}
+        assert "a" in store
+
+    def test_pop_removes(self):
+        store = KeyedStore()
+        value, _ = store.get_or_create("a", 0.0, list)
+        assert store.pop("a") is value
+        assert store.pop("a") is None
+        assert len(store) == 0
+
+    def test_evict_idle_drops_only_stale_keys(self):
+        store = KeyedStore()
+        store.get_or_create("old", 0.0, list)
+        store.get_or_create("fresh", 90.0, list)
+        evicted = store.evict_idle(now=100.0, idle_gap=50.0)
+        assert [key for key, _ in evicted] == ["old"]
+        assert "fresh" in store
+        assert store.evictions == 1
+
+    def test_evict_idle_gap_is_exclusive(self):
+        store = KeyedStore()
+        store.get_or_create("a", 0.0, list)
+        assert store.evict_idle(now=50.0, idle_gap=50.0) == []
+
+    def test_touch_refreshes_idle_clock(self):
+        store = KeyedStore()
+        store.get_or_create("a", 0.0, list)
+        store.touch("a", 99.0)
+        assert store.evict_idle(now=100.0, idle_gap=50.0) == []
+
+    def test_max_keys_evicts_oldest_idle_first(self):
+        store = KeyedStore(max_keys=2)
+        store.get_or_create("a", 0.0, lambda: "A")
+        store.get_or_create("b", 1.0, lambda: "B")
+        value, overflow = store.get_or_create("c", 2.0, lambda: "C")
+        assert value == "C"
+        assert overflow == [("a", "A")]
+        assert len(store) == 2
+        assert "a" not in store
+
+    def test_peak_size_high_water_mark(self):
+        store = KeyedStore()
+        for i in range(5):
+            store.get_or_create(i, float(i), list)
+        store.evict_idle(now=100.0, idle_gap=1.0)
+        assert len(store) == 0
+        assert store.peak_size == 5
+
+    def test_max_keys_bounds_peak_size(self):
+        store = KeyedStore(max_keys=3)
+        for i in range(100):
+            store.get_or_create(i, float(i), list)
+        assert store.peak_size <= 3
+        assert store.evictions == 97
+
+    def test_invalid_max_keys(self):
+        with pytest.raises(ValueError):
+            KeyedStore(max_keys=0)
+
+    def test_items_snapshot_safe_to_mutate_during_iteration(self):
+        store = KeyedStore()
+        store.get_or_create("a", 0.0, list)
+        store.get_or_create("b", 0.0, list)
+        for key, _ in store.items():
+            store.pop(key)
+        assert len(store) == 0

@@ -1,0 +1,195 @@
+"""Tests for repro.trace: format roundtrip, corruption, capture, replay."""
+
+import struct
+
+import pytest
+
+from repro.common import ClientRef, LEGIT, SEAT_SPINNER
+from repro.stream import StreamPipeline
+from repro.trace import (
+    TRACE_MAGIC,
+    TRACE_VERSION,
+    TraceCapture,
+    TraceCorruption,
+    TraceError,
+    TraceReader,
+    TraceWriter,
+    read_entries,
+    rebuild_log,
+    replay_trace,
+)
+from repro.web.logs import LogEntry, WebLog
+
+
+def make_entry(time, ip="1.1.1.1", fingerprint="fp1", path="/search",
+               status=200, actor_class=LEGIT, blocked_by="", outcome=""):
+    return LogEntry(
+        time=time,
+        method="GET",
+        path=path,
+        status=status,
+        client=ClientRef(
+            ip_address=ip,
+            ip_country="IT",
+            ip_residential=True,
+            fingerprint_id=fingerprint,
+            user_agent="UA-1",
+            actor_class=actor_class,
+        ),
+        blocked_by=blocked_by,
+        outcome=outcome,
+    )
+
+
+def sample_entries():
+    return [
+        make_entry(0.5),
+        make_entry(1.5, path="/hold", outcome="held"),
+        make_entry(2.5, ip="2.2.2.2", fingerprint="fp2",
+                   actor_class=SEAT_SPINNER, status=403,
+                   blocked_by="block-rule"),
+        make_entry(2.5),  # equal timestamps survive the roundtrip
+    ]
+
+
+def write_trace(path, entries, meta=None):
+    with TraceWriter(str(path), meta=meta) as writer:
+        for entry in entries:
+            writer.write(entry)
+    return str(path)
+
+
+class TestRoundtrip:
+    def test_entries_identical(self, tmp_path):
+        entries = sample_entries()
+        path = write_trace(tmp_path / "t.rptr", entries)
+        assert list(read_entries(path)) == entries
+
+    def test_meta_roundtrip(self, tmp_path):
+        path = write_trace(
+            tmp_path / "t.rptr", [], meta={"scenario": "x", "seed": 3}
+        )
+        with TraceReader(path) as reader:
+            assert reader.meta == {"scenario": "x", "seed": 3}
+            assert reader.version == TRACE_VERSION
+
+    def test_empty_trace(self, tmp_path):
+        path = write_trace(tmp_path / "t.rptr", [])
+        assert list(read_entries(path)) == []
+
+    def test_string_interning_pays_off(self, tmp_path):
+        entries = [make_entry(float(i)) for i in range(100)]
+        path = write_trace(tmp_path / "t.rptr", entries)
+        with TraceReader(path) as reader:
+            assert len(list(reader)) == 100
+        import os
+
+        # 100 identical-client entries: interning keeps the cost near
+        # the fixed per-entry frame, far below repeating the strings.
+        assert os.path.getsize(path) < 100 * 80
+
+    def test_rebuild_log(self, tmp_path):
+        entries = sample_entries()
+        path = write_trace(tmp_path / "t.rptr", entries)
+        log = rebuild_log(path)
+        assert isinstance(log, WebLog)
+        assert log.entries() == entries
+
+    def test_writer_refuses_after_close(self, tmp_path):
+        writer = TraceWriter(str(tmp_path / "t.rptr"))
+        writer.close()
+        writer.close()  # idempotent
+        with pytest.raises(TraceError):
+            writer.write(make_entry(1.0))
+
+
+class TestCorruption:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.rptr"
+        path.write_bytes(b"NOPE" + b"\x00" * 16)
+        with pytest.raises(TraceCorruption, match="bad magic"):
+            TraceReader(str(path))
+
+    def test_unsupported_version(self, tmp_path):
+        path = tmp_path / "bad.rptr"
+        path.write_bytes(
+            TRACE_MAGIC + struct.pack("<H", TRACE_VERSION + 1)
+            + struct.pack("<I", 2) + b"{}"
+        )
+        with pytest.raises(TraceError, match="unsupported trace version"):
+            TraceReader(str(path))
+
+    def test_missing_footer(self, tmp_path):
+        source = write_trace(tmp_path / "ok.rptr", sample_entries())
+        blob = open(source, "rb").read()
+        truncated = tmp_path / "trunc.rptr"
+        truncated.write_bytes(blob[:-13])  # drop the footer frame
+        with pytest.raises(TraceCorruption, match="missing footer"):
+            list(read_entries(str(truncated)))
+
+    def test_truncated_mid_record(self, tmp_path):
+        source = write_trace(tmp_path / "ok.rptr", sample_entries())
+        blob = open(source, "rb").read()
+        truncated = tmp_path / "trunc.rptr"
+        truncated.write_bytes(blob[:-20])
+        with pytest.raises(TraceCorruption):
+            list(read_entries(str(truncated)))
+
+    def test_flipped_payload_byte_fails_crc(self, tmp_path):
+        source = write_trace(tmp_path / "ok.rptr", sample_entries())
+        blob = bytearray(open(source, "rb").read())
+        # Flip one byte inside an entry's time field (well past the
+        # header, well before the footer).
+        blob[len(blob) // 2] ^= 0xFF
+        corrupt = tmp_path / "crc.rptr"
+        corrupt.write_bytes(bytes(blob))
+        with pytest.raises(TraceCorruption):
+            list(read_entries(str(corrupt)))
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "bad.rptr"
+        path.write_bytes(TRACE_MAGIC + b"\x01")
+        with pytest.raises(TraceCorruption, match="truncated header"):
+            TraceReader(str(path))
+
+
+class TestCapture:
+    def test_capture_records_live_appends(self, tmp_path):
+        log = WebLog()
+        path = str(tmp_path / "cap.rptr")
+        with TraceCapture(path, meta={"scenario": "unit"}) as capture:
+            capture.attach(log)
+            for entry in sample_entries():
+                log.append(entry)
+            assert capture.entries_written == 4
+        # Detached on close: later appends are not recorded …
+        log.append(make_entry(10.0))
+        assert log.observer_count == 0
+        # … and the file has a valid footer.
+        assert list(read_entries(path)) == sample_entries()
+
+    def test_capture_only_sees_post_attach_entries(self, tmp_path):
+        log = WebLog()
+        log.append(make_entry(0.0))
+        path = str(tmp_path / "cap.rptr")
+        with TraceCapture(path) as capture:
+            capture.attach(log)
+            log.append(make_entry(1.0))
+        assert [e.time for e in read_entries(path)] == [1.0]
+
+
+class TestReplay:
+    def test_replay_feeds_pipeline_and_counts(self, tmp_path):
+        entries = [make_entry(float(i)) for i in range(10)]
+        path = write_trace(tmp_path / "t.rptr", entries)
+        report, stats = replay_trace(path, StreamPipeline(adapters=[]))
+        assert stats.entries == 10
+        assert stats.elapsed_seconds >= 0.0
+        assert report.events_processed == 10
+        assert report.sessions_closed == 1
+
+    def test_events_per_second_zero_guard(self):
+        from repro.trace import ReplayStats
+
+        assert ReplayStats(5, 0.0).events_per_second == 0.0
+        assert ReplayStats(10, 2.0).events_per_second == 5.0

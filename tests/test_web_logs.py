@@ -47,6 +47,81 @@ class TestWebLog:
             10.0,
         ]
 
+    def test_out_of_order_rejection_names_both_times(self):
+        log = WebLog()
+        log.append(make_entry(5.0))
+        with pytest.raises(ValueError, match=r"time-ordered: 4\.0 < 5\.0"):
+            log.append(make_entry(4.0))
+
+    def test_entries_returns_defensive_copy(self):
+        log = WebLog()
+        log.append(make_entry(1.0))
+        log.entries().clear()
+        assert len(log) == 1
+
+    def test_iter_entries_matches_entries_without_copy(self):
+        log = WebLog()
+        for t in (1.0, 2.0, 3.0):
+            log.append(make_entry(t))
+        assert list(log.iter_entries()) == log.entries()
+
+
+class TestWebLogSubscribe:
+    def test_observer_sees_each_entry_in_order(self):
+        log = WebLog()
+        seen = []
+        log.subscribe(seen.append)
+        for t in (1.0, 2.0, 3.0):
+            log.append(make_entry(t))
+        assert [e.time for e in seen] == [1.0, 2.0, 3.0]
+
+    def test_observer_only_sees_entries_after_subscription(self):
+        log = WebLog()
+        log.append(make_entry(1.0))
+        seen = []
+        log.subscribe(seen.append)
+        log.append(make_entry(2.0))
+        assert [e.time for e in seen] == [2.0]
+
+    def test_unsubscribe_stops_delivery_and_is_idempotent(self):
+        log = WebLog()
+        seen = []
+        unsubscribe = log.subscribe(seen.append)
+        log.append(make_entry(1.0))
+        unsubscribe()
+        unsubscribe()  # second call is a no-op
+        log.append(make_entry(2.0))
+        assert [e.time for e in seen] == [1.0]
+        assert log.observer_count == 0
+
+    def test_entry_committed_before_observers_run(self):
+        log = WebLog()
+        lengths = []
+        log.subscribe(lambda entry: lengths.append(len(log)))
+        log.append(make_entry(1.0))
+        assert lengths == [1]
+
+    def test_reentrant_append_raises(self):
+        log = WebLog()
+        log.subscribe(lambda entry: log.append(make_entry(entry.time)))
+        with pytest.raises(RuntimeError, match="re-entrant"):
+            log.append(make_entry(1.0))
+        # The original entry stayed committed; the log still works.
+        assert len(log) == 1
+
+    def test_observer_exception_does_not_wedge_the_log(self):
+        log = WebLog()
+
+        def boom(entry):
+            raise RuntimeError("observer failure")
+
+        unsubscribe = log.subscribe(boom)
+        with pytest.raises(RuntimeError, match="observer failure"):
+            log.append(make_entry(1.0))
+        unsubscribe()
+        log.append(make_entry(2.0))  # no lingering re-entrancy latch
+        assert len(log) == 2
+
 
 class TestSessionize:
     def test_groups_by_ip_and_fingerprint(self):
@@ -111,6 +186,32 @@ class TestSessionize:
     def test_invalid_idle_gap(self):
         with pytest.raises(ValueError):
             sessionize(WebLog(), idle_gap=0.0)
+
+    def test_single_entry_sessions(self):
+        log = WebLog()
+        log.append(make_entry(0.0))
+        log.append(make_entry(31 * 60.0))
+        sessions = sessionize(log)
+        assert [s.request_count for s in sessions] == [1, 1]
+        for session in sessions:
+            assert session.start == session.end
+            assert session.duration == 0.0
+
+    def test_interleaved_clients_split_independently(self):
+        """Client A's idle gap closes A's session without touching
+        B's, even when their requests interleave in the log."""
+        log = WebLog()
+        log.append(make_entry(0.0, ip="a"))
+        log.append(make_entry(60.0, ip="b"))
+        log.append(make_entry(25 * 60.0, ip="b"))  # B gap is only 24 min
+        log.append(make_entry(45 * 60.0, ip="a"))  # A idled past 30 min
+        sessions = sessionize(log)
+        by_ip = {}
+        for session in sessions:
+            by_ip.setdefault(session.ip_address, []).append(session)
+        assert len(by_ip["a"]) == 2
+        assert len(by_ip["b"]) == 1
+        assert by_ip["b"][0].request_count == 2
 
     def test_session_ids_unique(self):
         log = WebLog()
