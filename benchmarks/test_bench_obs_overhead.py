@@ -1,0 +1,148 @@
+"""E9 — observability overhead: instrumentation must stay below 5%.
+
+Runs the full Case A arms race in interleaved pairs — one bare run,
+one with every ``repro.obs`` hook attached (event-loop dispatch
+profiler + per-request web timers; the observational stream tap is
+deliberately off, because it performs real detection work and this
+benchmark pins the cost of *instrumentation*, not of extra features).
+
+Shared CI boxes drift by tens of percent between runs, so the estimate
+is the **median of per-pair wall-clock ratios**: each instrumented run
+is compared only against the bare run right next to it, and the median
+discards the pairs a scheduler hiccup landed on.
+
+Acceptance criterion: median paired overhead below 5%.
+"""
+
+import json
+import os
+import statistics
+from time import perf_counter, process_time
+
+from conftest import OUTPUT_DIR, save_artifact
+
+from repro.analysis.reports import render_table
+from repro.obs import RunContext
+from repro.obs.profile import instrument_world
+from repro.scenarios.case_a import CaseAConfig, run_case_a
+
+#: Interleaved bare/instrumented pairs; the median ratio wins.
+PAIRS = 7
+#: The acceptance ceiling on the median paired ratio.
+MAX_OVERHEAD = 0.05
+
+
+def _run_bare():
+    config = CaseAConfig()
+    wall0, cpu0 = perf_counter(), process_time()
+    result = run_case_a(config)
+    return perf_counter() - wall0, process_time() - cpu0, result
+
+
+def _run_instrumented():
+    config = CaseAConfig()
+    context = RunContext(scenario="case-a", seed=config.seed)
+
+    def wire(world):
+        instrument_world(world, context, stream_tap=False)
+
+    wall0, cpu0 = perf_counter(), process_time()
+    result = run_case_a(config, on_world=wire)
+    wall, cpu = perf_counter() - wall0, process_time() - cpu0
+    context.finish()
+    return wall, cpu, result, context
+
+
+def test_obs_overhead_under_five_percent(benchmark):
+    pairs = []
+    last_context = None
+    bare_result = instrumented_result = None
+
+    def one_pair():
+        nonlocal last_context, bare_result, instrumented_result
+        bare_wall, bare_cpu, bare_result = _run_bare()
+        wall, cpu, instrumented_result, last_context = _run_instrumented()
+        pairs.append(
+            {
+                "bare_wall": bare_wall,
+                "instrumented_wall": wall,
+                "wall_ratio": wall / bare_wall,
+                "bare_cpu": bare_cpu,
+                "instrumented_cpu": cpu,
+                "cpu_ratio": cpu / bare_cpu,
+            }
+        )
+
+    one_pair()  # warm-up pair, discarded
+    pairs.clear()
+    benchmark.pedantic(one_pair, rounds=PAIRS, iterations=1)
+
+    # Instrumentation must not change behaviour, only observe it.
+    assert (
+        instrumented_result.attacker_holds_created
+        == bare_result.attacker_holds_created
+    )
+    assert (
+        instrumented_result.attacker_rotations
+        == bare_result.attacker_rotations
+    )
+
+    registry = last_context.registry
+    events_timed = sum(
+        timer.count for timer in registry.timers("sim.event.").values()
+    )
+    requests_timed = sum(
+        timer.count for timer in registry.timers("web.request.").values()
+    )
+    assert events_timed > 0 and requests_timed > 0
+    observations = events_timed + requests_timed
+
+    wall_overhead = statistics.median(p["wall_ratio"] for p in pairs) - 1.0
+    cpu_overhead = statistics.median(p["cpu_ratio"] for p in pairs) - 1.0
+    bare_best = min(p["bare_wall"] for p in pairs)
+    per_observation_ns = (
+        max(0.0, wall_overhead) * bare_best / observations * 1e9
+    )
+
+    payload = {
+        "pairs": pairs,
+        "median_wall_overhead_fraction": wall_overhead,
+        "median_cpu_overhead_fraction": cpu_overhead,
+        "max_overhead_fraction": MAX_OVERHEAD,
+        "events_timed": events_timed,
+        "requests_timed": requests_timed,
+        "per_observation_ns": per_observation_ns,
+    }
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    with open(
+        os.path.join(OUTPUT_DIR, "obs_overhead.json"), "w",
+        encoding="utf-8",
+    ) as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    save_artifact(
+        "obs_overhead",
+        render_table(
+            ["Metric", "Value"],
+            [
+                ["interleaved pairs", PAIRS],
+                ["bare wall (best)", f"{bare_best:.3f}s"],
+                ["median wall overhead", f"{wall_overhead * 100:+.2f}%"],
+                ["median cpu overhead", f"{cpu_overhead * 100:+.2f}%"],
+                ["timed sim events", f"{events_timed:,}"],
+                ["timed web requests", f"{requests_timed:,}"],
+                ["overhead per observation",
+                 f"{per_observation_ns:.0f} ns"],
+            ],
+            title=(
+                "Case A instrumentation overhead "
+                f"(ceiling {MAX_OVERHEAD * 100:.0f}%)"
+            ),
+        ),
+    )
+
+    assert wall_overhead < MAX_OVERHEAD, (
+        f"median instrumentation overhead {wall_overhead * 100:.2f}% "
+        f"exceeds {MAX_OVERHEAD * 100:.0f}% "
+        f"(pairs: {[round(p['wall_ratio'], 3) for p in pairs]})"
+    )

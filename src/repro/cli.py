@@ -11,6 +11,7 @@ Usage::
     python -m repro behavioural         # Section V behavioural stack
     python -m repro stream --honeypot --capture run.trace
     python -m repro replay run.trace --compare-batch
+    python -m repro profile case-a --ticks-short --out report.json
     python -m repro sweep --scenario case-a \
         --param hold_ttl=1800,7200 --reps 8 --workers 4
 
@@ -413,6 +414,114 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .obs.profile import PROFILED_CASES, profile_case, short_overrides
+    from .obs.report import write_report
+
+    if args.case not in PROFILED_CASES:
+        raise SystemExit(
+            f"unknown case {args.case!r}; "
+            f"choose from {', '.join(PROFILED_CASES)}"
+        )
+    if args.reps > 1 or args.workers > 1:
+        from .runner import SweepSpec, run_sweep
+
+        base = short_overrides(args.case) if args.ticks_short else {}
+        result = run_sweep(
+            SweepSpec(
+                scenario=f"profile-{args.case}",
+                base=base,
+                replications=args.reps,
+                master_seed=args.seed,
+            ),
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+        )
+        registry = result.merged_obs()
+        run_meta = {
+            "run_id": f"profile-{args.case}-s{args.seed}x{args.reps}",
+            "scenario": args.case,
+            "seed": args.seed,
+            "meta": {
+                "ticks_short": args.ticks_short,
+                "replications": args.reps,
+                "workers": result.workers,
+            },
+        }
+    else:
+        prof = profile_case(
+            args.case, seed=args.seed, ticks_short=args.ticks_short
+        )
+        registry = prof.registry
+        run_meta = None
+
+    top_events = sorted(
+        registry.timers("sim.event.").items(),
+        key=lambda item: item[1].total,
+        reverse=True,
+    )[:10]
+    print(render_table(
+        ["Sim-kernel phase", "calls", "total s", "mean us"],
+        [
+            [
+                name[len("sim.event."):],
+                timer.count,
+                f"{timer.total:.3f}",
+                f"{timer.mean * 1e6:.1f}",
+            ]
+            for name, timer in top_events
+        ],
+        title=f"profile {args.case}: event-loop dispatch by label",
+    ))
+    endpoints = sorted(registry.timers("web.request.").items())
+    if endpoints:
+        print()
+        print(render_table(
+            ["Endpoint", "requests", "mean us", "p95 us"],
+            [
+                [
+                    name[len("web.request."):],
+                    timer.count,
+                    f"{timer.mean * 1e6:.1f}",
+                    f"{timer.histogram.quantile(0.95) * 1e6:.1f}",
+                ]
+                for name, timer in endpoints
+            ],
+            title="web edge: per-endpoint request latency",
+        ))
+    stages = sorted(registry.timers("stream.stage.").items())
+    if stages:
+        print()
+        print(render_table(
+            ["Stream stage", "calls", "total s", "mean us"],
+            [
+                [
+                    name[len("stream.stage."):],
+                    timer.count,
+                    f"{timer.total:.3f}",
+                    f"{timer.mean * 1e6:.1f}",
+                ]
+                for name, timer in stages
+            ],
+            title=(
+                "stream pipeline: per-stage latency "
+                f"({registry.gauge('stream.events_per_second'):,.0f} "
+                "events/sec busy throughput)"
+            ),
+        ))
+    wall = registry.gauge("run.wall_seconds")
+    if wall:
+        print(f"\ntotal wall time: {wall:.2f}s "
+              f"(sim dispatch: {registry.total_time('sim.event.'):.2f}s)")
+    if args.out:
+        if run_meta:
+            write_report(args.out, registry, form=args.format, run=run_meta)
+        else:
+            write_report(args.out, prof.context, form=args.format)
+        print(f"report written: {args.out} ({args.format})")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .runner import SweepSpec, run_sweep, scenario_names
 
@@ -533,6 +642,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the batch pipeline on the rebuilt log and "
         "verify verdict equivalence",
     )
+    profile = add(
+        "profile", _cmd_profile,
+        "profile a case run: per-phase sim/web/stream wall-clock report",
+    )
+    profile.add_argument(
+        "case", help="case to profile (case-a, case-b, case-c)",
+    )
+    profile.add_argument(
+        "--ticks-short", action="store_true",
+        help="scaled-down run (seconds, not minutes) for smoke profiling",
+    )
+    profile.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="also write the full report to this file",
+    )
+    profile.add_argument(
+        "--format", choices=("json", "prom"), default="json",
+        help="report file format (default: json)",
+    )
+    add_runner_args(profile)
     sweep = add(
         "sweep", _cmd_sweep,
         "parameter sweep x replications via the parallel runner",
@@ -565,6 +694,7 @@ _DEFAULT_SEEDS = {
     "behavioural": 41,
     "stream": 7,
     "replay": 0,
+    "profile": 7,
     "sweep": 0,
 }
 

@@ -1,0 +1,131 @@
+"""Report rendering: canonical JSON and Prometheus-style text.
+
+Two consumers, two formats:
+
+* :func:`render_json` — the canonical machine-readable report
+  (``schema: repro.obs/1``): run identity, flat counters/gauges, and a
+  per-timer digest (count/total/mean/min/max/p50/p95/p99).  This is
+  what ``repro profile --out report.json`` writes and what the CI
+  profile-smoke job parses.
+* :func:`render_prometheus` — a flat exposition-format dump
+  (``repro_<name>_total``, ``_seconds_sum``/``_count``/``_bucket``)
+  for anything that scrapes text metrics.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Optional, Union
+
+from .context import RunContext
+from .core import ObsRegistry
+
+#: Bumped when the JSON report layout changes.
+REPORT_SCHEMA = "repro.obs/1"
+
+_PROM_NAME = re.compile(r"[^a-zA-Z0-9_]+")
+
+
+def registry_report(registry: ObsRegistry) -> Dict[str, object]:
+    """The registry part of the report: counters, gauges, digests."""
+    return {
+        "counters": dict(sorted(registry.counters().items())),
+        "gauges": dict(sorted(registry.gauges().items())),
+        "timers": {
+            name: timer.histogram.summary()
+            for name, timer in sorted(registry.timers().items())
+        },
+        "histograms": {
+            name: histogram.summary()
+            for name, histogram in sorted(registry.histograms().items())
+        },
+    }
+
+
+def build_report(
+    source: Union[RunContext, ObsRegistry],
+    run: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Assemble the canonical report dict from a context or registry.
+
+    ``run`` overrides/extends the run-identity block — the merged-sweep
+    path has no single ``RunContext`` and supplies its own identity.
+    """
+    if isinstance(source, RunContext):
+        registry = source.registry
+        run_block: Dict[str, object] = dict(source.snapshot()["run"])
+    else:
+        registry = source
+        run_block = {}
+    if run:
+        run_block.update(run)
+    report: Dict[str, object] = {"schema": REPORT_SCHEMA, "run": run_block}
+    report.update(registry_report(registry))
+    return report
+
+
+def render_json(
+    source: Union[RunContext, ObsRegistry],
+    run: Optional[Dict[str, object]] = None,
+    indent: Optional[int] = 2,
+) -> str:
+    """Canonical JSON report (sorted keys, stable across runs of equal
+    content — suitable for golden pinning)."""
+    return json.dumps(
+        build_report(source, run), indent=indent, sort_keys=True
+    )
+
+
+def _prom_name(prefix: str, name: str) -> str:
+    return f"{prefix}_{_PROM_NAME.sub('_', name).strip('_')}"
+
+
+def render_prometheus(
+    source: Union[RunContext, ObsRegistry], prefix: str = "repro"
+) -> str:
+    """Flat Prometheus-style exposition text for the whole registry."""
+    registry = (
+        source.registry if isinstance(source, RunContext) else source
+    )
+    lines: List[str] = []
+    for name, value in sorted(registry.counters().items()):
+        lines.append(f"{_prom_name(prefix, name)}_total {value:g}")
+    for name, value in sorted(registry.gauges().items()):
+        lines.append(f"{_prom_name(prefix, name)} {value:g}")
+    distributions = [
+        (name, timer.histogram, "_seconds")
+        for name, timer in registry.timers().items()
+    ] + [
+        (name, histogram, "")
+        for name, histogram in registry.histograms().items()
+    ]
+    for name, histogram, unit in sorted(distributions):
+        base = f"{_prom_name(prefix, name)}{unit}"
+        cumulative = 0
+        for bound, bucket_count in zip(
+            histogram.bounds, histogram.bucket_counts
+        ):
+            cumulative += bucket_count
+            lines.append(f'{base}_bucket{{le="{bound:g}"}} {cumulative}')
+        lines.append(f'{base}_bucket{{le="+Inf"}} {histogram.count}')
+        lines.append(f"{base}_sum {histogram.total:g}")
+        lines.append(f"{base}_count {histogram.count}")
+    return "\n".join(lines) + "\n"
+
+
+def write_report(
+    path: str,
+    source: Union[RunContext, ObsRegistry],
+    form: str = "json",
+    run: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write a report file in ``json`` or ``prom`` form."""
+    if form == "json":
+        text = render_json(source, run=run)
+    elif form == "prom":
+        text = render_prometheus(source)
+    else:
+        raise ValueError(f"unknown report form {form!r} (json|prom)")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text if text.endswith("\n") else text + "\n")

@@ -17,6 +17,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 from typing import Dict, Optional
 
 from .spec import canonical_json
@@ -24,11 +25,24 @@ from .spec import canonical_json
 #: Bump when the payload layout changes; old files become misses.
 CACHE_VERSION = 1
 
+#: Filename-hostile characters in scenario names (path separators,
+#: whitespace, and the ``_`` the filename layout uses as its own
+#: field separator) are all flattened to ``-``.
+_UNSAFE_CHARS = re.compile(r"[^A-Za-z0-9.-]+")
+
 
 def _payload_checksum(payload: Dict[str, object]) -> str:
     return hashlib.sha256(
         canonical_json(payload).encode("utf-8")
     ).hexdigest()
+
+
+def _identity_digest(scenario: str, config_hash: str, seed: int) -> str:
+    """Digest of the *full* cell identity, used to keep filenames
+    collision-free even after the readable fields are truncated or
+    sanitised."""
+    joined = f"{scenario}\x00{config_hash}\x00{seed}"
+    return hashlib.sha256(joined.encode("utf-8")).hexdigest()
 
 
 class ResultCache:
@@ -41,14 +55,31 @@ class ResultCache:
         self.corrupt = 0
 
     def path_for(self, scenario: str, config_hash: str, seed: int) -> str:
+        """Filename for a cell: readable prefix + full-identity digest.
+
+        The readable fields are lossy (the scenario is sanitised for
+        the filesystem, the config hash truncated), so the digest of
+        the *untruncated* identity is appended — two distinct cells
+        can only share a file via a SHA-256 collision, and even then
+        :meth:`load` re-verifies the envelope.
+        """
+        safe_scenario = _UNSAFE_CHARS.sub("-", scenario) or "scenario"
+        digest = _identity_digest(scenario, config_hash, seed)[:12]
         return os.path.join(
-            self.directory, f"{scenario}_{config_hash[:16]}_{seed}.json"
+            self.directory,
+            f"{safe_scenario}_{config_hash[:16]}_{seed}_{digest}.json",
         )
 
     def load(
         self, scenario: str, config_hash: str, seed: int
     ) -> Optional[Dict[str, object]]:
-        """The cached payload, or None on miss/corruption."""
+        """The cached payload, or None on miss/corruption.
+
+        The envelope's own identity fields are verified against the
+        request — a file that somehow answers to the wrong key (hash
+        prefix collision, renamed or copied cache files) is treated as
+        corrupt, never silently served as another cell's result.
+        """
         path = self.path_for(scenario, config_hash, seed)
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -64,6 +95,9 @@ class ResultCache:
         if (
             not isinstance(payload, dict)
             or envelope.get("version") != CACHE_VERSION
+            or envelope.get("scenario") != scenario
+            or envelope.get("config_hash") != config_hash
+            or envelope.get("seed") != seed
             or envelope.get("checksum") != _payload_checksum(payload)
         ):
             self.corrupt += 1

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.aggregate import SummaryStats, aggregate_metrics
+from ..obs import ObsRegistry
 from ..sim.metrics import MetricsRecorder
 from .cache import ResultCache
 from .registry import get_scenario
@@ -59,12 +60,18 @@ class CellResult:
     info: Dict[str, object]
     recorder_snapshot: Dict[str, object]
     from_cache: bool
+    #: Wall-clock observability snapshot (``repro.obs``); empty for
+    #: cells whose scenario does not profile itself.
+    obs_snapshot: Dict[str, object] = field(default_factory=dict)
 
     def params_dict(self) -> Dict[str, object]:
         return dict(self.params)
 
     def recorder(self) -> MetricsRecorder:
         return MetricsRecorder.from_snapshot(self.recorder_snapshot)
+
+    def obs(self) -> ObsRegistry:
+        return ObsRegistry.from_snapshot(self.obs_snapshot)
 
 
 @dataclass
@@ -99,6 +106,22 @@ class SweepResult:
         merged = MetricsRecorder()
         for cell in self.results_for(params):
             merged.merge(cell.recorder())
+        return merged
+
+    def merged_obs(
+        self, params: Optional[Dict[str, object]] = None
+    ) -> ObsRegistry:
+        """All cells' obs registries folded into one (worker merge).
+
+        Counter/timer merging is commutative, so the fold is identical
+        whichever worker process produced each cell.  ``params``
+        restricts the fold to one grid point; default is every cell.
+        """
+        cells = self.cells if params is None else self.results_for(params)
+        merged = ObsRegistry()
+        for cell in cells:
+            if cell.obs_snapshot:
+                merged.merge(ObsRegistry.from_snapshot(cell.obs_snapshot))
         return merged
 
     def aggregate(
@@ -195,6 +218,7 @@ def run_sweep(
                 info=dict(payload.get("info", {})),
                 recorder_snapshot=dict(payload.get("recorder", {})),
                 from_cache=index not in pending_set,
+                obs_snapshot=dict(payload.get("obs", {})),
             )
         )
     return SweepResult(

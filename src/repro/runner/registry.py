@@ -13,6 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Mapping
 
+from ..obs.profile import (
+    profile_case_a_cell,
+    profile_case_b_cell,
+    profile_case_c_cell,
+)
 from ..scenarios.case_a import CaseAConfig, case_a_cell
 from ..scenarios.case_b import CaseBConfig, case_b_cell
 from ..scenarios.case_c import CaseCConfig, case_c_cell
@@ -66,3 +71,8 @@ register_scenario("case-a", CaseAConfig, case_a_cell)
 register_scenario("case-b", CaseBConfig, case_b_cell)
 register_scenario("case-c", CaseCConfig, case_c_cell)
 register_scenario("stream-case-a", StreamCaseAConfig, stream_case_a_cell)
+# Instrumented variants: same configs, cells also carry an "obs"
+# registry snapshot (merged across workers by SweepResult.merged_obs).
+register_scenario("profile-case-a", CaseAConfig, profile_case_a_cell)
+register_scenario("profile-case-b", CaseBConfig, profile_case_b_cell)
+register_scenario("profile-case-c", CaseCConfig, profile_case_c_cell)

@@ -17,6 +17,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, List, Optional
 
 from .clock import Clock
@@ -65,6 +66,12 @@ class EventLoop:
         self._seq = itertools.count()
         self._stopped = False
         self.events_processed = 0
+        #: Optional dispatch profiler (duck-typed:
+        #: ``record_event(label: str, duration: float)`` — e.g.
+        #: :class:`repro.obs.RunContext`).  ``None`` keeps dispatch on
+        #: the zero-overhead path; attach before running, typically in
+        #: a scenario's ``on_world`` hook.
+        self.profiler: Optional[object] = None
 
     @property
     def now(self) -> float:
@@ -118,6 +125,8 @@ class EventLoop:
         intended horizon.
         """
         self._stopped = False
+        profiler = self.profiler
+        record = None if profiler is None else profiler.record_event
         while self._heap and not self._stopped:
             event = self._heap[0]
             if event.when > until:
@@ -127,13 +136,20 @@ class EventLoop:
                 continue
             self.clock.advance_to(event.when)
             self.events_processed += 1
-            event.callback()
+            if record is None:
+                event.callback()
+            else:
+                started = perf_counter()
+                event.callback()
+                record(event.label, perf_counter() - started)
         if not self._stopped and until > self.clock.now:
             self.clock.advance_to(until)
 
     def run_all(self, limit: int = 10_000_000) -> None:
         """Run until the queue is empty (bounded by ``limit`` events)."""
         self._stopped = False
+        profiler = self.profiler
+        record = None if profiler is None else profiler.record_event
         processed = 0
         while self._heap and not self._stopped:
             event = heapq.heappop(self._heap)
@@ -141,7 +157,12 @@ class EventLoop:
                 continue
             self.clock.advance_to(event.when)
             self.events_processed += 1
-            event.callback()
+            if record is None:
+                event.callback()
+            else:
+                started = perf_counter()
+                event.callback()
+                record(event.label, perf_counter() - started)
             processed += 1
             if processed >= limit:
                 raise RuntimeError(

@@ -115,6 +115,9 @@ class _SlidingCounterAdapter(StreamAdapter):
         fingerprint_id = entry.client.fingerprint_id
         if fingerprint_id in self._convicted:
             return ()
+        # get_or_create is a touching access, so a fingerprint that
+        # keeps sending events is never evicted as idle mid-window;
+        # evict_idle below only reaps tallies with no recent events.
         tally, _ = self._tallies.get_or_create(
             fingerprint_id, now, deque
         )

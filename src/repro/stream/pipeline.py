@@ -23,6 +23,7 @@ pipeline's on the same log (see :func:`batch_session_verdicts`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, List, Optional, Protocol, Sequence
 
 from ..core.detection.fusion import FusionDetector
@@ -72,12 +73,21 @@ class StreamPipeline:
         idle_gap: float = DEFAULT_IDLE_GAP,
         evict_every: int = 256,
         max_open_sessions: Optional[int] = None,
+        obs: Optional[object] = None,
     ) -> None:
         if evict_every < 1:
             raise ValueError(f"evict_every must be >= 1: {evict_every}")
         self.adapters = list(adapters)
         self.sink = sink
         self.evict_every = evict_every
+        #: Optional wall-clock instrumentation (duck-typed
+        #: :class:`repro.obs.ObsRegistry`): per-stage latency timers
+        #: (``stream.stage.sessionize`` / ``.adapters`` / ``.fusion``
+        #: / ``.evict``) and entry/verdict counters.  ``None`` keeps
+        #: ingestion on the zero-overhead path.  Note the fusion stage
+        #: runs nested inside the adapter/session stages, so stage
+        #: totals overlap rather than summing to the pipeline total.
+        self.obs = obs
         self.sessionizer = StreamSessionizer(
             idle_gap=idle_gap, max_open_sessions=max_open_sessions
         )
@@ -102,19 +112,47 @@ class StreamPipeline:
             raise RuntimeError("pipeline already finished")
         self.events_processed += 1
         now = entry.time
+        obs = self.obs
+        if obs is None:
+            for session in self.sessionizer.observe(entry):
+                self._on_session_closed(session)
+            for adapter in self.adapters:
+                for verdict in adapter.on_entry(entry, now):
+                    self._entity_verdicts.append(verdict)
+                    self._fuse(verdict, now)
+            if self.events_processed % self.evict_every == 0:
+                for session in self.sessionizer.close_idle(now):
+                    self._on_session_closed(session)
+                for adapter in self.adapters:
+                    adapter.evict_idle(now, self.sessionizer.idle_gap)
+            return
 
-        for session in self.sessionizer.observe(entry):
+        obs.increment("stream.entries")
+        started = perf_counter()
+        closed = self.sessionizer.observe(entry)
+        obs.timer("stream.stage.sessionize").observe(
+            perf_counter() - started
+        )
+        for session in closed:
             self._on_session_closed(session)
+        started = perf_counter()
         for adapter in self.adapters:
             for verdict in adapter.on_entry(entry, now):
                 self._entity_verdicts.append(verdict)
+                obs.increment("stream.verdicts.entity")
                 self._fuse(verdict, now)
-
+        obs.timer("stream.stage.adapters").observe(
+            perf_counter() - started
+        )
         if self.events_processed % self.evict_every == 0:
+            started = perf_counter()
             for session in self.sessionizer.close_idle(now):
                 self._on_session_closed(session)
             for adapter in self.adapters:
                 adapter.evict_idle(now, self.sessionizer.idle_gap)
+            obs.timer("stream.stage.evict").observe(
+                perf_counter() - started
+            )
 
     def finish(self) -> StreamReport:
         """Flush open state and assemble the final report."""
@@ -129,6 +167,26 @@ class StreamPipeline:
                 self._entity_verdicts.append(verdict)
                 self._fuse(verdict, now)
         self._sessions.sort(key=lambda s: s.start)
+        obs = self.obs
+        if obs is not None:
+            obs.set_gauge(
+                "stream.events_processed", float(self.events_processed)
+            )
+            obs.set_gauge(
+                "stream.sessions_closed", float(len(self._sessions))
+            )
+            # Per-stage throughput: entries per second of ingest-path
+            # busy time (sessionize + adapters + evict; fusion nests
+            # inside and is excluded to avoid double counting).
+            busy = sum(
+                obs.timer(f"stream.stage.{stage}").total
+                for stage in ("sessionize", "adapters", "evict")
+            )
+            if busy > 0:
+                obs.set_gauge(
+                    "stream.events_per_second",
+                    self.events_processed / busy,
+                )
         return StreamReport(
             events_processed=self.events_processed,
             sessions_closed=len(self._sessions),
@@ -147,13 +205,28 @@ class StreamPipeline:
     ) -> None:
         self._sessions.append(session)
         when = now if now is not None else session.end
+        obs = self.obs
+        started = perf_counter() if obs is not None else 0.0
         for adapter in self.adapters:
             for verdict in adapter.on_session_closed(session):
                 self._session_verdicts.append(verdict)
                 self._fuse(verdict, when)
+        if obs is not None:
+            obs.increment("stream.sessions_closed")
+            obs.timer("stream.stage.session_judges").observe(
+                perf_counter() - started
+            )
 
     def _fuse(self, verdict: Verdict, now: float) -> None:
-        fused = self.fusion.update(verdict)
+        obs = self.obs
+        if obs is not None:
+            started = perf_counter()
+            fused = self.fusion.update(verdict)
+            obs.timer("stream.stage.fusion").observe(
+                perf_counter() - started
+            )
+        else:
+            fused = self.fusion.update(verdict)
         if (
             fused.is_bot
             and self.sink is not None

@@ -68,7 +68,10 @@ class StreamSessionizer:
 
         key = (entry.client.ip_address, entry.client.fingerprint_id)
         closed: List[Session] = []
-        session = self._open.get(key)
+        # A touching read: observing an entry is activity, so the key's
+        # idle clock advances with event time even on this read path —
+        # a continuously-hot session can never be evicted as idle.
+        session = self._open.get(key, now=entry.time)
         if session is not None and entry.time - session.end > self.idle_gap:
             self._open.pop(key)
             closed.append(session)
@@ -80,8 +83,6 @@ class StreamSessionizer:
             for _, victim in overflow:
                 self.forced_closes += 1
                 closed.append(victim)
-        else:
-            self._open.touch(key, entry.time)
         session.entries.append(entry)
         self.sessions_closed += len(closed)
         return closed
@@ -110,7 +111,13 @@ class StreamSessionizer:
         return closed
 
     def open_session_for(self, key: ClientKey) -> Optional[Session]:
-        """The currently-open session for a client key, if any."""
+        """The currently-open session for a client key, if any.
+
+        Deliberately a *non-touching* read: introspection (dashboards,
+        tests, mitigation peeking at open state) must not keep a
+        session alive past its idle gap — only observed entries count
+        as activity.
+        """
         return self._open.get(key)
 
     # -- accounting ------------------------------------------------------------

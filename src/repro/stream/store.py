@@ -35,7 +35,17 @@ class KeyedStore(Generic[K, V]):
 
     # -- access ----------------------------------------------------------------
 
-    def get(self, key: K) -> Optional[V]:
+    def get(self, key: K, now: Optional[float] = None) -> Optional[V]:
+        """Read the state for ``key`` (``None`` when absent).
+
+        Pass ``now`` to make the read count as activity: a key that is
+        only ever *read* on the hot path would otherwise be evicted as
+        idle while hot, because only writes refreshed its clock.
+        Omitting ``now`` keeps the read introspective — monitoring and
+        test probes must not extend a key's lifetime.
+        """
+        if now is not None and key in self._values:
+            self._last_touched[key] = now
         return self._values.get(key)
 
     def get_or_create(

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
 from ..booking.reservation import ReservationSystem
@@ -96,6 +97,13 @@ class WebApplication:
         self._captcha_gates: Dict[str, CaptchaGateModel] = {}
         self.captcha_costs_by_actor: Dict[str, float] = {}
         self.honeypot_router: Optional[HoneypotRouter] = None
+        # Optional wall-clock instrumentation (see the ``obs`` property).
+        self._obs: Optional[object] = None
+        # Per-path/status hot caches, rebuilt when ``obs`` is assigned:
+        # path -> bound Histogram.observe, status -> counter name.
+        self._obs_request_observers: Dict[str, Callable[[float], None]] = {}
+        self._obs_edge_observe: Optional[Callable[[float], None]] = None
+        self._obs_status_names: Dict[int, str] = {}
         #: Fingerprints collected at the edge, keyed by fingerprint id —
         #: what a client-side anti-bot script ships home.
         self.fingerprints_seen: Dict[str, "Fingerprint"] = {}
@@ -108,6 +116,38 @@ class WebApplication:
             BOARDING_PASS_SMS: self._handle_boarding_pass_sms,
             TRAP: self._handle_trap,
         }
+
+    # -- observability ---------------------------------------------------------
+
+    @property
+    def obs(self) -> Optional[object]:
+        """Optional wall-clock instrumentation (duck-typed
+        :class:`repro.obs.ObsRegistry`).  ``None`` keeps request
+        handling on the zero-overhead path; when attached, every
+        request records a per-endpoint latency timer
+        (``web.request.<path>``), an edge-pipeline timer
+        (``web.stage.edge``) and per-status counters."""
+        return self._obs
+
+    @obs.setter
+    def obs(self, registry: Optional[object]) -> None:
+        self._obs = registry
+        self._obs_request_observers = {}
+        self._obs_status_names = {}
+        self._obs_edge_observe = (
+            None
+            if registry is None
+            else registry.timer("web.stage.edge").histogram.observe
+        )
+
+    def _obs_request_observer(self, path: str) -> Callable[[float], None]:
+        observe = self._obs_request_observers.get(path)
+        if observe is None:
+            observe = self._obs.timer(
+                f"web.request.{path}"
+            ).histogram.observe
+            self._obs_request_observers[path] = observe
+        return observe
 
     # -- edge configuration (driven by mitigations) ---------------------------
 
@@ -148,11 +188,18 @@ class WebApplication:
     def handle(self, request: Request) -> Response:
         """Run one request through the edge pipeline and its handler."""
         now = self.clock.now
+        obs = self._obs
+        started = perf_counter() if obs is not None else 0.0
         if request.fingerprint is not None:
             self.fingerprints_seen.setdefault(
                 request.client.fingerprint_id, request.fingerprint
             )
-        response = self._edge_pipeline(request, now)
+        if obs is None:
+            response = self._edge_pipeline(request, now)
+        else:
+            edge_started = perf_counter()
+            response = self._edge_pipeline(request, now)
+            self._obs_edge_observe(perf_counter() - edge_started)
         if response is None:
             handler = self._handlers.get(request.path)
             if handler is None:
@@ -160,6 +207,16 @@ class WebApplication:
             else:
                 response = handler(request)
         self._log(request, response, now)
+        if obs is not None:
+            observe = self._obs_request_observers.get(request.path)
+            if observe is None:
+                observe = self._obs_request_observer(request.path)
+            observe(perf_counter() - started)
+            status_name = self._obs_status_names.get(response.status)
+            if status_name is None:
+                status_name = f"web.response.{response.status}"
+                self._obs_status_names[response.status] = status_name
+            obs.increment(status_name)
         return response
 
     def _edge_pipeline(

@@ -50,7 +50,15 @@ class TokenBucket:
 
 
 class SlidingWindowLimiter:
-    """At most ``limit`` events in any trailing window of ``window`` s."""
+    """At most ``limit`` events in any trailing window of ``window`` s.
+
+    The window is *closed at both ends*: an event at time ``t`` still
+    occupies the window at ``t + window`` and only expires strictly
+    after.  With ``limit=1`` a second attempt exactly ``window``
+    seconds after the first is therefore rejected — the invariant "no
+    closed interval of length ``window`` contains more than ``limit``
+    allowed events" holds at the boundary, not just inside it.
+    """
 
     def __init__(self, limit: int, window: float) -> None:
         if limit < 1 or window <= 0:
@@ -64,7 +72,7 @@ class SlidingWindowLimiter:
     def allow(self, now: float) -> bool:
         """Record the event if under the limit; True = allowed."""
         cutoff = now - self.window
-        while self._events and self._events[0] <= cutoff:
+        while self._events and self._events[0] < cutoff:
             self._events.popleft()
         if len(self._events) >= self.limit:
             return False
@@ -72,11 +80,10 @@ class SlidingWindowLimiter:
         return True
 
     def count(self, now: float) -> int:
-        """Events currently inside the window."""
+        """Events still occupying the window at ``now`` (read-only:
+        unlike :meth:`allow`, this never mutates limiter state)."""
         cutoff = now - self.window
-        while self._events and self._events[0] <= cutoff:
-            self._events.popleft()
-        return len(self._events)
+        return sum(1 for when in self._events if when >= cutoff)
 
 
 #: A key function maps a request to the string the rule buckets on, or

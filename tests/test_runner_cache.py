@@ -156,3 +156,71 @@ class TestResultCacheUnit:
         assert cache.load("case-a", "abc123", 42) is None
         assert cache.misses == 1
         assert cache.corrupt == 0
+
+
+class TestCacheIdentity:
+    """Regressions for the identity-verification bugfix: a file can
+    never be served for a key it was not stored under."""
+
+    PAYLOAD = {"metrics": {"x": 1.0}, "info": {}, "recorder": {}}
+
+    def test_wrong_identity_file_is_rejected_not_served(self, tmp_path):
+        # Simulate any path collision (hash-prefix birthday, renamed or
+        # copied files) by forcing one: store under identity A, then
+        # move the file to where identity B would look for it.  Pre-fix,
+        # load(B) happily returned A's payload.
+        cache = ResultCache(str(tmp_path))
+        cache.store("case-a", "a" * 64, 1, self.PAYLOAD)
+        os.replace(
+            cache.path_for("case-a", "a" * 64, 1),
+            cache.path_for("case-a", "b" * 64, 2),
+        )
+        assert cache.load("case-a", "b" * 64, 2) is None
+        assert cache.corrupt == 1
+        assert cache.hits == 0
+
+    def test_seed_is_part_of_the_verified_identity(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.store("case-a", "c" * 64, 7, self.PAYLOAD)
+        os.replace(
+            cache.path_for("case-a", "c" * 64, 7),
+            cache.path_for("case-a", "c" * 64, 8),
+        )
+        assert cache.load("case-a", "c" * 64, 8) is None
+        assert cache.corrupt == 1
+
+    def test_shared_hash_prefix_cells_get_distinct_files(self, tmp_path):
+        # 16-hex-char truncation used to be the only disambiguator;
+        # the full-identity digest now keeps the paths apart even when
+        # the readable prefix is identical.
+        cache = ResultCache(str(tmp_path))
+        shared = "d" * 16
+        path_one = cache.path_for("case-a", shared + "1" * 48, 1)
+        path_two = cache.path_for("case-a", shared + "2" * 48, 1)
+        assert path_one != path_two
+
+    @pytest.mark.parametrize(
+        "scenario",
+        ["case/a", "case a", "case_a", "..", "héllo", ""],
+        ids=["slash", "space", "underscore", "dotdot", "unicode", "empty"],
+    )
+    def test_hostile_scenario_names_round_trip(self, tmp_path, scenario):
+        cache = ResultCache(str(tmp_path))
+        cache.store(scenario, "e" * 64, 3, self.PAYLOAD)
+        stored = cache.path_for(scenario, "e" * 64, 3)
+        # The file landed inside the cache dir, not wherever a path
+        # separator pointed, and loads back under the exact identity.
+        assert os.path.dirname(stored) == str(tmp_path)
+        assert os.path.exists(stored)
+        assert cache.load(scenario, "e" * 64, 3) == self.PAYLOAD
+
+    def test_underscore_scenario_cannot_alias_another_cell(self, tmp_path):
+        # "case_a" with hash "1x..." used to be able to collide with
+        # "case" and hash "a_1x..."-style splits; sanitisation plus the
+        # identity digest makes the filenames distinct.
+        cache = ResultCache(str(tmp_path))
+        assert cache.path_for("case_a", "f" * 64, 1) != cache.path_for(
+            "case-a", "f" * 64, 1
+        )
+        cache.store("case_a", "f" * 64, 1, self.PAYLOAD)
+        assert cache.load("case-a", "f" * 64, 1) is None

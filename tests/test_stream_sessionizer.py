@@ -143,3 +143,30 @@ class TestStreamSessionizer:
         key = (entry.client.ip_address, entry.client.fingerprint_id)
         assert sessionizer.open_session_for(key).entries == [entry]
         assert sessionizer.open_session_for(("x", "y")) is None
+
+    def test_hot_session_never_idle_evicted(self):
+        """Regression for the KeyedStore read-path fix: a session whose
+        entries arrive steadily (each within the idle gap of the last)
+        must survive close_idle indefinitely — observe() is a touching
+        read, so event-time progress counts as activity."""
+        sessionizer = StreamSessionizer(idle_gap=10.0)
+        now = 0.0
+        for _ in range(50):
+            sessionizer.observe(make_entry(now))
+            assert sessionizer.close_idle(now) == []
+            now += 9.0
+        assert sessionizer.open_sessions == 1
+        [session] = sessionizer.flush()
+        assert len(session.entries) == 50
+
+    def test_open_session_for_does_not_keep_session_alive(self):
+        """Introspection is deliberately non-touching: peeking at an
+        open session must not postpone its idle eviction."""
+        sessionizer = StreamSessionizer(idle_gap=10.0)
+        entry = make_entry(0.0)
+        sessionizer.observe(entry)
+        key = (entry.client.ip_address, entry.client.fingerprint_id)
+        assert sessionizer.open_session_for(key) is not None
+        closed = sessionizer.close_idle(now=100.0)
+        assert [s.ip_address for s in closed] == [entry.client.ip_address]
+        assert sessionizer.open_session_for(key) is None

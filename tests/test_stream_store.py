@@ -49,6 +49,32 @@ class TestKeyedStore:
         store.touch("a", 99.0)
         assert store.evict_idle(now=100.0, idle_gap=50.0) == []
 
+    def test_get_with_now_refreshes_idle_clock(self):
+        """Regression: a read-only-hot key (only ever get(), never
+        written) used to be evicted as idle mid-use because get()
+        never advanced the idle clock."""
+        store = KeyedStore()
+        store.get_or_create("a", 0.0, list)
+        assert store.get("a", now=99.0) == []
+        assert store.evict_idle(now=100.0, idle_gap=50.0) == []
+        assert "a" in store
+
+    def test_get_without_now_stays_introspective(self):
+        """Plain get() must not extend a key's lifetime — monitoring
+        probes are not activity."""
+        store = KeyedStore()
+        store.get_or_create("a", 0.0, list)
+        assert store.get("a") == []
+        evicted = store.evict_idle(now=100.0, idle_gap=50.0)
+        assert [key for key, _ in evicted] == ["a"]
+
+    def test_get_with_now_on_missing_key_is_harmless(self):
+        store = KeyedStore()
+        assert store.get("ghost", now=5.0) is None
+        # No phantom idle-clock entry was created.
+        store.get_or_create("real", 0.0, list)
+        assert store.evict_idle(now=100.0, idle_gap=50.0) == [("real", [])]
+
     def test_max_keys_evicts_oldest_idle_first(self):
         store = KeyedStore(max_keys=2)
         store.get_or_create("a", 0.0, lambda: "A")

@@ -117,6 +117,56 @@ class TestSlidingWindow:
         with pytest.raises(ValueError):
             SlidingWindowLimiter(limit=1, window=0.0)
 
+    def test_exact_window_boundary_is_rejected(self):
+        """Regression: the window is closed at both ends.  An event at
+        t=0 still occupies the window at t=window exactly, so limit=1
+        must reject the second attempt — pre-fix it was allowed,
+        letting a client double its budget by timing the edge."""
+        limiter = SlidingWindowLimiter(limit=1, window=10.0)
+        assert limiter.allow(0.0)
+        assert not limiter.allow(10.0)
+        assert limiter.allow(10.0 + 1e-9)
+
+    def test_boundary_event_still_counted(self):
+        limiter = SlidingWindowLimiter(limit=5, window=10.0)
+        limiter.allow(0.0)
+        assert limiter.count(10.0) == 1
+        assert limiter.count(10.0 + 1e-9) == 0
+
+    def test_count_is_non_mutating(self):
+        """Regression: count() used to expire events from the deque,
+        so a monitoring read could change a later allow() decision."""
+        limiter = SlidingWindowLimiter(limit=1, window=10.0)
+        limiter.allow(0.0)
+        for _ in range(3):
+            assert limiter.count(10.0) == 1
+        assert not limiter.allow(10.0)
+
+    @settings(max_examples=200)
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=5.0),
+            min_size=1,
+            max_size=60,
+        ),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_no_closed_window_exceeds_limit(self, deltas, limit):
+        """Property: no closed interval of length ``window`` ever
+        contains more than ``limit`` allowed events — including
+        intervals that start or end exactly on an event."""
+        window = 10.0
+        limiter = SlidingWindowLimiter(limit=limit, window=window)
+        now = 0.0
+        allowed = []
+        for delta in deltas:
+            now += delta
+            if limiter.allow(now):
+                allowed.append(now)
+        for start in allowed:
+            inside = [t for t in allowed if start <= t <= start + window]
+            assert len(inside) <= limit
+
 
 class TestKeyFunctions:
     def test_key_by_path(self):
