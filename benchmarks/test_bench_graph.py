@@ -1,0 +1,210 @@
+"""Graph subsystem throughput: incremental build + propagation.
+
+Pins the cost of the entity-graph hot path: one ``observe_*`` call per
+record, the way the streaming adapter drives it.  The synthetic
+workload mimics Case A's shape — a large legitimate population plus a
+rotated minority sharing passenger names and booking references — so
+edge churn and name-gating state behave like a real run, not like a
+degenerate star.
+
+Acceptance criteria: the incremental build sustains the pinned
+records/second floor, propagation over the resulting graph converges,
+and the end-to-end analysis stays in single-digit seconds.  Results
+land in ``benchmarks/output/graph_build.{json,txt}``.
+"""
+
+import json
+import os
+import random
+from time import perf_counter
+
+from conftest import OUTPUT_DIR, save_artifact
+
+from repro.analysis.reports import render_table
+from repro.graph.builder import GraphBuilder
+from repro.graph.detector import (
+    GraphDetectorConfig,
+    accumulate_seed,
+    analyze,
+    merged_seeds,
+    session_prior,
+)
+from repro.graph.entities import session_node
+
+from tests.test_graph_builder import (
+    make_booking,
+    make_session,
+    make_sms,
+)
+
+#: Synthetic workload size (records total across all three feeds).
+SESSIONS = 12_000
+BOOKINGS = 2_400
+SMS = 3_600
+
+#: Conservative floor for shared CI boxes; local runs are far faster.
+MIN_RECORDS_PER_SECOND = 2_000.0
+MAX_ANALYZE_SECONDS = 30.0
+
+
+def _workload():
+    """Deterministic mixed traffic: 2,000 one-off visitors' devices
+    plus a 12-fingerprint rotated operation on shared names/refs."""
+    rng = random.Random(20250806)
+    sessions, bookings, sms = [], [], []
+    rotated = [f"rot-{i:02d}" for i in range(12)]
+    names = [("anna", "nowak"), ("jan", "kowalski")]
+    for index in range(SESSIONS):
+        start = float(index * 7)
+        if index % 10 == 0:
+            fp = rng.choice(rotated)
+            ip = f"10.8.{rng.randrange(4)}.{rng.randrange(250)}"
+        else:
+            fp = f"visitor-{rng.randrange(2000):04d}"
+            ip = (
+                f"{rng.randrange(1, 220)}.{rng.randrange(250)}."
+                f"{rng.randrange(250)}.{rng.randrange(1, 250)}"
+            )
+        sessions.append(
+            make_session(f"s{index:05d}", fp, ip, [start, start + 40.0])
+        )
+        if index % 5 == 0 and len(bookings) < BOOKINGS:
+            name = (
+                rng.choice(names)
+                if fp.startswith("rot-")
+                else (f"guest{index}", f"family{rng.randrange(3000)}")
+            )
+            bookings.append(
+                make_booking(start + 10.0, fp, ip, [name])
+            )
+        # SMS volume concentrates on the pumping operation (the Case C
+        # signature); visitors send the occasional one-off OTP.
+        is_rotated = fp.startswith("rot-")
+        if (is_rotated or index % 40 == 0) and len(sms) < SMS:
+            ref = (
+                f"REF{rng.randrange(4):02d}"
+                if is_rotated
+                else f"REF-{index:05d}"
+            )
+            sms.append(
+                make_sms(
+                    start + 20.0, fp, ip,
+                    f"6{rng.randrange(10**8):08d}", ref=ref,
+                )
+            )
+    return sessions, bookings, sms
+
+
+def test_incremental_build_throughput(benchmark):
+    sessions, bookings, sms = _workload()
+    total_records = len(sessions) + len(bookings) + len(sms)
+    state = {}
+
+    def build_and_analyze():
+        builder = GraphBuilder()
+        seeds = {}
+        config = GraphDetectorConfig()
+        build0 = perf_counter()
+        booking_iter, sms_iter = iter(bookings), iter(sms)
+        for index, session in enumerate(sessions):
+            builder.observe_session(session)
+            accumulate_seed(
+                seeds,
+                session_node(session.session_id),
+                session_prior(session, config),
+            )
+            # Interleave the side feeds like the stream adapter does.
+            if index % 5 == 0:
+                record = next(booking_iter, None)
+                if record is not None:
+                    builder.observe_booking(record)
+            if index % 4 == 0:
+                record = next(sms_iter, None)
+                if record is not None:
+                    builder.observe_sms(record)
+        build_seconds = perf_counter() - build0
+        analyze0 = perf_counter()
+        analysis = analyze(
+            builder.graph,
+            merged_seeds(seeds, builder, config),
+            config,
+        )
+        state.update(
+            builder=builder,
+            analysis=analysis,
+            build_seconds=build_seconds,
+            analyze_seconds=perf_counter() - analyze0,
+        )
+
+    benchmark.pedantic(build_and_analyze, rounds=1, iterations=1)
+
+    builder, analysis = state["builder"], state["analysis"]
+    build_seconds = state["build_seconds"]
+    analyze_seconds = state["analyze_seconds"]
+    records_per_second = total_records / build_seconds
+
+    assert builder.sessions_observed == SESSIONS
+    assert builder.bookings_observed == len(bookings)
+    assert builder.sms_observed == len(sms)
+    assert analysis.propagation.converged
+    # The rotated operation must surface as one multi-fingerprint
+    # campaign even inside the large legitimate population.
+    multi = [
+        c for c in analysis.campaigns if c.distinct_fingerprints > 1
+    ]
+    assert multi, "rotated campaign not recovered from the workload"
+    assert any(
+        fp.startswith("rot-")
+        for campaign in multi
+        for fp in campaign.fingerprint_ids
+    )
+
+    payload = {
+        "records_total": total_records,
+        "sessions": len(sessions),
+        "bookings": len(bookings),
+        "sms": len(sms),
+        "graph_nodes": builder.graph.node_count,
+        "graph_edges": builder.graph.edge_count,
+        "build_seconds": build_seconds,
+        "analyze_seconds": analyze_seconds,
+        "records_per_second": records_per_second,
+        "min_records_per_second": MIN_RECORDS_PER_SECOND,
+        "propagation_rounds": analysis.propagation.rounds,
+        "campaigns": len(analysis.campaigns),
+        "multi_fingerprint_campaigns": len(multi),
+    }
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    with open(
+        os.path.join(OUTPUT_DIR, "graph_build.json"), "w",
+        encoding="utf-8",
+    ) as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    save_artifact(
+        "graph_build",
+        render_table(
+            ["Metric", "Value"],
+            [
+                ["records fed", f"{total_records:,}"],
+                ["graph nodes", f"{builder.graph.node_count:,}"],
+                ["graph edges", f"{builder.graph.edge_count:,}"],
+                ["incremental build", f"{build_seconds:.3f}s"],
+                ["records/second", f"{records_per_second:,.0f}"],
+                ["propagate + extract", f"{analyze_seconds:.3f}s"],
+                ["propagation rounds", analysis.propagation.rounds],
+                ["campaigns found", len(analysis.campaigns)],
+                ["multi-fp campaigns", len(multi)],
+            ],
+            title=(
+                "Entity-graph incremental build "
+                f"(floor {MIN_RECORDS_PER_SECOND:,.0f} records/s)"
+            ),
+        ),
+    )
+
+    assert records_per_second >= MIN_RECORDS_PER_SECOND, (
+        f"incremental build sustained {records_per_second:,.0f} "
+        f"records/s, below the {MIN_RECORDS_PER_SECOND:,.0f} floor"
+    )
+    assert analyze_seconds < MAX_ANALYZE_SECONDS

@@ -1,0 +1,99 @@
+"""Catch a rotated campaign the per-session view cannot see.
+
+Section III-B's evasion playbook — rotate the browser fingerprint
+every ~5.3 h, spread traffic across residential proxies, keep every
+session low-and-slow — defeats each per-session detector family.
+This walkthrough shows what survives rotation: the shared
+infrastructure the operation cannot rotate away.
+
+1. run the rotated Case A seat spinner and judge it two ways —
+   session-only fusion vs the same fusion plus the `GraphDetector`;
+2. show that only the graph arm recovers the campaign, as *one*
+   cluster spanning every rotated fingerprint, at zero extra FPR;
+3. walk the pipeline by hand — build the entity graph, propagate weak
+   seeds, extract campaigns — and inspect the rotation statistics
+   (the paper's 5.3 h rotation interval, read back from data);
+4. re-run detection with graph fusion and compare conviction counts.
+
+Run:  python examples/campaign_graph.py
+"""
+
+from repro.scenarios.graph_case import (
+    CASE_A,
+    GraphCaseConfig,
+    run_graph_case,
+)
+from repro.sim.clock import HOUR
+
+# The compressed two-arm experiment: a rotated seat spinner against a
+# small legitimate population, seconds of wall-clock.
+CONFIG = GraphCaseConfig(seed=7, case=CASE_A, ticks_short=True)
+
+
+def main() -> None:
+    result = run_graph_case(CONFIG)
+
+    # -- 1. the two arms ------------------------------------------------
+    print("arm comparison (rotated Case A seat spinner):")
+    for arm in (result.session_arm, result.graph_arm):
+        ev = arm.evaluation
+        print(
+            f"  {arm.arm:>15}: campaign recall "
+            f"{arm.campaign_recall:.2f}, session recall "
+            f"{ev.recall:.2f}, FPR {ev.false_positive_rate * 100:.2f}%"
+        )
+    assert (
+        result.graph_arm.campaign_recall
+        > result.session_arm.campaign_recall
+    )
+
+    # -- 2. the recovered operation ------------------------------------
+    print("\nrecovered campaigns:")
+    for campaign in result.campaigns:
+        rotation = (
+            f"{campaign.mean_rotation_interval / HOUR:.1f} h"
+            if campaign.rotates_identity
+            else "none"
+        )
+        print(
+            f"  {campaign.campaign_id}: risk {campaign.risk:.3f}, "
+            f"{campaign.session_count} sessions across "
+            f"{campaign.distinct_fingerprints} fingerprints / "
+            f"{campaign.distinct_ips} IPs, rotation interval {rotation}"
+        )
+    multi = result.multi_fingerprint_campaigns
+    assert multi, "rotation should leave a multi-fingerprint trail"
+
+    # -- 3. what glued the identities together -------------------------
+    # The campaign members expose the side-channels that survived
+    # rotation: recurring passenger-name keys and the booking refs.
+    campaign = multi[0]
+    print(
+        f"\nwhat rotation could not scrub ({campaign.campaign_id}):"
+    )
+    if campaign.name_keys:
+        print(f"  recurring passenger names: {campaign.name_keys}")
+    if campaign.booking_refs:
+        print(f"  shared booking refs: {campaign.booking_refs}")
+    if campaign.phone_numbers:
+        print(f"  shared phone numbers: {len(campaign.phone_numbers)}")
+
+    # -- 4. detection-quality read-out ---------------------------------
+    evaluation = result.campaign_evaluation
+    delays = sorted(evaluation.time_to_detection.values())
+    print(
+        f"\ncampaign-level scoring: precision "
+        f"{evaluation.campaign_precision:.2f}, recall "
+        f"{evaluation.campaign_recall:.2f}"
+    )
+    if delays:
+        print(
+            f"time to detection: {delays[0] / HOUR:.2f} h after the "
+            f"campaign's first activity"
+        )
+    rounds = result.detector.last_analysis.propagation.rounds
+    print(f"risk diffusion converged in {rounds} rounds")
+
+
+if __name__ == "__main__":
+    main()

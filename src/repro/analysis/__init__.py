@@ -14,9 +14,15 @@ from .distributions import (
 )
 from .evaluation import (
     BinaryEvaluation,
+    CampaignEvaluation,
+    CampaignGroundTruth,
+    campaign_recall_from_verdicts,
+    evaluate_campaigns,
     evaluate_verdicts,
     false_positive_sessions,
     recall_by_class,
+    session_actor,
+    true_campaigns,
 )
 from .reports import (
     format_percent,
@@ -35,9 +41,15 @@ __all__ = [
     "share_of",
     "weekly_nip_table",
     "BinaryEvaluation",
+    "CampaignEvaluation",
+    "CampaignGroundTruth",
+    "campaign_recall_from_verdicts",
+    "evaluate_campaigns",
     "evaluate_verdicts",
     "false_positive_sessions",
     "recall_by_class",
+    "session_actor",
+    "true_campaigns",
     "format_percent",
     "render_distribution",
     "render_table",

@@ -53,18 +53,33 @@ def kmeans(
         centroids[index] = data[choice]
 
     labels = np.zeros(n_samples, dtype=int)
-    for _ in range(max_iterations):
+    for iteration in range(max_iterations):
         distances = ((data[:, None, :] - centroids[None, :, :]) ** 2).sum(
             axis=2
         )
         new_labels = distances.argmin(axis=1)
-        if np.array_equal(new_labels, labels) and _ > 0:
+        if np.array_equal(new_labels, labels) and iteration > 0:
             break
         labels = new_labels
+        # Distance of each point to its assigned centroid, before the
+        # update — the re-seeding pool for starved clusters.
+        assigned_distances = distances[np.arange(n_samples), labels]
         for cluster in range(k):
             members = data[labels == cluster]
             if len(members):
                 centroids[cluster] = members.mean(axis=0)
+                continue
+            # A cluster can lose every member once centroids move;
+            # leaving its stale centroid would silently return fewer
+            # than k effective clusters.  Re-seed it at the point
+            # farthest from its own centroid (the classic repair),
+            # unless every point already sits exactly on one.
+            farthest = int(assigned_distances.argmax())
+            if assigned_distances[farthest] <= 0.0:
+                continue
+            centroids[cluster] = data[farthest]
+            labels[farthest] = cluster
+            assigned_distances[farthest] = 0.0
     return labels, centroids
 
 

@@ -16,41 +16,15 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, List, Sequence, Tuple
 
 from ...booking.reservation import BookingRecord
+from ...graph.unionfind import UnionFind
 from ...sms.gateway import SmsRecord
 
-
-class UnionFind:
-    """Disjoint-set union with path compression and union by size."""
-
-    def __init__(self, size: int) -> None:
-        if size < 0:
-            raise ValueError(f"size must be >= 0: {size}")
-        self._parent = list(range(size))
-        self._size = [1] * size
-
-    def find(self, item: int) -> int:
-        root = item
-        while self._parent[root] != root:
-            root = self._parent[root]
-        while self._parent[item] != root:
-            self._parent[item], item = root, self._parent[item]
-        return root
-
-    def union(self, a: int, b: int) -> None:
-        root_a, root_b = self.find(a), self.find(b)
-        if root_a == root_b:
-            return
-        if self._size[root_a] < self._size[root_b]:
-            root_a, root_b = root_b, root_a
-        self._parent[root_b] = root_a
-        self._size[root_a] += self._size[root_b]
-
-    def groups(self) -> List[List[int]]:
-        """Members of every disjoint set, smallest index first."""
-        by_root: Dict[int, List[int]] = defaultdict(list)
-        for item in range(len(self._parent)):
-            by_root[self.find(item)].append(item)
-        return sorted(by_root.values(), key=lambda grp: grp[0])
+__all__ = [
+    "LinkedEntity",
+    "UnionFind",  # re-exported for compatibility; lives in repro.graph
+    "link_booking_records",
+    "link_sms_records",
+]
 
 
 @dataclass(frozen=True)

@@ -14,7 +14,7 @@ recorded but cannot be turned into a useful edge rule.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from ...core.detection.verdict import Verdict
 from ...web.application import WebApplication
@@ -22,6 +22,9 @@ from ..mitigation.blocking import BlockRuleManager
 from ..mitigation.controller import MitigationAction
 from ..mitigation.honeypot import HoneypotManager
 from ...stream.adapters import FP_SUBJECT_PREFIX
+
+if TYPE_CHECKING:  # typing only: keep core free of a runtime graph dep
+    from ...graph.campaigns import Campaign
 
 
 class OnlineVerdictSink:
@@ -73,6 +76,51 @@ class OnlineVerdictSink:
                 detail=(
                     f"{fingerprint_id} fused score "
                     f"{verdict.score:.3f} ({', '.join(verdict.reasons)})"
+                ),
+            )
+        )
+
+    def handle_campaign(self, campaign: "Campaign", now: float) -> None:
+        """Cluster-level mitigation: act on every member fingerprint.
+
+        Campaign detection's whole advantage is convicting the
+        identities a per-session view cannot tie together, so the
+        response is cluster-wide — one action covering all member
+        fingerprints at once, rather than waiting for each to earn an
+        individual conviction.
+        """
+        if (
+            self.max_actions is not None
+            and len(self.timeline) >= self.max_actions
+        ):
+            return
+        acted = []
+        for fingerprint_id in campaign.fingerprint_ids:
+            if self.honeypot_mode:
+                if fingerprint_id in self.honeypot._suspect_fingerprints:
+                    continue
+                self.honeypot.add_suspect_fingerprint(fingerprint_id)
+            else:
+                if self.blocks.block_fingerprint_id(fingerprint_id) is None:
+                    continue
+            acted.append(fingerprint_id)
+        if not acted:
+            return
+        if self.first_block_time is None:
+            self.first_block_time = now
+        kind = (
+            "stream-campaign-honeypot"
+            if self.honeypot_mode
+            else "stream-campaign-block"
+        )
+        self.timeline.append(
+            MitigationAction(
+                time=now,
+                kind=kind,
+                detail=(
+                    f"{campaign.campaign_id} risk {campaign.risk:.3f}: "
+                    f"{len(acted)} fingerprint(s) "
+                    f"({', '.join(sorted(acted))})"
                 ),
             )
         )

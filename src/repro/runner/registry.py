@@ -21,6 +21,11 @@ from ..obs.profile import (
 from ..scenarios.case_a import CaseAConfig, case_a_cell
 from ..scenarios.case_b import CaseBConfig, case_b_cell
 from ..scenarios.case_c import CaseCConfig, case_c_cell
+from ..scenarios.graph_case import (
+    GraphCaseConfig,
+    graph_case_a_cell,
+    graph_case_c_cell,
+)
 from ..scenarios.streaming import StreamCaseAConfig, stream_case_a_cell
 
 
@@ -71,6 +76,10 @@ register_scenario("case-a", CaseAConfig, case_a_cell)
 register_scenario("case-b", CaseBConfig, case_b_cell)
 register_scenario("case-c", CaseCConfig, case_c_cell)
 register_scenario("stream-case-a", StreamCaseAConfig, stream_case_a_cell)
+# Graph-vs-session fusion arms on the rotated campaigns; the cells pin
+# the case field so sweep params cannot cross-wire the two entries.
+register_scenario("graph-case-a", GraphCaseConfig, graph_case_a_cell)
+register_scenario("graph-case-c", GraphCaseConfig, graph_case_c_cell)
 # Instrumented variants: same configs, cells also carry an "obs"
 # registry snapshot (merged across workers by SweepResult.merged_obs).
 register_scenario("profile-case-a", CaseAConfig, profile_case_a_cell)

@@ -81,6 +81,18 @@ class TestStreamCommands:
         assert "off" in out
         assert "| -" in out  # no first block without the pipeline
 
+    def test_graph_case_a_short(self, capsys):
+        assert main(["graph", "case-a", "--ticks-short"]) == 0
+        out = capsys.readouterr().out
+        assert "session-fusion" in out
+        assert "graph-fusion" in out
+        assert "campaign recall" in out
+        assert "C001" in out
+
+    def test_graph_rejects_unknown_case(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["graph", "case-z"])
+
     def test_replay_rejects_corrupt_trace(self, tmp_path, capsys):
         bad = tmp_path / "bad.rptr"
         bad.write_bytes(b"not a trace at all")

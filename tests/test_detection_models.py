@@ -130,6 +130,35 @@ class TestKmeans:
         labels, _ = kmeans(data, 3, np.random.default_rng(1))
         assert len(set(labels)) == 3
 
+    def test_empty_cluster_is_reseeded(self):
+        """Regression: this input used to leave cluster 3 empty — two
+        far-away outlier points capture the k-means++ seeds, the first
+        Lloyd sweep moves every main-blob point onto one centroid, and
+        the starved cluster's stale centroid silently reduced the
+        effective k.  The repair re-seeds starved clusters at the point
+        farthest from its assigned centroid."""
+        g = np.random.default_rng(6869)
+        data = np.vstack([
+            g.uniform(0.0, 1.0, size=(int(g.integers(4, 15)), 2)),
+            g.uniform(100.0, 101.0, size=(2, 2)),
+        ])
+        k = int(g.integers(3, min(8, len(data))))
+        labels, centroids = kmeans(
+            data, k, np.random.default_rng(6869 + len(data))
+        )
+        assert len(set(labels)) == k
+        for cluster in range(k):
+            assert (labels == cluster).sum() > 0
+        assert centroids.shape == (k, data.shape[1])
+
+    def test_duplicate_points_do_not_force_reseeding(self):
+        """All-identical data cannot fill k clusters; the repair must
+        not loop or fabricate spread from zero distances."""
+        data = np.ones((5, 2))
+        labels, centroids = kmeans(data, 3, np.random.default_rng(2))
+        assert set(labels) == {labels[0]}
+        assert np.allclose(centroids[labels[0]], 1.0)
+
 
 class TestClusteringDetector:
     def test_flags_extreme_cluster(self):

@@ -1,0 +1,244 @@
+"""Tests for campaign extraction over the risk-thresholded graph.
+
+The synthetic graphs here model the paper's Case A shape directly:
+rotated fingerprints glued by a recurring passenger-name key, each
+carrying its own sessions, with a target-flight hub that legitimate
+traffic also touches.
+"""
+
+import pytest
+
+from repro.graph.builder import EntityGraph
+from repro.graph.campaigns import (
+    CAMPAIGN_DETECTOR,
+    CAMPAIGN_SUBJECT_PREFIX,
+    Campaign,
+    CampaignConfig,
+    campaign_subject,
+    campaign_verdicts,
+    extract_campaigns,
+)
+from repro.graph.entities import (
+    fingerprint_node,
+    flight_node,
+    ip_node,
+    name_key_node,
+    session_node,
+)
+
+
+def rotated_campaign_graph(
+    fingerprints=("f1", "f2"), sessions_per_fp=3
+):
+    """Rotated fingerprints share a passenger-name key; each carries
+    its own sessions and IP.  Returns (graph, scores, seeds)."""
+    graph = EntityGraph()
+    name = name_key_node(("anna", "nowak"))
+    scores = {name: 0.9}
+    seeds = {}
+    for fp_index, fp_id in enumerate(fingerprints):
+        fp = fingerprint_node(fp_id)
+        ip = ip_node(f"10.0.{fp_index}.1")
+        graph.add_edge(fp, name, 0.9, time=float(fp_index) * 100.0)
+        graph.add_edge(fp, ip, 0.8)
+        scores[fp] = 0.6
+        scores[ip] = 0.3
+        for s_index in range(sessions_per_fp):
+            session = session_node(f"s-{fp_id}-{s_index}")
+            start = float(fp_index) * 100.0 + s_index
+            graph.add_edge(session, fp, 1.0, time=start)
+            graph.add_edge(session, ip, 0.7, time=start)
+            graph.touch(session, start + 10.0)
+            scores[session] = 0.5
+            seeds[session] = 0.4
+    return graph, scores, seeds
+
+
+class TestExtraction:
+    def test_rotated_fingerprints_form_one_campaign(self):
+        graph, scores, seeds = rotated_campaign_graph()
+        campaigns = extract_campaigns(graph, scores, seeds=seeds)
+        assert len(campaigns) == 1
+        campaign = campaigns[0]
+        assert campaign.campaign_id == "C001"
+        assert set(campaign.fingerprint_ids) == {"f1", "f2"}
+        assert campaign.session_count == 6
+        assert campaign.rotates_identity
+        # Noisy-OR over per-kind maxima: fp 0.6, ip 0.3, name 0.9.
+        assert campaign.risk == pytest.approx(
+            1.0 - (1.0 - 0.6) * (1.0 - 0.3) * (1.0 - 0.9)
+        )
+        assert campaign.members == tuple(sorted(campaign.members))
+
+    def test_min_sessions_drops_small_cores(self):
+        graph, scores, seeds = rotated_campaign_graph(
+            sessions_per_fp=1
+        )
+        assert extract_campaigns(graph, scores, seeds=seeds) == []
+        kept = extract_campaigns(
+            graph,
+            scores,
+            config=CampaignConfig(min_sessions=2),
+            seeds=seeds,
+        )
+        assert len(kept) == 1
+
+    def test_hub_kinds_never_connect_campaigns(self):
+        """Two operations touching the same target flight stay two
+        campaigns: hub kinds are neither members nor connectors."""
+        graph = EntityGraph()
+        flight = flight_node("LO123")
+        scores, seeds = {}, {}
+        for op in ("a", "b"):
+            fp = fingerprint_node(f"f-{op}")
+            graph.add_edge(fp, flight, 0.25)
+            scores[fp] = 0.8
+            seeds[fp] = 0.5
+            for index in range(3):
+                session = session_node(f"s-{op}-{index}")
+                graph.add_edge(session, fp, 1.0, time=float(index))
+                scores[session] = 0.5
+        campaigns = extract_campaigns(graph, scores, seeds=seeds)
+        assert len(campaigns) == 2
+        for campaign in campaigns:
+            assert campaign.distinct_fingerprints == 1
+            assert flight.value not in [
+                m.value for m in campaign.members
+            ]
+
+    def test_campaigns_ordered_largest_first(self):
+        graph = EntityGraph()
+        scores, seeds = {}, {}
+        for op, count in (("small", 3), ("big", 5)):
+            fp = fingerprint_node(f"f-{op}")
+            scores[fp] = 0.8
+            seeds[fp] = 0.5
+            for index in range(count):
+                session = session_node(f"s-{op}-{index}")
+                graph.add_edge(session, fp, 1.0, time=float(index))
+        campaigns = extract_campaigns(graph, scores, seeds=seeds)
+        assert [c.campaign_id for c in campaigns] == ["C001", "C002"]
+        assert campaigns[0].session_count == 5
+        assert campaigns[1].session_count == 3
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(risk_threshold=0.0)
+        with pytest.raises(ValueError):
+            CampaignConfig(risk_threshold=1.0)
+        with pytest.raises(ValueError):
+            CampaignConfig(min_sessions=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(min_device_corroboration=0)
+
+
+class TestCorroborationGate:
+    def _collision_graph(self):
+        """A legit fingerprint that merely shares a passenger name
+        with the attack (the false positive the gate exists for)."""
+        graph, scores, seeds = rotated_campaign_graph()
+        legit_fp = fingerprint_node("legit")
+        legit_session = session_node("s-legit")
+        name = name_key_node(("anna", "nowak"))
+        graph.add_edge(legit_fp, name, 0.9)
+        graph.add_edge(legit_session, legit_fp, 1.0, time=500.0)
+        # Propagation relayed heat through the single shared name, and
+        # the session's own score includes backflow from its device.
+        scores[legit_fp] = 0.33
+        scores[legit_session] = 0.3
+        return graph, scores, seeds, legit_fp
+
+    def test_single_channel_device_is_excluded(self):
+        graph, scores, seeds, legit_fp = self._collision_graph()
+        campaigns = extract_campaigns(graph, scores, seeds=seeds)
+        assert len(campaigns) == 1
+        assert "legit" not in campaigns[0].fingerprint_ids
+        assert "s-legit" not in campaigns[0].session_ids
+
+    def test_directly_seeded_device_is_core_on_its_own(self):
+        graph, scores, seeds, legit_fp = self._collision_graph()
+        seeded = dict(seeds)
+        seeded[legit_fp] = 0.4  # e.g. an SMS-velocity prior
+        campaigns = extract_campaigns(graph, scores, seeds=seeded)
+        assert "legit" in campaigns[0].fingerprint_ids
+
+    def test_session_backflow_cannot_corroborate(self):
+        """The collision fingerprint's own session scores above the
+        threshold (backflow), but sessions corroborate only through
+        their *seed* — so one hot name plus one echoing session still
+        fails the two-channel requirement."""
+        graph, scores, seeds, legit_fp = self._collision_graph()
+        scores[session_node("s-legit")] = 0.9  # extreme echo
+        campaigns = extract_campaigns(graph, scores, seeds=seeds)
+        assert "legit" not in campaigns[0].fingerprint_ids
+
+    def test_seeded_session_does_corroborate(self):
+        graph, scores, seeds, legit_fp = self._collision_graph()
+        seeded = dict(seeds)
+        seeded[session_node("s-legit")] = 0.5  # direct evidence
+        campaigns = extract_campaigns(graph, scores, seeds=seeded)
+        # Hot name + independently seeded session = two channels.
+        assert "legit" in campaigns[0].fingerprint_ids
+
+    def test_without_seeds_every_device_needs_corroboration(self):
+        graph, scores, seeds, legit_fp = self._collision_graph()
+        campaigns = extract_campaigns(graph, scores)
+        # Attack fingerprints still corroborate through the hot name
+        # plus their other hot neighbours (IP), so the campaign stands.
+        assert len(campaigns) == 1
+        assert "legit" not in campaigns[0].fingerprint_ids
+
+
+class TestCampaignStatistics:
+    def test_rotation_statistics(self):
+        graph, scores, seeds = rotated_campaign_graph(
+            fingerprints=("f1", "f2", "f3")
+        )
+        campaign = extract_campaigns(graph, scores, seeds=seeds)[0]
+        assert campaign.distinct_fingerprints == 3
+        assert campaign.distinct_ips == 3
+        assert campaign.first_seen == 0.0
+        assert campaign.last_seen == 212.0
+        assert campaign.span == 212.0
+        assert campaign.mean_rotation_interval == pytest.approx(106.0)
+
+    def test_single_fingerprint_never_rotates(self):
+        campaign = Campaign(
+            campaign_id="C001",
+            members=(
+                fingerprint_node("f1"),
+                session_node("s1"),
+            ),
+            risk=0.9,
+            first_seen=0.0,
+            last_seen=100.0,
+        )
+        assert not campaign.rotates_identity
+        assert campaign.mean_rotation_interval == float("inf")
+
+
+class TestCampaignVerdicts:
+    def test_verdict_forms(self):
+        graph, scores, seeds = rotated_campaign_graph()
+        campaigns = extract_campaigns(graph, scores, seeds=seeds)
+        (result,) = campaign_verdicts(campaigns, threshold=0.5)
+        assert result.verdict.subject_id == campaign_subject("C001")
+        assert result.verdict.subject_id.startswith(
+            CAMPAIGN_SUBJECT_PREFIX
+        )
+        assert result.verdict.detector == CAMPAIGN_DETECTOR
+        assert result.verdict.is_bot
+        assert len(result.member_verdicts) == 6
+        for member in result.member_verdicts:
+            assert member.score == result.verdict.score
+            assert member.is_bot
+            assert "campaign:C001" in member.reasons
+
+    def test_below_threshold_campaign_is_not_bot(self):
+        graph, scores, seeds = rotated_campaign_graph()
+        campaigns = extract_campaigns(graph, scores, seeds=seeds)
+        (result,) = campaign_verdicts(campaigns, threshold=0.999)
+        assert not result.verdict.is_bot
+        for member in result.member_verdicts:
+            assert not member.is_bot
+            assert member.reasons == ()

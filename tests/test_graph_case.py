@@ -1,0 +1,128 @@
+"""Acceptance tests for the two-arm graph case study.
+
+The PR's headline criterion: on Case A with fingerprint rotation, the
+GraphDetector-augmented fusion arm achieves strictly higher
+campaign-session recall than session-only fusion at the same or lower
+false-positive rate, and at least one recovered campaign spans more
+than one fingerprint (the linkage rotation was supposed to destroy).
+"""
+
+import pytest
+
+from repro.runner.registry import get_scenario
+from repro.scenarios.graph_case import (
+    CASE_A,
+    CASE_C,
+    GRAPH_CASES,
+    GraphCaseConfig,
+    graph_case_cell,
+    run_graph_case,
+)
+
+
+@pytest.fixture(scope="module")
+def short_case_a():
+    return run_graph_case(
+        GraphCaseConfig(seed=7, case=CASE_A, ticks_short=True)
+    )
+
+
+class TestAcceptance:
+    def test_graph_fusion_beats_session_fusion_on_rotated_case_a(
+        self, short_case_a
+    ):
+        result = short_case_a
+        session_arm, graph_arm = result.session_arm, result.graph_arm
+        # Strictly higher campaign-session recall...
+        assert (
+            graph_arm.campaign_recall > session_arm.campaign_recall
+        )
+        # ...at the same or lower FPR (no precision giveback).
+        assert (
+            graph_arm.evaluation.false_positive_rate
+            <= session_arm.evaluation.false_positive_rate
+        )
+        assert (
+            graph_arm.evaluation.recall >= session_arm.evaluation.recall
+        )
+
+    def test_recovered_campaign_spans_rotated_fingerprints(
+        self, short_case_a
+    ):
+        multi = short_case_a.multi_fingerprint_campaigns
+        assert len(multi) >= 1
+        assert all(c.rotates_identity for c in multi)
+        assert all(
+            c.mean_rotation_interval < float("inf") for c in multi
+        )
+
+    def test_campaign_level_evaluation(self, short_case_a):
+        evaluation = short_case_a.campaign_evaluation
+        assert evaluation.total_predicted >= 1
+        assert evaluation.campaign_precision == 1.0
+        assert evaluation.campaign_recall > 0.0
+        # The rotated spinner is live from the first attack tick;
+        # detection time is measured from campaign start.
+        for delay in evaluation.time_to_detection.values():
+            assert delay >= 0.0
+
+    def test_deterministic_given_seed(self, short_case_a):
+        rerun = run_graph_case(
+            GraphCaseConfig(seed=7, case=CASE_A, ticks_short=True)
+        )
+        assert [
+            (c.campaign_id, c.members, c.risk)
+            for c in rerun.campaigns
+        ] == [
+            (c.campaign_id, c.members, c.risk)
+            for c in short_case_a.campaigns
+        ]
+        assert (
+            rerun.graph_arm.evaluation == short_case_a.graph_arm.evaluation
+        )
+
+
+class TestScenarioSurface:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GraphCaseConfig(case="case-z")
+        assert set(GRAPH_CASES) == {CASE_A, CASE_C}
+
+    def test_cell_metrics_shape(self, short_case_a):
+        result = graph_case_cell(
+            GraphCaseConfig(seed=7, case=CASE_A, ticks_short=True)
+        )
+        metrics = result["metrics"]
+        for key in (
+            "session_campaign_recall",
+            "graph_campaign_recall",
+            "session_fpr",
+            "graph_fpr",
+            "campaigns_found",
+            "multi_fingerprint_campaigns",
+            "campaign_precision",
+            "campaign_level_recall",
+            "mean_time_to_detection_hours",
+            "propagation_rounds",
+        ):
+            assert key in metrics, key
+            assert isinstance(metrics[key], float)
+        assert metrics["campaigns_found"] >= 1.0
+        assert metrics["multi_fingerprint_campaigns"] >= 1.0
+        assert (
+            metrics["graph_campaign_recall"]
+            > metrics["session_campaign_recall"]
+        )
+        assert result["info"]["case"] == CASE_A
+        assert len(result["info"]["campaigns"]) >= 1
+
+    def test_registered_cells_pin_their_case(self):
+        for name, case in (
+            ("graph-case-a", CASE_A),
+            ("graph-case-c", CASE_C),
+        ):
+            entry = get_scenario(name)
+            config = entry.build_config({"ticks_short": True}, seed=3)
+            assert isinstance(config, GraphCaseConfig)
+            assert config.seed == 3
+            assert config.ticks_short

@@ -1,0 +1,158 @@
+"""Property and unit tests for damped risk diffusion.
+
+The propagation docstring pins four properties; this module turns
+them into hypothesis tests over random graphs plus targeted units for
+the hub-safety and fan-in-amplification behaviour the campaign
+pipeline relies on.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.builder import EntityGraph
+from repro.graph.entities import EntityId
+from repro.graph.propagation import (
+    PropagationConfig,
+    propagate,
+)
+
+
+def _node(index: int) -> EntityId:
+    return EntityId("n", f"{index:03d}")
+
+
+_EDGES = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=11),
+        st.integers(min_value=0, max_value=11),
+        st.floats(min_value=0.05, max_value=1.0),
+    ).filter(lambda edge: edge[0] != edge[1]),
+    max_size=25,
+)
+
+_SEEDS = st.dictionaries(
+    st.integers(min_value=0, max_value=11),
+    st.floats(min_value=0.0, max_value=1.0),
+    max_size=12,
+)
+
+
+def _build(edges) -> EntityGraph:
+    graph = EntityGraph()
+    for a, b, weight in edges:
+        graph.add_edge(_node(a), _node(b), weight)
+    return graph
+
+
+class TestPropagationProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(edges=_EDGES, seeds=_SEEDS)
+    def test_scores_bounded_and_dominate_seeds(self, edges, seeds):
+        """Read-out scores live in [0, 1] and never fall below the
+        node's own (clipped) seed — diffusion only adds evidence."""
+        graph = _build(edges)
+        seed_map = {_node(i): value for i, value in seeds.items()}
+        result = propagate(graph, seed_map)
+        for node, score in result.scores.items():
+            assert 0.0 <= score <= 1.0
+            assert score >= min(
+                max(seed_map.get(node, 0.0), 0.0), 1.0
+            ) - 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.floats(min_value=0.0, max_value=1.0))
+    def test_isolated_node_keeps_exactly_its_seed(self, seed):
+        graph = EntityGraph()
+        graph.add_node(_node(0))
+        # A seeded node absent from the graph entirely also counts.
+        result = propagate(graph, {_node(0): seed, _node(99): seed})
+        assert result.scores[_node(0)] == seed
+        assert result.scores[_node(99)] == seed
+
+    @settings(max_examples=40, deadline=None)
+    @given(edges=_EDGES, seeds=_SEEDS)
+    def test_deterministic_across_build_order(self, edges, seeds):
+        """Same records in any insertion order → bit-identical scores:
+        the propagation sweep is sorted and RNG-free."""
+        seed_map = {_node(i): value for i, value in seeds.items()}
+        forward = propagate(_build(edges), seed_map)
+        backward = propagate(
+            _build(list(reversed(edges))), seed_map
+        )
+        assert forward.scores == backward.scores
+        assert forward.rounds == backward.rounds
+
+    @settings(max_examples=40, deadline=None)
+    @given(edges=_EDGES, seeds=_SEEDS)
+    def test_converges_within_round_budget(self, edges, seeds):
+        config = PropagationConfig()
+        result = propagate(
+            _build(edges),
+            {_node(i): value for i, value in seeds.items()},
+            config=config,
+        )
+        assert result.converged
+        assert 1 <= result.rounds <= config.max_rounds
+
+
+class TestPropagationBehaviour:
+    def test_hub_does_not_relay_risk(self):
+        """A hot node behind a high-degree hub must not convict the
+        hub's other neighbours: source-side degree normalization
+        splits the hub's emission across its whole neighbourhood."""
+        graph = EntityGraph()
+        hub = EntityId("flight", "LO123")
+        devices = [EntityId("fp", f"d{i:02d}") for i in range(50)]
+        for device in devices:
+            graph.add_edge(device, hub, 0.25)
+        result = propagate(graph, {devices[0]: 1.0})
+        assert result.scores[devices[0]] == 1.0
+        for device in devices[1:]:
+            assert result.scores[device] < 0.1
+
+    def test_fan_in_amplifies_weak_seeds(self):
+        """Many weak sessions on one fingerprint push it past any
+        single session's evidence — the weak-signal amplification the
+        paper's rotated campaigns are caught by."""
+
+        def fingerprint_score(session_count: int) -> float:
+            graph = EntityGraph()
+            fp = EntityId("fp", "shared")
+            seeds = {}
+            for index in range(session_count):
+                session = EntityId("session", f"s{index:02d}")
+                graph.add_edge(session, fp, 1.0)
+                seeds[session] = 0.12
+            return propagate(graph, seeds).score(fp)
+
+        lone = fingerprint_score(1)
+        crowd = fingerprint_score(8)
+        assert lone < 0.5
+        assert crowd > 0.95
+        assert crowd > lone
+
+    def test_seeds_clipped_to_unit_interval(self):
+        graph = EntityGraph()
+        graph.add_node(_node(0))
+        result = propagate(graph, {_node(0): 7.5, _node(1): -3.0})
+        assert result.scores[_node(0)] == 1.0
+        assert result.scores[_node(1)] == 0.0
+
+    def test_top_returns_highest_scores_first(self):
+        graph = EntityGraph()
+        graph.add_edge(_node(0), _node(1), 1.0)
+        result = propagate(graph, {_node(0): 0.9, _node(1): 0.1})
+        ranked = result.top(2)
+        assert len(ranked) == 2
+        assert ranked[0][1] >= ranked[1][1]
+        assert ranked[0][0] == _node(0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PropagationConfig(damping=1.0)
+        with pytest.raises(ValueError):
+            PropagationConfig(damping=0.0)
+        with pytest.raises(ValueError):
+            PropagationConfig(max_rounds=0)
+        with pytest.raises(ValueError):
+            PropagationConfig(tolerance=0.0)

@@ -1,0 +1,159 @@
+"""Property and unit tests for the shared disjoint-set structures.
+
+:mod:`repro.graph.unionfind` backs both the rotation linker and the
+entity graph's component extraction, so its invariants are pinned
+property-style: the partition it reports must be exactly the
+transitive closure of the unions applied, independent of order and
+repetition, and path compression must never change it.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.unionfind import KeyedUnionFind, UnionFind
+
+
+def _partition(uf: UnionFind) -> set:
+    return {frozenset(group) for group in uf.groups()}
+
+
+def _keyed_partition(uf: KeyedUnionFind) -> set:
+    return {frozenset(group) for group in uf.groups()}
+
+
+def _pairs(size: int):
+    return st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=size - 1),
+            st.integers(min_value=0, max_value=size - 1),
+        ),
+        max_size=30,
+    )
+
+
+class TestUnionFindProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(min_value=1, max_value=20).flatmap(
+        lambda size: st.tuples(st.just(size), _pairs(size))
+    ))
+    def test_groups_partition_every_element(self, case):
+        """groups() is a partition: every index appears exactly once."""
+        size, pairs = case
+        uf = UnionFind(size)
+        for a, b in pairs:
+            uf.union(a, b)
+        seen = [index for group in uf.groups() for index in group]
+        assert sorted(seen) == list(range(size))
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(min_value=1, max_value=20).flatmap(
+        lambda size: st.tuples(st.just(size), _pairs(size))
+    ))
+    def test_union_is_order_independent_and_idempotent(self, case):
+        """Applying pairs reversed, swapped, or twice yields the same
+        partition — union builds a set, not a sequence."""
+        size, pairs = case
+        forward = UnionFind(size)
+        for a, b in pairs:
+            forward.union(a, b)
+        scrambled = UnionFind(size)
+        for a, b in reversed(pairs):
+            scrambled.union(b, a)
+            scrambled.union(b, a)
+        assert _partition(forward) == _partition(scrambled)
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(min_value=1, max_value=20).flatmap(
+        lambda size: st.tuples(st.just(size), _pairs(size))
+    ))
+    def test_path_compression_preserves_partition(self, case):
+        """find() may rewire parent pointers but never the partition,
+        and two elements share a root iff they share a group."""
+        size, pairs = case
+        uf = UnionFind(size)
+        for a, b in pairs:
+            uf.union(a, b)
+        before = _partition(uf)
+        roots = [uf.find(index) for index in range(size)]
+        assert _partition(uf) == before
+        group_of = {}
+        for group in uf.groups():
+            for index in group:
+                group_of[index] = group[0]
+        for index in range(size):
+            assert group_of[index] == group_of[roots[index]]
+
+    def test_groups_ordered_by_smallest_member(self):
+        uf = UnionFind(6)
+        uf.union(5, 3)
+        uf.union(0, 4)
+        groups = uf.groups()
+        assert groups == [[0, 4], [1], [2], [3, 5]]
+        assert len(uf) == 6
+
+
+class TestKeyedUnionFindProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from("abcdefgh"),
+                st.sampled_from("abcdefgh"),
+            ),
+            max_size=20,
+        )
+    )
+    def test_connected_matches_groups(self, pairs):
+        """connected(a, b) agrees with group membership for every pair
+        of keys ever added."""
+        uf: KeyedUnionFind = KeyedUnionFind()
+        for a, b in pairs:
+            uf.union(a, b)
+        group_of = {}
+        for group in uf.groups():
+            for key in group:
+                group_of[key] = group[0]
+        keys = list(group_of)
+        for a in keys:
+            for b in keys:
+                assert uf.connected(a, b) == (
+                    group_of[a] == group_of[b]
+                )
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from("abcdefgh"),
+                st.sampled_from("abcdefgh"),
+            ),
+            max_size=20,
+        )
+    )
+    def test_order_independent_partition(self, pairs):
+        forward: KeyedUnionFind = KeyedUnionFind()
+        for a, b in pairs:
+            forward.union(a, b)
+        scrambled: KeyedUnionFind = KeyedUnionFind()
+        # Register every key first so insertion order differs, then
+        # union in reverse with swapped arguments.
+        for a, b in pairs:
+            scrambled.add(b)
+            scrambled.add(a)
+        for a, b in reversed(pairs):
+            scrambled.union(b, a)
+        assert _keyed_partition(forward) == _keyed_partition(scrambled)
+
+    def test_find_registers_unknown_keys(self):
+        uf: KeyedUnionFind = KeyedUnionFind()
+        assert uf.find("ghost") == "ghost"
+        assert "ghost" in uf
+        assert len(uf) == 1
+        assert uf.groups() == [["ghost"]]
+
+    def test_representative_is_a_member_key(self):
+        uf: KeyedUnionFind = KeyedUnionFind()
+        uf.union("x", "y")
+        uf.union("y", "z")
+        root = uf.find("z")
+        assert root in {"x", "y", "z"}
+        assert uf.find("x") == root
