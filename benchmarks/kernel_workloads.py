@@ -1,0 +1,248 @@
+"""Shared measurement workloads for the simulation-kernel benchmark.
+
+One module defines every timed workload so the recorded pre-change
+baseline (``benchmarks/output/kernel_baseline.json``) and the live
+benchmark (``test_bench_kernel.py``) measure exactly the same thing.
+All workloads use only the public kernel API that existed before the
+fast path landed — ``schedule_at``/``schedule_in``, ``run_until``/
+``run_all``, handle cancellation — so the same code times both the old
+and the new kernel.
+
+Sizes are scaled down by ``REPRO_BENCH_QUICK=1`` (the CI perf-smoke
+job) where only generous sanity floors are asserted; full-size runs
+are what the recorded trajectory pins.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import time
+from typing import Dict
+
+from repro.common import LEGIT, ClientRef
+from repro.scenarios.case_a import CaseAConfig, run_case_a
+from repro.sim.clock import DAY
+from repro.sim.events import EventLoop
+from repro.stream.sessionizer import StreamSessionizer
+from repro.web.logs import LogEntry
+
+
+def quick_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+
+def _scaled(full: int, quick: int) -> int:
+    return quick if quick_mode() else full
+
+
+def peak_rss_mb() -> float:
+    """High-water resident set size of this process, in MiB.
+
+    ``ru_maxrss`` is kilobytes on Linux (bytes on macOS; we only run
+    benchmarks on Linux CI so the KiB reading is what gets pinned).
+    """
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+# -- kernel ------------------------------------------------------------------
+
+
+def kernel_dispatch_workload() -> Dict[str, float]:
+    """Pre-schedule a large batch, drain it: pure schedule+dispatch cost."""
+    n = _scaled(300_000, 30_000)
+    loop = EventLoop()
+    callback = (lambda: None)
+    started = time.perf_counter()
+    for i in range(n):
+        loop.schedule_at(i * 1e-3, callback)
+    scheduled = time.perf_counter()
+    loop.run_all()
+    finished = time.perf_counter()
+    assert loop.events_processed == n
+    return {
+        "events": float(n),
+        "schedule_seconds": scheduled - started,
+        "dispatch_seconds": finished - scheduled,
+        "events_per_sec": n / (finished - started),
+    }
+
+
+def kernel_reschedule_workload() -> Dict[str, float]:
+    """Self-rescheduling actors: the pattern every Process runs."""
+    actors = _scaled(1_000, 200)
+    horizon = float(_scaled(600, 120))
+    loop = EventLoop()
+
+    def make_actor(index: int):
+        gap = 1.0 + (index % 7) * 0.5
+
+        def act() -> None:
+            if loop.now + gap <= horizon:
+                loop.schedule_in(gap, act)
+
+        return act
+
+    for index in range(actors):
+        loop.schedule_at(index * 1e-4, make_actor(index))
+    started = time.perf_counter()
+    loop.run_until(horizon)
+    elapsed = time.perf_counter() - started
+    return {
+        "events": float(loop.events_processed),
+        "events_per_sec": loop.events_processed / elapsed,
+    }
+
+
+def kernel_cancel_workload() -> Dict[str, float]:
+    """Schedule-and-cancel churn: hold timers, rotation timers.
+
+    Keeps one long-lived far-future event per slot and repeatedly
+    replaces it (cancel + reschedule) the way TTL sweeps do.  Reports
+    the final heap length so the compaction satellite can pin it.
+    """
+    slots = _scaled(2_000, 400)
+    rounds = _scaled(100, 20)
+    loop = EventLoop()
+    callback = (lambda: None)
+    handles = [
+        loop.schedule_at(1e9 + i, callback) for i in range(slots)
+    ]
+    started = time.perf_counter()
+    for round_index in range(rounds):
+        for i in range(slots):
+            handles[i].cancel()
+            handles[i] = loop.schedule_at(
+                1e9 + round_index + i, callback
+            )
+    elapsed = time.perf_counter() - started
+    churned = slots * rounds
+    return {
+        "events": float(churned),
+        "events_per_sec": churned / elapsed,
+        "final_heap_len": float(len(loop._heap)),
+        "final_pending": float(loop.pending),
+    }
+
+
+# -- end-to-end --------------------------------------------------------------
+
+
+def case_a_config() -> CaseAConfig:
+    if quick_mode():
+        return CaseAConfig(
+            visitor_rate_per_hour=5.0,
+            attack_start=1 * DAY,
+            cap_at=None,
+            departure_time=3 * DAY,
+            target_capacity=120,
+            attacker_target_seats=60,
+        )
+    return CaseAConfig()
+
+
+def case_a_workload() -> Dict[str, float]:
+    """Full Case A scenario: the number every later PR defends."""
+    config = case_a_config()
+    started = time.perf_counter()
+    result = run_case_a(config)
+    elapsed = time.perf_counter() - started
+    events = result.world.loop.events_processed
+    return {
+        "wall_seconds": elapsed,
+        "events": float(events),
+        "events_per_sec": events / elapsed,
+        "log_entries": float(len(result.world.app.log)),
+    }
+
+
+# -- streaming ---------------------------------------------------------------
+
+
+def _synthetic_clients(count: int):
+    return [
+        ClientRef(
+            ip_address=f"10.0.{i // 256}.{i % 256}",
+            ip_country="FR",
+            ip_residential=True,
+            fingerprint_id=f"fp-{i:05d}",
+            user_agent="bench",
+            profile_id=f"user-{i:05d}",
+            actor=f"bench-{i:05d}",
+            actor_class=LEGIT,
+        )
+        for i in range(count)
+    ]
+
+
+def stream_sessionize_workload() -> Dict[str, float]:
+    """Push a synthetic entry stream through the incremental sessionizer."""
+    n = _scaled(200_000, 20_000)
+    clients = _synthetic_clients(500)
+    n_clients = len(clients)
+    sessionizer = StreamSessionizer()
+    entries = [
+        LogEntry(
+            time=i * 0.05,
+            method="GET",
+            path="/search",
+            status=200,
+            client=clients[i % n_clients],
+        )
+        for i in range(n)
+    ]
+    observe = sessionizer.observe
+    started = time.perf_counter()
+    for entry in entries:
+        observe(entry)
+    sessionizer.flush()
+    elapsed = time.perf_counter() - started
+    return {
+        "events": float(n),
+        "events_per_sec": n / elapsed,
+    }
+
+
+ALL_WORKLOADS = {
+    "kernel_dispatch": kernel_dispatch_workload,
+    "kernel_reschedule": kernel_reschedule_workload,
+    "kernel_cancel": kernel_cancel_workload,
+    "case_a": case_a_workload,
+    "stream_sessionize": stream_sessionize_workload,
+}
+
+
+def default_rounds() -> int:
+    return 3 if quick_mode() else 7
+
+
+def measure_workload(name: str, rounds: int = 0) -> Dict[str, float]:
+    """Run one workload ``rounds`` times and report the median round.
+
+    Median, not best: the CI boxes (and the machine the baseline was
+    recorded on) share cores, so single rounds swing by 10-20%.  The
+    median round is robust to both slow outliers (a background process
+    stole the core) and fast outliers (the box briefly had it alone);
+    comparing medians is what makes a recorded baseline comparable to
+    a rerun days later.  The whole metrics dict of the median round is
+    reported so derived numbers (heap length, wall seconds) stay
+    internally consistent.
+    """
+    rounds = rounds or default_rounds()
+    runs = sorted(
+        (ALL_WORKLOADS[name]() for _ in range(rounds)),
+        key=lambda run: run["events_per_sec"],
+    )
+    result = dict(runs[len(runs) // 2])
+    result["rounds"] = float(rounds)
+    result["events_per_sec_best"] = runs[-1]["events_per_sec"]
+    return result
+
+
+def run_all_workloads(rounds: int = 0) -> Dict[str, Dict[str, float]]:
+    """Median-of-``rounds`` measurement of every workload, plus RSS."""
+    results = {}
+    for name in ALL_WORKLOADS:
+        results[name] = measure_workload(name, rounds)
+    results["peak_rss_mb"] = {"value": peak_rss_mb()}
+    return results

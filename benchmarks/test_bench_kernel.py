@@ -1,0 +1,143 @@
+"""P1 — simulation-kernel fast-path throughput, pinned.
+
+Measures the kernel workloads defined in :mod:`kernel_workloads`
+(median-of-N rounds; see there for why median) and emits a
+machine-readable artifact, ``output/kernel_throughput.json``, holding
+raw throughputs, peak RSS, and speedups against the recorded
+pre-fast-path baseline (``output/kernel_baseline.json``, median of 14
+interleaved rounds on the recording machine).
+
+Three tiers of assertion:
+
+* **Invariants** — always: the cancel-churn workload must not leak
+  cancelled entries in the heap (the pre-fast-path kernel retired them
+  only at pop time and finished this workload with a 101x-bloated
+  heap).
+* **Absolute floors** — always: conservative events/sec floors with
+  roughly 5x headroom below the recording machine's medians, so they
+  hold on slower CI runners while still catching order-of-magnitude
+  regressions (an accidental O(n) scan in the hot loop).
+* **Speedup floors** — only with ``REPRO_BENCH_VS_BASELINE=1``:
+  ratios against the recorded baseline are only meaningful on the
+  machine the baseline was recorded on, so cross-machine CI must not
+  assert them.  On the recording machine the dispatch workload runs
+  >=2x and Case A >=1.5x over the old kernel; the asserted floors
+  leave noise margin below that.
+
+``REPRO_BENCH_QUICK=1`` (the CI perf-smoke job) shrinks every workload
+~10x and asserts only the invariants plus generous quick floors.
+"""
+
+import json
+import os
+import platform
+
+from conftest import OUTPUT_DIR, save_artifact
+
+import kernel_workloads as kw
+
+BASELINE_PATH = os.path.join(OUTPUT_DIR, "kernel_baseline.json")
+ARTIFACT_PATH = os.path.join(OUTPUT_DIR, "kernel_throughput.json")
+
+#: events/sec floors for full-size workloads (~5x below recorded medians).
+FULL_FLOORS = {
+    "kernel_dispatch": 60_000,
+    "kernel_reschedule": 100_000,
+    "kernel_cancel": 150_000,
+    "case_a": 4_000,
+    "stream_sessionize": 200_000,
+}
+
+#: Quick-mode workloads are ~10x smaller, so fixed costs weigh more;
+#: floors are another 2x more generous.
+QUICK_FLOORS = {
+    "kernel_dispatch": 30_000,
+    "kernel_reschedule": 50_000,
+    "kernel_cancel": 75_000,
+    "case_a": 2_000,
+    "stream_sessionize": 100_000,
+}
+
+#: Same-machine speedup floors vs. the recorded baseline (see above).
+SPEEDUP_FLOORS = {
+    "kernel_dispatch": 1.7,
+    "kernel_reschedule": 1.7,
+    "kernel_cancel": 1.3,
+    "case_a": 1.4,
+}
+
+#: Peak-RSS ceiling; the full run peaks just under 100 MiB.
+PEAK_RSS_CEILING_MB = 256.0
+
+
+def test_kernel_throughput():
+    quick = kw.quick_mode()
+    results = kw.run_all_workloads()
+
+    with open(BASELINE_PATH, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+
+    speedups = {}
+    if not quick:  # baseline was recorded full-size; quick is incomparable
+        for name, base in baseline["workloads"].items():
+            if name in results and "events_per_sec" in base:
+                speedups[name] = (
+                    results[name]["events_per_sec"] / base["events_per_sec"]
+                )
+
+    artifact = {
+        "schema": "repro.bench.kernel-throughput/1",
+        "quick_mode": quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "baseline_commit": baseline.get("commit"),
+        "workloads": results,
+        "speedups_vs_baseline": speedups,
+        "floors": QUICK_FLOORS if quick else FULL_FLOORS,
+        "speedup_floors": SPEEDUP_FLOORS,
+    }
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    with open(ARTIFACT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    lines = [
+        f"kernel throughput ({'quick' if quick else 'full'} mode, "
+        f"median of {kw.default_rounds()} rounds)",
+    ]
+    for name, res in results.items():
+        if name == "peak_rss_mb":
+            continue
+        ratio = (
+            f"  {speedups[name]:.2f}x vs baseline"
+            if name in speedups
+            else ""
+        )
+        lines.append(f"  {name:<20} {res['events_per_sec']:>12,.0f} ev/s{ratio}")
+    lines.append(f"  peak RSS {results['peak_rss_mb']['value']:.1f} MiB")
+    save_artifact("kernel_throughput", "\n".join(lines))
+
+    # Invariant: cancelled entries must not accumulate in the heap.
+    # The workload churns 100 cancel+reschedule rounds over 2k slots;
+    # before threshold compaction the heap ended 101x its live size.
+    cancel = results["kernel_cancel"]
+    assert cancel["final_heap_len"] <= 3 * cancel["final_pending"], (
+        "cancelled events are leaking in the heap: "
+        f"{cancel['final_heap_len']:.0f} entries for "
+        f"{cancel['final_pending']:.0f} live events"
+    )
+
+    floors = QUICK_FLOORS if quick else FULL_FLOORS
+    for name, floor in floors.items():
+        measured = results[name]["events_per_sec"]
+        assert measured >= floor, (
+            f"{name}: {measured:,.0f} ev/s below pinned floor {floor:,}"
+        )
+    assert results["peak_rss_mb"]["value"] <= PEAK_RSS_CEILING_MB
+
+    if os.environ.get("REPRO_BENCH_VS_BASELINE") == "1" and not quick:
+        for name, floor in SPEEDUP_FLOORS.items():
+            assert speedups[name] >= floor, (
+                f"{name}: {speedups[name]:.2f}x below speedup floor "
+                f"{floor}x vs recorded baseline"
+            )

@@ -19,13 +19,16 @@ SCRAPER = "scraper"
 ATTACK_CLASSES = (SEAT_SPINNER, MANUAL_SPINNER, SMS_PUMPER, SCRAPER)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClientRef:
     """What the server can attribute a request to.
 
     ``actor`` / ``actor_class`` are ground-truth labels attached by the
     traffic generators.  Detection code must never read them; they exist
     solely so the evaluation harness can compute precision/recall.
+
+    ``slots=True``: one instance exists per request on the hot path, so
+    dropping the per-instance ``__dict__`` saves real memory at scale.
     """
 
     ip_address: str

@@ -123,7 +123,9 @@ class MitigationController(Process):
         )
         self.timeline: List[MitigationAction] = []
         self._nip_cap_policy: Optional[NipCapPolicy] = None
-        self._artifact_checked: set = set()
+        # Cursor into app.fingerprint_arrivals: everything before it has
+        # been judged by the artifact rule already.
+        self._artifact_cursor = 0
         self._sms_alarm_streak = 0
         self._sms_stage = 0  # 0=none, 1=rate limits, 2=feature disabled
         self._geo_detector = GeoVelocityDetector(config.geo_velocity)
@@ -208,21 +210,23 @@ class MitigationController(Process):
                 )
 
         # Artifact rule: anything tripping headless/inconsistency checks.
-        # Each fingerprint is judged once, when first seen at the edge.
+        # Each fingerprint is judged once, when first seen at the edge:
+        # the cursor resumes where the previous evaluation stopped, so
+        # each step only pays for fingerprints that arrived since.
         if self.config.enable_artifact_blocks:
-            for fingerprint_id, fingerprint in list(
-                self.app.fingerprints_seen.items()
-            ):
-                if fingerprint_id in self._artifact_checked:
-                    continue
-                self._artifact_checked.add(fingerprint_id)
-                if not self._fingerprint_detector.judge(fingerprint).is_bot:
+            arrivals = self.app.fingerprint_arrivals
+            judge = self._fingerprint_detector.judge
+            for fingerprint_id, fingerprint in arrivals[
+                self._artifact_cursor:
+            ]:
+                if not judge(fingerprint).is_bot:
                     continue
                 if self._handle_suspect(fingerprint_id):
                     self._act(
                         "artifact-block",
                         f"{fingerprint_id} trips automation artifacts",
                     )
+            self._artifact_cursor = len(arrivals)
 
     def _handle_suspect(self, fingerprint_id: str) -> bool:
         """Block or honeypot one fingerprint; False if already handled."""

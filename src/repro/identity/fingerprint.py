@@ -23,6 +23,7 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass, replace
+from functools import cached_property
 from typing import Dict, List, Optional, Tuple
 
 # Device classes used to correlate attributes.
@@ -120,9 +121,14 @@ class Fingerprint:
     webdriver: bool = False
     headless_ua: bool = False
 
-    @property
+    @cached_property
     def fingerprint_id(self) -> str:
-        """Stable 16-hex-digit digest of every observable attribute."""
+        """Stable 16-hex-digit digest of every observable attribute.
+
+        Cached per instance: the digest is requested on every request a
+        client makes (the edge keys verdicts on it), and instances are
+        immutable, so hashing the payload once is free speedup.
+        """
         payload = "|".join(
             str(value)
             for value in (

@@ -142,6 +142,7 @@ def _build_world(config: BehaviouralConfig, seed: int) -> World:
         world.app,
         world.rngs.stream("traffic.legit"),
         LegitimateConfig(visitor_rate_per_hour=config.visitor_rate_per_hour),
+        arrival_rng=world.rngs.numpy_stream("traffic.legit.arrivals"),
     ).start(at=0.0)
     return world
 

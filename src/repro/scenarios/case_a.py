@@ -66,6 +66,9 @@ class CaseAConfig:
 
     seed: int = 7
     visitor_rate_per_hour: float = 12.0
+    #: Arrival-gap block size for the vectorized traffic generators;
+    #: the run is bit-identical for any value (1 = scalar reference).
+    arrival_block_size: int = 256
     #: Seat-hold duration ("30 minutes to several hours" in the paper).
     #: Because the attacker re-holds in waves synchronised on the TTL,
     #: this also sets the cadence of the rotation arms race.
@@ -231,7 +234,11 @@ def run_case_a(
         loop,
         app,
         rngs.stream("traffic.legit"),
-        LegitimateConfig(visitor_rate_per_hour=config.visitor_rate_per_hour),
+        LegitimateConfig(
+            visitor_rate_per_hour=config.visitor_rate_per_hour,
+            arrival_block_size=config.arrival_block_size,
+        ),
+        arrival_rng=rngs.numpy_stream("traffic.legit.arrivals"),
     )
     population.start(at=0.0)
 

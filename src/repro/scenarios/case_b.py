@@ -65,6 +65,9 @@ class CaseBConfig:
     seed: int = 11
     duration: float = 10 * DAY
     visitor_rate_per_hour: float = 10.0
+    #: Arrival-gap block size for the vectorized traffic generators;
+    #: the run is bit-identical for any value (1 = scalar reference).
+    arrival_block_size: int = 256
     hold_ttl: float = 4 * HOUR
     automated_attack_start: float = 2 * DAY
     automated_nip: int = 3
@@ -174,7 +177,11 @@ def run_case_b(
         loop,
         app,
         rngs.stream("traffic.legit"),
-        LegitimateConfig(visitor_rate_per_hour=config.visitor_rate_per_hour),
+        LegitimateConfig(
+            visitor_rate_per_hour=config.visitor_rate_per_hour,
+            arrival_block_size=config.arrival_block_size,
+        ),
+        arrival_rng=rngs.numpy_stream("traffic.legit.arrivals"),
     )
     population.start(at=0.0)
 

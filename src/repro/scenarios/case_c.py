@@ -144,6 +144,9 @@ class CaseCConfig:
     seed: int = 1
     variant: str = UNPROTECTED
     baseline_weekly_total: int = 48_000
+    #: Arrival-gap block size for the vectorized traffic generators;
+    #: the run is bit-identical for any value (1 = scalar reference).
+    arrival_block_size: int = 256
     attack_start: float = 1 * WEEK
     duration: float = 2 * WEEK
     tickets_to_buy: int = 5
@@ -295,7 +298,9 @@ def run_case_c(
             sms_per_hour=baseline_total / (WEEK / HOUR),
             otp_fraction=config.otp_fraction,
             country_weights=weights,
+            arrival_block_size=config.arrival_block_size,
         ),
+        arrival_rng=rngs.numpy_stream("traffic.sms-baseline.arrivals"),
     )
     baseline_traffic.start(at=0.0)
 

@@ -144,6 +144,7 @@ def _build_mixed_world(
         app,
         rngs.stream("traffic.legit"),
         LegitimateConfig(visitor_rate_per_hour=config.visitor_rate_per_hour),
+        arrival_rng=rngs.numpy_stream("traffic.legit.arrivals"),
     ).start(at=0.0)
 
     BaselineSmsTraffic(
@@ -151,6 +152,7 @@ def _build_mixed_world(
         app,
         rngs.stream("traffic.sms-baseline"),
         BaselineSmsConfig(sms_per_hour=config.baseline_sms_per_hour),
+        arrival_rng=rngs.numpy_stream("traffic.sms-baseline.arrivals"),
     ).start(at=0.0)
 
     ScraperBot(

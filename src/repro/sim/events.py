@@ -10,62 +10,107 @@ Callbacks may schedule further events, cancel pending ones, and stop the
 loop.  This is the only piece of control-flow machinery in the library;
 every actor (legitimate users, attacker bots, the mitigation controller,
 hold-expiry sweeps) is driven by it.
+
+Hot-path layout: the heap stores plain ``(when, seq, event)`` tuples so
+heap sifting compares floats and ints directly instead of calling a
+generated dataclass ``__lt__``; ``seq`` is unique, so comparisons never
+reach the event object.  The event itself is a ``__slots__`` record.
+Live/cancelled events are counted as they change state, which makes
+:attr:`EventLoop.pending` O(1), and the heap is compacted in place once
+cancelled entries outnumber live ones — long schedule-and-cancel sweeps
+(hold timers, rotation timers) no longer carry dead weight to the pop.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
+from heapq import heapify as _heapify, heappop as _heappop, heappush as _heappush
 from time import perf_counter
-from typing import Callable, List, Optional
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from .clock import Clock
 
+#: Heaps smaller than this are never compacted — rebuilding a tiny heap
+#: costs more than skipping its cancelled entries at pop time.
+_COMPACT_MIN_HEAP = 512
 
-@dataclass(order=True)
-class _ScheduledEvent:
-    when: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    label: str = field(default="", compare=False)
+#: Effectively-unbounded event budget for ``run_until`` (which bounds
+#: work by the time horizon, not by a count).
+_UNLIMITED = 1 << 62
 
 
 class EventHandle:
-    """Handle returned by :meth:`EventLoop.schedule_at`; allows cancellation."""
+    """One scheduled callback; also the handle callers use to cancel it.
 
-    __slots__ = ("_event",)
+    Handle and event record are the same object: one allocation per
+    scheduled event instead of two, which is a measurable share of
+    schedule cost.  Instances are built with ``__new__`` + direct slot
+    stores on the scheduling hot path (see
+    :meth:`EventLoop.schedule_at`) rather than through ``__init__``.
+    ``when``/``label``/``cancelled`` are plain readable slots; treat
+    them as read-only and cancel only via :meth:`cancel`.
+    """
 
-    def __init__(self, event: _ScheduledEvent) -> None:
-        self._event = event
+    __slots__ = ("when", "callback", "cancelled", "in_heap", "label", "_loop")
+
+    def __init__(
+        self,
+        loop: "EventLoop",
+        when: float,
+        callback: Callable[[], None],
+        label: str = "",
+    ) -> None:
+        self._loop = loop
+        self.when = when
+        self.callback = callback
+        self.cancelled = False
+        self.in_heap = False
+        self.label = label
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will be skipped when popped."""
-        self._event.cancelled = True
+        if self.cancelled:
+            return
+        self.cancelled = True
+        if self.in_heap:
+            self._loop._note_cancel()
 
-    @property
-    def cancelled(self) -> bool:
-        return self._event.cancelled
 
-    @property
-    def when(self) -> float:
-        return self._event.when
-
-    @property
-    def label(self) -> str:
-        return self._event.label
+#: A heap entry; ``seq`` is unique so ordering never compares the event.
+_HeapEntry = Tuple[float, int, EventHandle]
 
 
 class EventLoop:
-    """Deterministic discrete-event scheduler bound to a :class:`Clock`."""
+    """Deterministic discrete-event scheduler bound to a :class:`Clock`.
+
+    ``__slots__`` on the loop itself turns the handful of attribute
+    reads every ``schedule_at`` performs (clock, heap, seq, live
+    counter) from dict lookups into index loads — small per call,
+    large across hundreds of thousands of events.
+    """
+
+    __slots__ = (
+        "clock",
+        "_heap",
+        "_seq",
+        "_live",
+        "_dead",
+        "_stopped",
+        "events_processed",
+        "compactions",
+        "profiler",
+    )
 
     def __init__(self, clock: Optional[Clock] = None) -> None:
         self.clock = clock if clock is not None else Clock()
-        self._heap: List[_ScheduledEvent] = []
-        self._seq = itertools.count()
+        self._heap: List[_HeapEntry] = []
+        self._seq = 0
+        self._live = 0       # scheduled, not cancelled, not yet popped
+        self._dead = 0       # cancelled entries still sitting in the heap
         self._stopped = False
         self.events_processed = 0
+        #: Heap compactions performed (cancelled-entry purges).
+        self.compactions = 0
         #: Optional dispatch profiler (duck-typed:
         #: ``record_event(label: str, duration: float)`` — e.g.
         #: :class:`repro.obs.RunContext`).  ``None`` keeps dispatch on
@@ -89,13 +134,23 @@ class EventLoop:
         Scheduling in the past raises :class:`ValueError` — that is
         always a bug in the caller, never something to silently clamp.
         """
-        if when < self.clock.now:
+        now = self.clock._now
+        if when < now:
             raise ValueError(
-                f"cannot schedule event at {when}, now is {self.clock.now}"
+                f"cannot schedule event at {when}, now is {now}"
             )
-        event = _ScheduledEvent(when, next(self._seq), callback, label=label)
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        event = EventHandle.__new__(EventHandle)
+        event._loop = self
+        event.when = when
+        event.callback = callback
+        event.cancelled = False
+        event.in_heap = True
+        event.label = label
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._heap, (when, seq, event))
+        self._live += 1
+        return event
 
     def schedule_in(
         self,
@@ -106,7 +161,59 @@ class EventLoop:
         """Schedule ``callback`` ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        return self.schedule_at(self.clock.now + delay, callback, label=label)
+        return self.schedule_at(
+            self.clock._now + delay, callback, label=label
+        )
+
+    def schedule_many(
+        self,
+        whens: Iterable[float],
+        callback: Callable[[], None],
+        label: str = "",
+    ) -> List[EventHandle]:
+        """Bulk-schedule ``callback`` at every time in ``whens``.
+
+        Equivalent to calling :meth:`schedule_at` once per time, in
+        iteration order (so FIFO tie-breaking is preserved), but paid
+        for once: when the batch rivals the queue in size the heap is
+        rebuilt with a single ``heapify`` instead of per-push sifting.
+        This is what the vectorized traffic generators feed with a
+        block of pre-drawn arrival times.
+        """
+        now = self.clock._now
+        seq = self._seq
+        new_event = EventHandle.__new__
+        entries: List[_HeapEntry] = []
+        handles: List[EventHandle] = []
+        for when in whens:
+            if when < now:
+                raise ValueError(
+                    f"cannot schedule event at {when}, now is {now}"
+                )
+            event = new_event(EventHandle)
+            event._loop = self
+            event.when = when
+            event.callback = callback
+            event.cancelled = False
+            event.in_heap = True
+            event.label = label
+            entries.append((when, seq, event))
+            handles.append(event)
+            seq += 1
+        self._seq = seq
+        if not entries:
+            return handles
+        heap = self._heap
+        if 4 * len(entries) >= len(heap):
+            # The batch dominates: one O(n + k) heapify beats k sifts.
+            heap.extend(entries)
+            _heapify(heap)
+        else:
+            push = _heappush
+            for entry in entries:
+                push(heap, entry)
+        self._live += len(entries)
+        return handles
 
     def stop(self) -> None:
         """Stop the loop after the currently executing callback returns."""
@@ -114,8 +221,104 @@ class EventLoop:
 
     @property
     def pending(self) -> int:
-        """Number of scheduled (non-cancelled) events still in the queue."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of scheduled (non-cancelled) events still in the queue.
+
+        O(1): maintained as a live-event counter rather than a heap scan.
+        """
+        return self._live
+
+    @property
+    def heap_size(self) -> int:
+        """Physical heap length, cancelled entries included (monitoring)."""
+        return len(self._heap)
+
+    # -- cancellation bookkeeping -------------------------------------------
+
+    def _note_cancel(self) -> None:
+        """Account one in-heap cancellation; compact when dead dominates."""
+        self._live -= 1
+        self._dead += 1
+        if (
+            self._dead > self._live
+            and len(self._heap) >= _COMPACT_MIN_HEAP
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place.
+
+        In place matters: dispatch and bulk-insert bind the heap list
+        once, so the list object's identity must survive compaction
+        even when a callback cancels events mid-run.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        _heapify(heap)
+        self._dead = 0
+        self.compactions += 1
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _dispatch(self, until: float, limit: int) -> None:
+        """The single dispatch loop behind run_until/run_all.
+
+        ``until`` is ``inf`` to drain the queue; ``limit`` bounds the
+        number of non-cancelled callbacks invoked (run_all's runaway
+        guard; run_until passes an effectively unbounded limit).
+
+        The loop advances the clock by writing ``Clock._now`` directly:
+        heap pops are nondecreasing in time and nothing may schedule in
+        the past, so every popped ``when`` is ``>= clock._now`` by
+        construction and the monotonicity ``advance_to`` would
+        re-validate per event already holds.
+
+        Entries are popped before the horizon check (pop-first beats
+        peek-then-pop by one heap access per event); at most one entry
+        per call is pushed back when it lies beyond ``until``.  The
+        stop flag is checked after each callback rather than at the
+        loop top: dispatch clears it on entry, so only a callback can
+        raise it, and "stop after the currently executing callback
+        returns" is exactly the documented contract.
+        """
+        self._stopped = False
+        heap = self._heap
+        heappop = _heappop
+        clock = self.clock
+        profiler = self.profiler
+        record = None if profiler is None else profiler.record_event
+        processed = 0
+        try:
+            while heap:
+                entry = heappop(heap)
+                when = entry[0]
+                if when > until:
+                    _heappush(heap, entry)
+                    break
+                event = entry[2]
+                event.in_heap = False
+                if event.cancelled:
+                    self._dead -= 1
+                    continue
+                self._live -= 1
+                clock._now = when
+                processed += 1
+                if record is None:
+                    event.callback()
+                else:
+                    started = perf_counter()
+                    event.callback()
+                    record(event.label, perf_counter() - started)
+                if processed >= limit:
+                    raise RuntimeError(
+                        f"event loop exceeded {limit} events; "
+                        "likely a runaway self-rescheduling actor"
+                    )
+                if self._stopped:
+                    break
+        finally:
+            # Flushed once instead of per event; every reader of
+            # events_processed inspects it between runs, not mid-run.
+            self.events_processed += processed
 
     def run_until(self, until: float) -> None:
         """Run events in time order up to and including time ``until``.
@@ -124,48 +327,10 @@ class EventLoop:
         earlier, so post-run bookkeeping (e.g. expiring holds) sees the
         intended horizon.
         """
-        self._stopped = False
-        profiler = self.profiler
-        record = None if profiler is None else profiler.record_event
-        while self._heap and not self._stopped:
-            event = self._heap[0]
-            if event.when > until:
-                break
-            heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self.clock.advance_to(event.when)
-            self.events_processed += 1
-            if record is None:
-                event.callback()
-            else:
-                started = perf_counter()
-                event.callback()
-                record(event.label, perf_counter() - started)
+        self._dispatch(until, _UNLIMITED)
         if not self._stopped and until > self.clock.now:
             self.clock.advance_to(until)
 
     def run_all(self, limit: int = 10_000_000) -> None:
         """Run until the queue is empty (bounded by ``limit`` events)."""
-        self._stopped = False
-        profiler = self.profiler
-        record = None if profiler is None else profiler.record_event
-        processed = 0
-        while self._heap and not self._stopped:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self.clock.advance_to(event.when)
-            self.events_processed += 1
-            if record is None:
-                event.callback()
-            else:
-                started = perf_counter()
-                event.callback()
-                record(event.label, perf_counter() - started)
-            processed += 1
-            if processed >= limit:
-                raise RuntimeError(
-                    f"event loop exceeded {limit} events; "
-                    "likely a runaway self-rescheduling actor"
-                )
+        self._dispatch(float("inf"), limit)

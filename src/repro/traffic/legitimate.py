@@ -18,6 +18,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..booking.passengers import Passenger, sample_genuine_party
 from ..booking.reservation import REJECT_NIP_CAP
 from ..common import LEGIT
@@ -72,6 +74,12 @@ class LegitimateConfig:
     retry_at_cap_probability: float = 0.75
     loyalty_share: float = 0.25
     home_country_weights: Optional[Dict[str, float]] = None
+    #: Interarrival times are drawn from the arrival RNG stream in
+    #: blocks of this size and bulk-scheduled (``schedule_many``).  The
+    #: drawn sequence — hence the whole simulation — is bit-identical
+    #: for any block size; 1 is the scalar reference path the
+    #: equivalence tests compare against.
+    arrival_block_size: int = 256
 
     def __post_init__(self) -> None:
         if self.visitor_rate_per_hour <= 0:
@@ -82,6 +90,10 @@ class LegitimateConfig:
         total = sum(self.nip_mixture.values())
         if total <= 0:
             raise ValueError("nip_mixture weights must sum to > 0")
+        if self.arrival_block_size < 1:
+            raise ValueError(
+                f"arrival_block_size must be >= 1: {self.arrival_block_size}"
+            )
 
     def sample_nip(self, rng: random.Random) -> int:
         sizes = sorted(self.nip_mixture)
@@ -92,9 +104,13 @@ class LegitimateConfig:
 class LegitimatePopulation(Process):
     """Poisson arrivals of legitimate booking funnels.
 
-    Each :meth:`step` spawns one visitor whose funnel actions are
-    scheduled as individual events with human think times, so the web
-    log interleaves visitors realistically.
+    Arrivals are a Poisson process: interarrival gaps are drawn from a
+    dedicated ``arrival_rng`` stream in blocks (vectorized NumPy
+    exponentials) and bulk-scheduled on the event loop, one event per
+    visitor, so the web log still interleaves visitors realistically.
+    Each visitor's funnel actions (think times, party sizes, choices)
+    stay on the scalar ``rng`` stream, drawn in event order exactly as
+    before — only the arrival clock is vectorized.
     """
 
     def __init__(
@@ -104,11 +120,21 @@ class LegitimatePopulation(Process):
         rng: random.Random,
         config: Optional[LegitimateConfig] = None,
         name: str = "legit-population",
+        arrival_rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__(loop, name=name)
         self.app = app
         self.config = config or LegitimateConfig()
         self._rng = rng
+        #: Arrival gaps come from their own stream (pass the registry's
+        #: ``numpy_stream("traffic.legit.arrivals")``); the fallback
+        #: derives one from ``rng`` so standalone construction stays
+        #: seed-reproducible.
+        self._arrival_rng = (
+            arrival_rng
+            if arrival_rng is not None
+            else np.random.default_rng(rng.getrandbits(64))
+        )
         self._fingerprints = FingerprintPopulation()
         if self.config.home_country_weights:
             mix = tuple(sorted(self.config.home_country_weights.items()))
@@ -119,13 +145,46 @@ class LegitimatePopulation(Process):
         )
         self._visitor_counter = 0
         self.visitors_spawned = 0
+        #: Exact time of the last scheduled arrival (the head of the
+        #: gap chain); ``None`` until the first block of a run.
+        self._arrival_clock: Optional[float] = None
 
     def step(self) -> Optional[float]:
-        self._spawn_visitor()
+        """Draw one block of interarrival gaps and bulk-schedule it.
+
+        Arrival times are accumulated *sequentially* from the last
+        scheduled arrival (``t += gap``, one float add per arrival) —
+        not via ``np.cumsum`` — because block-size invariance must be
+        bit-exact: cumsum associates the additions differently
+        (``start + (g1 + g2)`` vs ``(start + g1) + g2``) and drifts
+        from the scalar reference path by a few ulp per block.  The
+        next step fires when the block is exhausted; the chain itself
+        never passes through ``loop.now``, so rescheduling round-off
+        cannot perturb it.
+        """
         mean_gap = HOUR / self.config.visitor_rate_per_hour
-        return self._rng.expovariate(1.0 / mean_gap)
+        gaps = self._arrival_rng.exponential(
+            mean_gap, size=self.config.arrival_block_size
+        )
+        now = self.loop.now
+        t = self._arrival_clock if self._arrival_clock is not None else now
+        whens = []
+        for gap in gaps.tolist():
+            t += gap
+            whens.append(t)
+        self._arrival_clock = t
+        self.loop.schedule_many(
+            whens, self._spawn_visitor, label="legit-arrival"
+        )
+        return max(t - now, 0.0)
+
+    def on_stop(self) -> None:
+        # A restart must not chain arrivals off a stale (past) clock.
+        self._arrival_clock = None
 
     def _spawn_visitor(self) -> None:
+        if not self._running:
+            return  # stopped with arrivals still queued from the block
         self._visitor_counter += 1
         self.visitors_spawned += 1
         visitor = _Visitor(
@@ -138,6 +197,20 @@ class LegitimatePopulation(Process):
 
 class _Visitor:
     """One legitimate booking funnel, scheduled step by step."""
+
+    __slots__ = (
+        "_pop",
+        "_rng",
+        "fingerprint",
+        "ip",
+        "profile_id",
+        "actor",
+        "phone",
+        "hold_id",
+        "flight_id",
+        "_browse_budget",
+        "_client_ref",
+    )
 
     def __init__(
         self,
@@ -164,6 +237,15 @@ class _Visitor:
         self._browse_budget = rng.choices(
             [0, 1, 2, 3], weights=[0.35, 0.35, 0.2, 0.1]
         )[0]
+        # A visitor's identity never changes mid-funnel, so the frozen
+        # ClientRef is built once instead of per request.
+        self._client_ref = make_client(
+            self.ip,
+            self.fingerprint,
+            profile_id=self.profile_id,
+            actor=self.actor,
+            actor_class=LEGIT,
+        )
 
     # -- plumbing ---------------------------------------------------------
 
@@ -172,19 +254,13 @@ class _Visitor:
         return self._pop.loop
 
     def _client(self):
-        return make_client(
-            self.ip,
-            self.fingerprint,
-            profile_id=self.profile_id,
-            actor=self.actor,
-            actor_class=LEGIT,
-        )
+        return self._client_ref
 
     def _send(self, method: str, path: str, params: dict):
         request = Request(
             method=method,
             path=path,
-            client=self._client(),
+            client=self._client_ref,
             params=params,
             fingerprint=self.fingerprint,
             captcha_ability=CAPTCHA_HUMAN,

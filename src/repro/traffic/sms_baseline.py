@@ -11,6 +11,11 @@ device and home connection.
 The per-country mix follows :func:`repro.sms.countries.legit_weights`,
 which is what makes the Table I surge denominators realistic: large
 markets receive thousands of messages a week, Uzbekistan a handful.
+
+Arrival times are vectorized: interarrival gaps come off a dedicated
+NumPy stream in blocks and are bulk-scheduled (one event per message),
+bit-identically for any block size; the per-message identity draws stay
+on the scalar ``rng`` stream in event order.
 """
 
 from __future__ import annotations
@@ -18,6 +23,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from typing import Dict, Optional
+
+import numpy as np
 
 from ..common import LEGIT
 from ..identity.fingerprint import FingerprintPopulation
@@ -44,6 +51,9 @@ class BaselineSmsConfig:
     sms_per_hour: float = 300.0
     otp_fraction: float = 0.25
     country_weights: Optional[Dict[str, float]] = None
+    #: Interarrival gaps per bulk-scheduled block (1 = scalar reference
+    #: path; any value yields a bit-identical simulation).
+    arrival_block_size: int = 256
 
     def __post_init__(self) -> None:
         if self.sms_per_hour <= 0:
@@ -53,6 +63,10 @@ class BaselineSmsConfig:
         if not 0.0 <= self.otp_fraction <= 1.0:
             raise ValueError(
                 f"otp_fraction must be in [0, 1]: {self.otp_fraction}"
+            )
+        if self.arrival_block_size < 1:
+            raise ValueError(
+                f"arrival_block_size must be >= 1: {self.arrival_block_size}"
             )
 
 
@@ -66,24 +80,69 @@ class BaselineSmsTraffic(Process):
         rng: random.Random,
         config: Optional[BaselineSmsConfig] = None,
         name: str = "sms-baseline",
+        arrival_rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__(loop, name=name)
         self.app = app
         self.config = config or BaselineSmsConfig()
         self._rng = rng
+        self._arrival_rng = (
+            arrival_rng
+            if arrival_rng is not None
+            else np.random.default_rng(rng.getrandbits(64))
+        )
         weights = self.config.country_weights or legit_weights()
         self._countries = sorted(weights)
         self._weights = [weights[c] for c in self._countries]
         self._fingerprints = FingerprintPopulation()
+        # One stable assigner per country: construction is pure (no RNG
+        # draws), so caching is draw-for-draw identical to rebuilding.
+        self._home_assigners: Dict[str, HomeIpAssigner] = {}
         self._user_counter = 0
         self.requests_made = 0
+        self._arrival_clock: Optional[float] = None
 
     def step(self) -> Optional[float]:
+        """Bulk-schedule one block of message arrivals.
+
+        Gaps are accumulated sequentially off the last arrival, never
+        via cumsum — see
+        :meth:`repro.traffic.legitimate.LegitimatePopulation.step` for
+        why that is what makes block-size invariance bit-exact.
+        """
+        mean_gap = HOUR / self.config.sms_per_hour
+        gaps = self._arrival_rng.exponential(
+            mean_gap, size=self.config.arrival_block_size
+        )
+        now = self.loop.now
+        t = self._arrival_clock if self._arrival_clock is not None else now
+        whens = []
+        for gap in gaps.tolist():
+            t += gap
+            whens.append(t)
+        self._arrival_clock = t
+        self.loop.schedule_many(
+            whens, self._send_one, label="sms-baseline-arrival"
+        )
+        return max(t - now, 0.0)
+
+    def on_stop(self) -> None:
+        # A restart must not chain arrivals off a stale (past) clock.
+        self._arrival_clock = None
+
+    def _send_one(self) -> None:
+        if not self._running:
+            return  # stopped with arrivals still queued from the block
+        rng = self._rng
         self._user_counter += 1
-        country = self._rng.choices(self._countries, weights=self._weights)[0]
-        fingerprint = self._fingerprints.sample(self._rng)
-        ip = HomeIpAssigner(((country, 1.0),)).assign(self._rng)
-        phone = sample_number(self._rng, country)
+        country = rng.choices(self._countries, weights=self._weights)[0]
+        fingerprint = self._fingerprints.sample(rng)
+        assigner = self._home_assigners.get(country)
+        if assigner is None:
+            assigner = HomeIpAssigner(((country, 1.0),))
+            self._home_assigners[country] = assigner
+        ip = assigner.assign(rng)
+        phone = sample_number(rng, country)
         client = make_client(
             ip,
             fingerprint,
@@ -91,7 +150,7 @@ class BaselineSmsTraffic(Process):
             actor=f"legit-sms-{self._user_counter:07d}",
             actor_class=LEGIT,
         )
-        if self._rng.random() < self.config.otp_fraction:
+        if rng.random() < self.config.otp_fraction:
             request = Request(
                 method="POST",
                 path=OTP_LOGIN,
@@ -114,4 +173,3 @@ class BaselineSmsTraffic(Process):
             )
         self.app.handle(request)
         self.requests_made += 1
-        return self._rng.expovariate(self.config.sms_per_hour / HOUR)

@@ -107,6 +107,12 @@ class WebApplication:
         #: Fingerprints collected at the edge, keyed by fingerprint id —
         #: what a client-side anti-bot script ships home.
         self.fingerprints_seen: Dict[str, "Fingerprint"] = {}
+        #: The same fingerprints in first-seen order.  Periodic
+        #: consumers (the controller's artifact rule) remember how far
+        #: they have read and only judge the suffix — rescanning the
+        #: whole ``fingerprints_seen`` table every evaluation is
+        #: quadratic over a long run.
+        self.fingerprint_arrivals: List[tuple] = []
         self._handlers: Dict[str, Callable[[Request], Response]] = {
             SEARCH: self._handle_search,
             FLIGHT_DETAILS: self._handle_flight_details,
@@ -190,10 +196,14 @@ class WebApplication:
         now = self.clock.now
         obs = self._obs
         started = perf_counter() if obs is not None else 0.0
-        if request.fingerprint is not None:
-            self.fingerprints_seen.setdefault(
-                request.client.fingerprint_id, request.fingerprint
-            )
+        fingerprint = request.fingerprint
+        if fingerprint is not None:
+            fingerprint_id = request.client.fingerprint_id
+            if fingerprint_id not in self.fingerprints_seen:
+                self.fingerprints_seen[fingerprint_id] = fingerprint
+                self.fingerprint_arrivals.append(
+                    (fingerprint_id, fingerprint)
+                )
         if obs is None:
             response = self._edge_pipeline(request, now)
         else:

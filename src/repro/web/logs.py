@@ -18,9 +18,14 @@ from ..common import ClientRef
 DEFAULT_IDLE_GAP = 30.0 * 60.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LogEntry:
-    """One line of the web log."""
+    """One line of the web log.
+
+    Slotted: the log holds one of these per request for the whole run,
+    and feature extraction walks them attribute by attribute — no
+    per-entry ``__dict__`` means less memory and faster reads.
+    """
 
     time: float
     method: str
@@ -106,7 +111,7 @@ class WebLog:
         return len(self._entries)
 
 
-@dataclass
+@dataclass(slots=True)
 class Session:
     """A reconstructed user session: one client identity, no idle gaps."""
 

@@ -7,23 +7,26 @@ login and boarding-pass-via-SMS (SMS Pumping).
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from ..common import ClientRef
 from ..identity.fingerprint import Fingerprint
 
-# Endpoint paths.
-SEARCH = "/search"
-FLIGHT_DETAILS = "/flight"
-HOLD = "/hold"
-PAY = "/pay"
-OTP_LOGIN = "/login/otp"
-BOARDING_PASS_SMS = "/boarding-pass/sms"
+# Endpoint paths.  Interned: path strings are compared and hashed on
+# every request (handler routing, per-path metrics, sessionization), so
+# pointer-equal singletons keep those lookups on the identity fast path.
+SEARCH = sys.intern("/search")
+FLIGHT_DETAILS = sys.intern("/flight")
+HOLD = sys.intern("/hold")
+PAY = sys.intern("/pay")
+OTP_LOGIN = sys.intern("/login/otp")
+BOARDING_PASS_SMS = sys.intern("/boarding-pass/sms")
 #: Hidden trap endpoint: linked invisibly in page markup, so humans
 #: never reach it while link-following crawlers do (the classic trap
 #: file from the web-robot detection literature the paper cites [38]).
-TRAP = "/internal/prefetch"
+TRAP = sys.intern("/internal/prefetch")
 
 ALL_PATHS = (
     SEARCH,
@@ -43,12 +46,13 @@ CAPTCHA_SOLVER = "solver"
 CAPTCHA_NONE = "none"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Request:
     """One request as received by the application edge.
 
     ``fingerprint`` is the full client-side-collected fingerprint the
     anti-bot layer sees; ``client.fingerprint_id`` is its stable digest.
+    Slotted: one per simulated request, millions per heavy run.
     """
 
     method: str
@@ -77,7 +81,7 @@ CONFLICT = 409
 RATE_LIMITED = 429
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Response:
     """Outcome of one request."""
 

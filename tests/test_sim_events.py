@@ -163,3 +163,195 @@ class TestExceptionPropagation:
         loop.schedule_at(1.0, boom)
         with pytest.raises(RuntimeError, match="actor crashed"):
             loop.run_until(5.0)
+
+
+class TestScheduleMany:
+    def test_bulk_matches_time_order(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_many(
+            [5.0, 1.0, 3.0], lambda: seen.append(loop.now)
+        )
+        loop.run_all()
+        assert seen == [1.0, 3.0, 5.0]
+
+    def test_empty_batch(self):
+        loop = EventLoop()
+        assert loop.schedule_many([], lambda: None) == []
+        assert loop.pending == 0
+
+    def test_ties_fifo_across_single_and_bulk(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_at(5.0, lambda: seen.append("single"))
+        loop.schedule_many(
+            [5.0, 5.0], lambda: seen.append("bulk")
+        )
+        loop.schedule_at(5.0, lambda: seen.append("last"))
+        loop.run_all()
+        assert seen == ["single", "bulk", "bulk", "last"]
+
+    def test_past_time_rejected(self):
+        loop = EventLoop(Clock(start=5.0))
+        with pytest.raises(ValueError):
+            loop.schedule_many([6.0, 4.0], lambda: None)
+
+    def test_handles_cancel(self):
+        loop = EventLoop()
+        seen = []
+        handles = loop.schedule_many(
+            [1.0, 2.0, 3.0], lambda: seen.append(loop.now)
+        )
+        handles[1].cancel()
+        loop.run_all()
+        assert seen == [1.0, 3.0]
+
+    def test_small_batch_into_large_heap(self):
+        # Exercises the per-push path (batch much smaller than heap).
+        loop = EventLoop()
+        seen = []
+        for i in range(100):
+            loop.schedule_at(float(2 * i), lambda: None)
+        loop.schedule_many([3.0, 1.0], lambda: seen.append(loop.now))
+        loop.run_all()
+        assert seen == [1.0, 3.0]
+
+    def test_large_batch_into_small_heap(self):
+        # Exercises the extend+heapify path (batch dominates the heap).
+        loop = EventLoop()
+        seen = []
+        loop.schedule_at(50.5, lambda: seen.append(-1.0))
+        loop.schedule_many(
+            [float(i) for i in range(100, 0, -1)],
+            lambda: seen.append(loop.now),
+        )
+        loop.run_all()
+        assert seen[:50] == [float(i) for i in range(1, 51)]
+        assert seen[50] == -1.0
+
+
+class TestPendingIsConstantTime:
+    def test_pending_fast_on_large_queue(self):
+        # ``pending`` used to scan the heap (O(n)); it is now a
+        # maintained counter.  20k reads over a 50k-event queue finish
+        # in well under a second; the old scan would need ~1e9 entry
+        # visits here and take minutes.
+        import time
+
+        loop = EventLoop()
+        for i in range(50_000):
+            loop.schedule_at(float(i), lambda: None)
+        started = time.perf_counter()
+        for _ in range(20_000):
+            loop.pending
+        elapsed = time.perf_counter() - started
+        assert loop.pending == 50_000
+        assert elapsed < 1.0
+
+    def test_pending_tracks_schedule_cancel_dispatch(self):
+        loop = EventLoop()
+        handles = [
+            loop.schedule_at(float(i), lambda: None) for i in range(10)
+        ]
+        bulk = loop.schedule_many([20.0, 21.0], lambda: None)
+        assert loop.pending == 12
+        handles[3].cancel()
+        bulk[0].cancel()
+        assert loop.pending == 10
+        loop.run_until(5.0)
+        assert loop.pending == 5  # 0,1,2,4,5 ran; 3 cancelled
+        loop.run_all()
+        assert loop.pending == 0
+
+
+class TestHeapCompaction:
+    def test_cancel_churn_does_not_grow_heap(self):
+        # The pre-compaction kernel retired cancelled entries only at
+        # pop time: this exact churn ended with a 101x-bloated heap.
+        loop = EventLoop()
+        slots = 2_000
+        handles = [
+            loop.schedule_at(1e9 + i, lambda: None) for i in range(slots)
+        ]
+        for round_index in range(50):
+            for i in range(slots):
+                handles[i].cancel()
+                handles[i] = loop.schedule_at(
+                    1e9 + round_index + i, lambda: None
+                )
+        assert loop.pending == slots
+        assert loop.heap_size <= 3 * slots
+        assert loop.compactions > 0
+
+    def test_compaction_preserves_dispatch_order(self):
+        loop = EventLoop()
+        seen = []
+        keep = []
+        for i in range(2_000):
+            handle = loop.schedule_at(
+                float(i), lambda t=float(i): seen.append(t)
+            )
+            if i % 10 == 0:
+                keep.append(handle)
+            else:
+                handle.cancel()
+        loop.run_all()
+        assert seen == [float(i) for i in range(0, 2_000, 10)]
+        assert loop.pending == 0
+
+    def test_tiny_heaps_never_compacted(self):
+        loop = EventLoop()
+        handles = [
+            loop.schedule_at(float(i), lambda: None) for i in range(10)
+        ]
+        for handle in handles[:9]:
+            handle.cancel()
+        assert loop.compactions == 0
+        assert loop.heap_size == 10  # dead entries retired at pop time
+        loop.run_all()
+        assert loop.pending == 0
+
+    def test_cancel_after_dispatch_is_noop(self):
+        loop = EventLoop()
+        handle = loop.schedule_at(1.0, lambda: None)
+        loop.run_all()
+        assert loop.pending == 0
+        handle.cancel()
+        handle.cancel()
+        assert loop.pending == 0
+        loop.schedule_at(2.0, lambda: None)
+        assert loop.pending == 1
+        loop.run_all()
+        assert loop.pending == 0
+
+    def test_double_cancel_counted_once(self):
+        loop = EventLoop()
+        loop.schedule_at(1.0, lambda: None)
+        victim = loop.schedule_at(2.0, lambda: None)
+        victim.cancel()
+        victim.cancel()
+        assert loop.pending == 1
+
+    def test_callback_cancelling_mid_dispatch(self):
+        # A callback cancels enough future events to trigger compaction
+        # while the dispatch loop is iterating the same heap.
+        loop = EventLoop()
+        seen = []
+        victims = []
+
+        def cull():
+            seen.append("cull")
+            for handle in victims:
+                handle.cancel()
+
+        loop.schedule_at(0.5, cull)
+        for i in range(2_000):
+            victims.append(
+                loop.schedule_at(1.0 + i, lambda: seen.append("victim"))
+            )
+        survivor = loop.schedule_at(5_000.0, lambda: seen.append("end"))
+        loop.run_all()
+        assert seen == ["cull", "end"]
+        assert loop.compactions > 0
+        assert loop.pending == 0
+        assert not survivor.cancelled
