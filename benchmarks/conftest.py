@@ -3,12 +3,35 @@
 Each benchmark runs its scenario once (``benchmark.pedantic`` with a
 single round — these are minutes-long simulations, not microbenchmarks),
 asserts the paper's qualitative shape, and renders the regenerated
-table/figure both to stdout and to ``benchmarks/output/``.
+table/figure both to stdout and to an output directory.
+
+Two output directories, one committed and one not:
+
+* ``benchmarks/output/`` — the committed artifacts (tables, baselines)
+  that ``tests/test_golden_outputs.py`` parses.  Only full-size runs
+  write here, because only full-size runs produce numbers comparable
+  to the committed ones.
+* ``benchmarks/output/quick/`` — scratch output for
+  ``REPRO_BENCH_QUICK=1`` runs (the CI perf-smoke job).  Quick
+  workloads are ~10x smaller, so their artifacts would silently
+  clobber the committed goldens with incomparable numbers; they land
+  here instead (gitignored).
 """
 
 import os
 
-OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+#: Committed artifacts (read side: baselines, goldens).
+COMMITTED_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def quick_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+
+#: Write side: where this run's artifacts land.
+OUTPUT_DIR = (
+    os.path.join(COMMITTED_DIR, "quick") if quick_mode() else COMMITTED_DIR
+)
 
 
 def bench_workers(default: int = 4) -> int:

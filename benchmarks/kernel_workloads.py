@@ -15,6 +15,7 @@ are what the recorded trajectory pins.
 
 from __future__ import annotations
 
+import gc
 import os
 import resource
 import time
@@ -240,9 +241,23 @@ def measure_workload(name: str, rounds: int = 0) -> Dict[str, float]:
 
 
 def run_all_workloads(rounds: int = 0) -> Dict[str, Dict[str, float]]:
-    """Median-of-``rounds`` measurement of every workload, plus RSS."""
-    results = {}
-    for name in ALL_WORKLOADS:
-        results[name] = measure_workload(name, rounds)
-    results["peak_rss_mb"] = {"value": peak_rss_mb()}
-    return results
+    """Median-of-``rounds`` measurement of every workload, plus RSS.
+
+    Live objects are frozen out of the cyclic GC for the duration:
+    when the whole benchmark suite runs front-to-back, module-scoped
+    fixtures from earlier benchmarks keep millions of objects alive,
+    and every generation-2 collection inside a timed loop rescans all
+    of them — turning a kernel measurement into a GC measurement
+    (observed >10x swings).  Freezing pins the measurement to the
+    kernel's own allocations.
+    """
+    gc.collect()
+    gc.freeze()
+    try:
+        results = {}
+        for name in ALL_WORKLOADS:
+            results[name] = measure_workload(name, rounds)
+        results["peak_rss_mb"] = {"value": peak_rss_mb()}
+        return results
+    finally:
+        gc.unfreeze()

@@ -1,0 +1,96 @@
+"""Measurement workloads for the sharded million-visitor benchmark.
+
+One sweep of the ``scale-world`` scenario per row: a visitor
+population partitioned into K shards, simulated on the runner's
+process pool, merged back through the shard fold.  Each row reports
+
+* aggregate **events/sec** — merged kernel events over wall-clock for
+  the whole sweep (shard planning + simulation + merge, the number a
+  capacity plan would use);
+* **peak RSS** — the driver's high-water mark plus the largest worker
+  process's (``getrusage`` ``RUSAGE_SELF`` + ``RUSAGE_CHILDREN``; on
+  a serial row the children term is zero).  The columnar log store is
+  what keeps this bounded: the log at rest costs ~30 bytes/row
+  instead of a ~150-byte ``LogEntry`` object per request.
+
+Row sizes are env-gated the same way the kernel workloads are:
+``REPRO_BENCH_SCALE=1`` runs the full million-visitor flagship row
+(minutes of wall clock; the committed ``bench_scale.json`` artifact
+records it); the default rows are CI-smoke sized and additionally
+pair K=1 against K=4 so the smoke run exercises both the pass-through
+and the sharded path.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import time
+from typing import Dict, List
+
+from repro.runner.core import run_sweep
+from repro.runner.spec import SweepSpec
+from repro.sim.clock import DAY
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_SCALE", "") == "1"
+
+
+def peak_rss_mb() -> float:
+    """Driver high-water RSS plus the largest worker's, in MiB."""
+    self_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    child_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return (self_kb + child_kb) / 1024.0
+
+
+#: (label, visitors, duration, shards, workers)
+SMOKE_ROWS = (
+    ("k1-smoke", 50_000, 1 * DAY, 1, 1),
+    ("k4-smoke", 50_000, 1 * DAY, 4, 4),
+)
+FLAGSHIP_ROW = ("k4-flagship", 1_000_000, 7 * DAY, 4, 4)
+
+
+def rows() -> List[tuple]:
+    return [FLAGSHIP_ROW] if full_scale() else list(SMOKE_ROWS)
+
+
+def run_row(
+    label: str, visitors: int, duration: float, shards: int, workers: int
+) -> Dict[str, float]:
+    """Run one sharded sweep and report throughput + memory."""
+    spec = SweepSpec(
+        scenario="scale-world",
+        base={"visitors": visitors, "duration": duration},
+        master_seed=0,
+    )
+    rss_before = peak_rss_mb()
+    started = time.perf_counter()
+    result = run_sweep(
+        spec,
+        workers=workers,
+        backend="process" if workers > 1 else "serial",
+        shards=shards,
+    )
+    wall = time.perf_counter() - started
+    metrics = result.cells[0].metrics
+    return {
+        "label": label,
+        "visitors_requested": float(visitors),
+        "duration_days": duration / DAY,
+        "shards": float(shards),
+        "workers": float(workers),
+        "wall_seconds": wall,
+        "visitors_spawned": metrics["visitors_spawned"],
+        "log_entries": metrics["log_entries"],
+        "log_store_bytes": metrics["log_store_bytes"],
+        "events_processed": metrics["events_processed"],
+        "events_per_sec": metrics["events_processed"] / wall,
+        "visitors_per_sec": metrics["visitors_spawned"] / wall,
+        # High-water mark attributable to this row (the driver's RSS
+        # monotonically accumulates; the delta-from-before keeps rows
+        # comparable when several run in one process).
+        "peak_rss_mb": peak_rss_mb(),
+        "peak_rss_mb_before": rss_before,
+    }

@@ -3,9 +3,11 @@
 The paper's argument, regenerated as a recall matrix:
 
 * conventional detectors (volume thresholds, unsupervised clustering,
-  fingerprint rules) catch the classic scraper and essentially nothing
-  else — DoI and SMS-pumping sessions are low-volume, mimicry-
-  fingerprinted, and rotation shreds them below sessionization;
+  fingerprint rules) catch the classic scraper and little else — DoI
+  and SMS-pumping sessions are low-volume, mimicry-fingerprinted, and
+  rotation shreds them below sessionization (clustering does isolate
+  the *automated* seat spinner's timer-driven funnel, but stays blind
+  to the manual spinner and the pumper);
 * a supervised behaviour classifier helps on DoI funnels it was trained
   on but still misses the pumper's single-request sessions;
 * the paper-informed abuse pipeline (passenger-detail heuristics +
@@ -65,9 +67,15 @@ def test_detector_comparison(benchmark):
     # Conventional families: great on the scraper...
     for family in (volume, kmeans, fingerprint):
         assert family.get("scraper", 0.0) >= 0.75
-    # ... and blind to the paper's attacks.
-    for family in (volume, kmeans, fingerprint):
+    # ... and blind to the paper's attacks — except that clustering,
+    # since the empty-cluster reseeding fix, does isolate the
+    # automated seat spinner's behavioural cluster (it books the same
+    # funnel on a timer; an unsupervised method can find that).  The
+    # rotation-shredded classes stay invisible to all three.
+    for family in (volume, fingerprint):
         assert family.get("seat-spinner", 0.0) <= 0.25
+    assert kmeans.get("seat-spinner", 0.0) >= 0.75
+    for family in (volume, kmeans, fingerprint):
         assert family.get("sms-pumper", 0.0) <= 0.10
         assert family.get("manual-spinner", 0.0) <= 0.25
 

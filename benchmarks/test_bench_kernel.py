@@ -32,11 +32,15 @@ import json
 import os
 import platform
 
-from conftest import OUTPUT_DIR, save_artifact
+import pytest
+
+from conftest import COMMITTED_DIR, OUTPUT_DIR, save_artifact
 
 import kernel_workloads as kw
 
-BASELINE_PATH = os.path.join(OUTPUT_DIR, "kernel_baseline.json")
+#: The baseline is a committed recording — always read from the
+#: committed directory, never from the quick-mode scratch dir.
+BASELINE_PATH = os.path.join(COMMITTED_DIR, "kernel_baseline.json")
 ARTIFACT_PATH = os.path.join(OUTPUT_DIR, "kernel_throughput.json")
 
 #: events/sec floors for full-size workloads (~5x below recorded medians).
@@ -71,7 +75,16 @@ PEAK_RSS_CEILING_MB = 256.0
 
 
 def test_kernel_throughput():
+    if not os.path.exists(BASELINE_PATH):
+        pytest.skip(
+            "no recorded kernel baseline "
+            "(benchmarks/output/kernel_baseline.json)"
+        )
     quick = kw.quick_mode()
+    # Peak RSS is a process-wide high-water mark: when the full suite
+    # runs front-to-back, earlier benchmarks' retained fixtures own the
+    # peak and the ceiling below would measure them, not the kernel.
+    rss_attributable = kw.peak_rss_mb() <= PEAK_RSS_CEILING_MB
     results = kw.run_all_workloads()
 
     with open(BASELINE_PATH, encoding="utf-8") as handle:
@@ -133,7 +146,8 @@ def test_kernel_throughput():
         assert measured >= floor, (
             f"{name}: {measured:,.0f} ev/s below pinned floor {floor:,}"
         )
-    assert results["peak_rss_mb"]["value"] <= PEAK_RSS_CEILING_MB
+    if rss_attributable:
+        assert results["peak_rss_mb"]["value"] <= PEAK_RSS_CEILING_MB
 
     if os.environ.get("REPRO_BENCH_VS_BASELINE") == "1" and not quick:
         for name, floor in SPEEDUP_FLOORS.items():

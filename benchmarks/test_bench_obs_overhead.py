@@ -11,7 +11,9 @@ is the **median of per-pair wall-clock ratios**: each instrumented run
 is compared only against the bare run right next to it, and the median
 discards the pairs a scheduler hiccup landed on.
 
-Acceptance criterion: median paired overhead below 5%.
+Acceptance criterion: median paired overhead below 5% on a dedicated
+full-size run (the quick-mode smoke ceiling is looser; see
+``MAX_OVERHEAD``).
 """
 
 import json
@@ -19,7 +21,7 @@ import os
 import statistics
 from time import perf_counter, process_time
 
-from conftest import OUTPUT_DIR, save_artifact
+from conftest import OUTPUT_DIR, quick_mode, save_artifact
 
 from repro.analysis.reports import render_table
 from repro.obs import RunContext
@@ -28,8 +30,13 @@ from repro.scenarios.case_a import CaseAConfig, run_case_a
 
 #: Interleaved bare/instrumented pairs; the median ratio wins.
 PAIRS = 7
-#: The acceptance ceiling on the median paired ratio.
-MAX_OVERHEAD = 0.05
+#: The acceptance ceiling on the median paired ratio.  The 5% claim
+#: is made for full-size dedicated runs; the quick-mode (CI smoke)
+#: ceiling is looser because on shared boxes the paired-median
+#: estimator itself is only good to ~±10% — the smoke job checks the
+#: instrumentation is not *pathologically* slow, the dedicated run
+#: pins the 5%.
+MAX_OVERHEAD = 0.15 if quick_mode() else 0.05
 
 
 def _run_bare():

@@ -1,0 +1,127 @@
+"""P2 — sharded scale: million-visitor worlds in bounded memory.
+
+Runs the :mod:`scale_workloads` rows and pins the two numbers the
+sharding tentpole exists for:
+
+* **throughput** — aggregate kernel events/sec across the sharded
+  sweep clears a conservative floor (order-of-magnitude guard, same
+  philosophy as the kernel floors: ~5x headroom below a loaded
+  recording box);
+* **bounded memory** — peak RSS (driver + largest worker) stays under
+  a pinned ceiling, and the web log at rest costs a bounded number of
+  bytes per entry — the columnar store's contract.  One ``LogEntry``
+  object per request costs ~150 bytes before any field data; the
+  struct-of-arrays blocks pin ~30 bytes/row plus block-granular slack.
+
+``REPRO_BENCH_SCALE=1`` runs the full million-visitor flagship row
+and records it to the committed ``output/bench_scale.json``; the
+default smoke rows (CI ``scale-smoke`` job) are ~20x smaller and pair
+K=1 against K=4.
+"""
+
+import json
+import os
+import platform
+
+from conftest import COMMITTED_DIR
+
+import scale_workloads as sw
+
+#: Only the flagship (``REPRO_BENCH_SCALE=1``) run writes the
+#: committed artifact — smoke rows are ~20x smaller, so their numbers
+#: would silently clobber the committed flagship figures.  Smoke runs
+#: always land in the gitignored scratch dir, whether or not
+#: ``REPRO_BENCH_QUICK`` is set.
+ARTIFACT_DIR = (
+    COMMITTED_DIR
+    if sw.full_scale()
+    else os.path.join(COMMITTED_DIR, "quick")
+)
+ARTIFACT_PATH = os.path.join(ARTIFACT_DIR, "bench_scale.json")
+
+#: Aggregate events/sec floor (both modes — the flagship row has more
+#: work but also 4 workers, and both sit far above this guard).
+EVENTS_PER_SEC_FLOOR = 5_000
+
+#: Peak RSS ceiling, MiB (driver + largest worker).  The flagship
+#: million-visitor row measures ~646 MiB on the recording box (the
+#: number the columnar log store keeps bounded — a 5.1M-entry log at
+#: rest is 150 MiB of it); the smoke rows sit well below ceiling too.
+PEAK_RSS_CEILING_MB = 512.0 if not sw.full_scale() else 2_048.0
+
+#: Columnar log store: bytes per entry at rest, including the
+#: mostly-empty tail block each shard carries.
+LOG_BYTES_PER_ENTRY_CEILING = 64.0
+
+#: Arrivals are Poisson: the spawned population concentrates within a
+#: few percent of the requested one.
+SPAWN_TOLERANCE = 0.05
+
+
+def test_scale_throughput_and_memory():
+    results = [sw.run_row(*row) for row in sw.rows()]
+
+    artifact = {
+        "schema": "repro.bench.scale/1",
+        "full_scale": sw.full_scale(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "events_per_sec_floor": EVENTS_PER_SEC_FLOOR,
+        "peak_rss_ceiling_mb": PEAK_RSS_CEILING_MB,
+        "log_bytes_per_entry_ceiling": LOG_BYTES_PER_ENTRY_CEILING,
+        "rows": results,
+    }
+    os.makedirs(ARTIFACT_DIR, exist_ok=True)
+    with open(ARTIFACT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    lines = [
+        f"sharded scale ({'flagship' if sw.full_scale() else 'smoke'} rows)"
+    ]
+    for row in results:
+        lines.append(
+            f"  {row['label']:<12} K={row['shards']:.0f}"
+            f" workers={row['workers']:.0f}"
+            f" visitors={row['visitors_spawned']:>9,.0f}"
+            f" {row['events_per_sec']:>9,.0f} ev/s"
+            f"  log {row['log_store_bytes'] / 2**20:>6.1f} MiB"
+            f"  peak RSS {row['peak_rss_mb']:>7.1f} MiB"
+        )
+    text = "\n".join(lines)
+    with open(
+        os.path.join(ARTIFACT_DIR, "bench_scale.txt"), "w",
+        encoding="utf-8",
+    ) as handle:
+        handle.write(text + "\n")
+    print(f"\n===== bench_scale =====\n{text}")
+
+    for row in results:
+        label = row["label"]
+        requested = row["visitors_requested"]
+        assert abs(row["visitors_spawned"] - requested) <= (
+            SPAWN_TOLERANCE * requested
+        ), label
+        assert row["events_per_sec"] >= EVENTS_PER_SEC_FLOOR, (
+            f"{label}: {row['events_per_sec']:,.0f} ev/s below "
+            f"{EVENTS_PER_SEC_FLOOR:,} floor"
+        )
+        # Peak RSS is a process-wide high-water mark: when the whole
+        # benchmark suite runs in one process, an earlier benchmark
+        # may own the peak — only assert the ceiling when this row
+        # started below it (same guard as the kernel benchmark).
+        if row["peak_rss_mb_before"] <= PEAK_RSS_CEILING_MB:
+            assert row["peak_rss_mb"] <= PEAK_RSS_CEILING_MB, (
+                f"{label}: peak RSS {row['peak_rss_mb']:.0f} MiB over "
+                f"{PEAK_RSS_CEILING_MB:.0f} MiB ceiling"
+            )
+        assert (
+            row["log_store_bytes"] / row["log_entries"]
+            <= LOG_BYTES_PER_ENTRY_CEILING
+        ), label
+
+    if sw.full_scale():
+        flagship = results[0]
+        assert flagship["visitors_spawned"] >= 1_000_000 * (
+            1 - SPAWN_TOLERANCE
+        )

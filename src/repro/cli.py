@@ -84,6 +84,7 @@ def _print_aggregate_table(
         f"\n{len(result.cells)} cells "
         f"({result.spec.replications} replications/point), "
         f"backend={result.backend}, workers={result.workers}, "
+        f"shards={result.shards}, "
         f"cache hits={result.cache_hits}, "
         f"elapsed={result.elapsed:.2f}s"
     )
@@ -105,6 +106,7 @@ def _run_replicated(
             ),
             workers=args.workers,
             cache_dir=args.cache_dir,
+            shards=getattr(args, "shards", 1),
         )
     except (TypeError, ValueError) as error:
         raise SystemExit(f"error: {error}")
@@ -622,6 +624,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             ),
             workers=args.workers,
             cache_dir=args.cache_dir,
+            shards=getattr(args, "shards", 1),
         )
     except (TypeError, ValueError) as error:
         raise SystemExit(f"error: {error}")
@@ -661,6 +664,12 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--workers", type=int, default=1,
             help="worker processes (1 = serial in-process)",
+        )
+        sub.add_argument(
+            "--shards", type=int, default=1,
+            help="partition each cell's population into this many "
+            "independently simulated shards and merge the results "
+            "(1 = unsharded; see repro.shard)",
         )
         sub.add_argument(
             "--cache-dir", default=None,

@@ -181,10 +181,58 @@ class EntityGraph:
                     found.append((a, b, weight))
         return sorted(found)
 
-    def snapshot(self) -> Dict[str, object]:
+    def snapshot(self, include_spans: bool = False) -> Dict[str, object]:
         """Canonical plain-data view — two graphs built from the same
-        records in any order produce equal snapshots."""
-        return {"nodes": sorted(self.nodes()), "edges": self.edges()}
+        records in any order produce equal snapshots.
+
+        The view is JSON-able once the ``EntityId`` tuples are
+        listified, and mergeable: shard worlds ship their graphs across
+        the pickle boundary as snapshots and the parent folds them with
+        :meth:`merge_snapshot`.  Observation spans are opt-in: span
+        times record *when an edge rule fired*, which (unlike the node
+        and edge sets) can depend on feed order — e.g. the passenger
+        name gate touches nodes at gate-open time — so they are left
+        out of the canonical equality view and included only where the
+        extra state matters (cross-shard merges).
+        """
+        view: Dict[str, object] = {
+            "nodes": sorted(self.nodes()),
+            "edges": self.edges(),
+        }
+        if include_spans:
+            # A sorted triple list, not a node-keyed dict: tuple keys
+            # would not survive the JSON result cache.
+            view["spans"] = [
+                (node, self._first_seen[node], self._last_seen[node])
+                for node in sorted(self._first_seen)
+            ]
+        return view
+
+    @classmethod
+    def from_snapshot(cls, data: Dict[str, object]) -> "EntityGraph":
+        """Rebuild a graph from :meth:`snapshot` output (exact round-trip
+        up to node insertion order, which the snapshot canonicalises)."""
+        graph = cls()
+        graph.merge_snapshot(data)
+        return graph
+
+    def merge_snapshot(self, data: Dict[str, object]) -> None:
+        """Fold a snapshot into this graph (cross-shard merge).
+
+        The fold is associative and commutative: node insertion is
+        idempotent, same-pair edges keep the max weight, and spans keep
+        the min first-seen / max last-seen — so shard snapshots merge
+        to the identical graph in any order.  Nodes/edge endpoints may
+        arrive as lists (JSON round-trip) and are re-tupled.
+        """
+        for raw in data.get("nodes", []):
+            self.add_node(EntityId(*raw))
+        for a, b, weight in data.get("edges", []):
+            self.add_edge(EntityId(*a), EntityId(*b), float(weight))
+        for raw, first, last in data.get("spans", []):
+            node = EntityId(*raw)
+            self.touch(node, float(first))
+            self.touch(node, float(last))
 
 
 @dataclass

@@ -299,7 +299,17 @@ class ObsRegistry:
         for name, value in other._gauges.items():
             self._gauges[name] = value
         for name, timer in other._timers.items():
-            self.timer(name).histogram.merge(timer.histogram)
+            mine = self._timers.get(name)
+            if mine is None:
+                # Adopt the incoming timer's bounds: ``self.timer(name)``
+                # would create a default-bounds timer, and merging a
+                # custom-bounds histogram into it raises — which made
+                # merging into a fresh registry (the shard/worker fold's
+                # starting point) crash on any non-default timer.
+                mine = self._timers[name] = Timer(
+                    bounds=timer.histogram.bounds
+                )
+            mine.histogram.merge(timer.histogram)
         for name, histogram in other._histograms.items():
             self.histogram(name, histogram.bounds).merge(histogram)
 

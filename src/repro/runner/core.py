@@ -63,6 +63,12 @@ class CellResult:
     #: Wall-clock observability snapshot (``repro.obs``); empty for
     #: cells whose scenario does not profile itself.
     obs_snapshot: Dict[str, object] = field(default_factory=dict)
+    #: Entity-graph snapshot (``EntityGraph.snapshot``); empty for
+    #: scenarios that build no graph.  For sharded cells this is the
+    #: cross-shard union.
+    graph_snapshot: Dict[str, object] = field(default_factory=dict)
+    #: How many shards produced this cell (1 = unsharded).
+    shards: int = 1
 
     def params_dict(self) -> Dict[str, object]:
         return dict(self.params)
@@ -86,6 +92,7 @@ class SweepResult:
     cache_corrupt: int = 0
     workers: int = 1
     backend: str = SERIAL
+    shards: int = 1
 
     def points(self) -> List[Dict[str, object]]:
         return self.spec.points()
@@ -153,6 +160,7 @@ def run_sweep(
     workers: Optional[int] = None,
     backend: Optional[str] = None,
     cache_dir: Optional[str] = None,
+    shards: int = 1,
 ) -> SweepResult:
     """Run (or complete, via the cache) every cell of a sweep.
 
@@ -160,9 +168,18 @@ def run_sweep(
     process pool of ``workers`` (default :func:`default_workers`) is
     used.  With ``cache_dir`` set, cached cells are loaded instead of
     recomputed and fresh cells are persisted for next time.
+
+    ``shards=K`` splits every cell into K independent sub-worlds (see
+    :mod:`repro.shard`), runs them as ordinary work units on the same
+    backend/cache machinery, and merges each cell's K payloads back
+    into one :class:`CellResult`.  ``shards=1`` is a strict
+    pass-through — same cells, same seeds, bit-identical results to
+    not passing the argument at all.
     """
     started = time.perf_counter()
     cells = spec.cells()
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1: {shards}")
     if workers is None:
         workers = default_workers() if backend == PROCESS else 1
     if workers < 1:
@@ -174,36 +191,59 @@ def run_sweep(
     if backend == SERIAL:
         workers = 1
 
+    # Expand cells into work units: each cell's shards are contiguous
+    # in the work list, so spec order (and hence result order) is
+    # preserved however the pool schedules them.
+    if shards > 1:
+        from ..shard.plan import shard_cell
+
+        work: List[CellSpec] = []
+        groups: List[Tuple[int, int]] = []
+        for cell in cells:
+            pieces = shard_cell(cell, spec.master_seed, shards)
+            groups.append((len(work), len(work) + len(pieces)))
+            work.extend(pieces)
+    else:
+        work = cells
+        groups = [(index, index + 1) for index in range(len(cells))]
+
     cache = ResultCache(cache_dir) if cache_dir else None
-    payloads: List[Optional[Dict[str, object]]] = [None] * len(cells)
+    payloads: List[Optional[Dict[str, object]]] = [None] * len(work)
     pending: List[int] = []
-    for index, cell in enumerate(cells):
+    for index, unit in enumerate(work):
         if cache is not None:
             payloads[index] = cache.load(
-                cell.scenario, cell.config_hash, cell.seed
+                unit.scenario, unit.config_hash, unit.seed
             )
         if payloads[index] is None:
             pending.append(index)
 
     if pending:
-        todo = [cells[index] for index in pending]
+        todo = [work[index] for index in pending]
         if backend == PROCESS and workers > 1:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 fresh = list(pool.map(execute_cell, todo))
         else:
-            fresh = [execute_cell(cell) for cell in todo]
+            fresh = [execute_cell(unit) for unit in todo]
         for index, payload in zip(pending, fresh):
             payloads[index] = payload
             if cache is not None:
-                cell = cells[index]
+                unit = work[index]
                 cache.store(
-                    cell.scenario, cell.config_hash, cell.seed, payload
+                    unit.scenario, unit.config_hash, unit.seed, payload
                 )
 
     results = []
     pending_set = set(pending)
-    for index, (cell, payload) in enumerate(zip(cells, payloads)):
-        assert payload is not None
+    for cell, (start, end) in zip(cells, groups):
+        group = payloads[start:end]
+        assert all(payload is not None for payload in group)
+        if end - start > 1:
+            from ..shard.merge import merge_payloads
+
+            payload = merge_payloads(cell.scenario, group)
+        else:
+            payload = group[0]
         results.append(
             CellResult(
                 scenario=cell.scenario,
@@ -217,8 +257,12 @@ def run_sweep(
                 },
                 info=dict(payload.get("info", {})),
                 recorder_snapshot=dict(payload.get("recorder", {})),
-                from_cache=index not in pending_set,
+                from_cache=all(
+                    index not in pending_set for index in range(start, end)
+                ),
                 obs_snapshot=dict(payload.get("obs", {})),
+                graph_snapshot=dict(payload.get("graph", {})),
+                shards=end - start,
             )
         )
     return SweepResult(
@@ -230,4 +274,5 @@ def run_sweep(
         cache_corrupt=cache.corrupt if cache else 0,
         workers=workers,
         backend=backend,
+        shards=shards,
     )

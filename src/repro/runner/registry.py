@@ -26,6 +26,7 @@ from ..scenarios.graph_case import (
     graph_case_a_cell,
     graph_case_c_cell,
 )
+from ..scenarios.scale import ScaleConfig, scale_cell
 from ..scenarios.streaming import StreamCaseAConfig, stream_case_a_cell
 
 
@@ -83,5 +84,7 @@ register_scenario("graph-case-c", GraphCaseConfig, graph_case_c_cell)
 # Instrumented variants: same configs, cells also carry an "obs"
 # registry snapshot (merged across workers by SweepResult.merged_obs).
 register_scenario("profile-case-a", CaseAConfig, profile_case_a_cell)
+# The bench_scale population-only world (repro.scenarios.scale).
+register_scenario("scale-world", ScaleConfig, scale_cell)
 register_scenario("profile-case-b", CaseBConfig, profile_case_b_cell)
 register_scenario("profile-case-c", CaseCConfig, profile_case_c_cell)

@@ -156,6 +156,9 @@ class CaseCConfig:
     per_ref_limit_per_day: int = 5
     per_profile_limit_per_day: int = 10
     otp_fraction: float = 0.25
+    #: False runs the same world and measurement windows without the
+    #: pumping campaign — the attack-free shards of a sharded run.
+    attack_enabled: bool = True
 
     def __post_init__(self) -> None:
         if self.variant not in _VARIANTS:
@@ -177,6 +180,11 @@ class CaseCResult:
     #: view that regenerates Table I's exact ordering.
     surge_table_expected: List[CountrySurge]
     global_increase_percent: float
+    #: Total SMS volume in the pre-attack and attack windows — the
+    #: extensive components ``global_increase_percent`` is a ratio of
+    #: (shard merges sum these and recompute the ratio).
+    sms_baseline_total: int
+    sms_window_total: int
     countries_targeted: int
     attacker_sms_delivered: int
     attacker_sms_attempts_blocked: int
@@ -232,6 +240,8 @@ def case_c_cell(config: CaseCConfig) -> Dict[str, object]:
                 result.attacker_sms_attempts_blocked
             ),
             "global_increase_percent": result.global_increase_percent,
+            "sms_baseline_total": float(result.sms_baseline_total),
+            "sms_window_total": float(result.sms_window_total),
             "countries_targeted": float(result.countries_targeted),
             "detection_latency": latency if latency is not None else -1.0,
             "defender_sms_cost": result.defender_sms_cost,
@@ -324,7 +334,8 @@ def run_case_c(
             target_weights=case_c_attack_weights(),
         ),
     )
-    bot.start(at=config.attack_start)
+    if config.attack_enabled:
+        bot.start(at=config.attack_start)
 
     # -- protection variant wiring ------------------------------------------
 
@@ -423,6 +434,8 @@ def run_case_c(
         surge_table=surge_table,
         surge_table_expected=surge_table_expected,
         global_increase_percent=global_increase,
+        sms_baseline_total=sum(baseline_counts.values()),
+        sms_window_total=sum(window_counts.values()),
         countries_targeted=countries_targeted,
         attacker_sms_delivered=delivered,
         attacker_sms_attempts_blocked=bot.rate_limits_encountered,

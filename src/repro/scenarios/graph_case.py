@@ -331,6 +331,15 @@ def graph_case_cell(config: GraphCaseConfig) -> Dict[str, object]:
             ],
         },
         "recorder": result.world.metrics.snapshot(),
+        # Plain-data graph view so shard/worker merges can union the
+        # per-shard entity graphs (EntityGraph.merge_snapshot).
+        "graph": (
+            result.detector.last_analysis.graph.snapshot(
+                include_spans=True
+            )
+            if result.detector.last_analysis is not None
+            else {}
+        ),
     }
 
 

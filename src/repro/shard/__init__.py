@@ -1,0 +1,51 @@
+"""Sharded worlds: split a cell into K sub-worlds, merge them back.
+
+``run_sweep(spec, shards=K)`` is the entry point; this package holds
+the three pieces it composes:
+
+* :mod:`repro.shard.plan` — per-scenario *sharders* that scale
+  extensive parameters down by K, plus shard seed/cell derivation;
+* :mod:`repro.shard.merge` — folding K shard payloads (metrics,
+  recorder, obs, graph) back into one cell payload;
+* :mod:`repro.shard.equivalence` — the harness proving a sharded run
+  equivalent to the unsharded one (bit-identical at K=1,
+  pinned metric bands at K>1).
+"""
+
+from .equivalence import (
+    DEFAULT_EXTENSIVE_TOL,
+    DEFAULT_INTENSIVE_TOL,
+    EquivalenceReport,
+    MetricDelta,
+    check_equivalence,
+)
+from .merge import merge_payloads, reduce_metric, reduction_for
+from .plan import (
+    Sharder,
+    full_params,
+    get_sharder,
+    register_sharder,
+    shard_cell,
+    shardable_scenarios,
+    split_int,
+    split_positive_int,
+)
+
+__all__ = [
+    "DEFAULT_EXTENSIVE_TOL",
+    "DEFAULT_INTENSIVE_TOL",
+    "EquivalenceReport",
+    "MetricDelta",
+    "check_equivalence",
+    "merge_payloads",
+    "reduce_metric",
+    "reduction_for",
+    "Sharder",
+    "full_params",
+    "get_sharder",
+    "register_sharder",
+    "shard_cell",
+    "shardable_scenarios",
+    "split_int",
+    "split_positive_int",
+]

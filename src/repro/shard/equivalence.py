@@ -1,0 +1,194 @@
+"""The shard-equivalence harness.
+
+The contract a sharded run makes: *K independently-simulated shards of
+1/K-scale worlds, merged, tell the same story as the single world*.
+Two strengths of that claim, both checked here:
+
+* ``shards=1`` must be **bit-identical** to an unsharded run — the
+  pass-through guarantee.  Any divergence is a wiring bug, never noise.
+* ``shards=K>1`` is **metrics-level equivalent**: a shard draws its
+  own RNG substream, so a K-sharded Poisson population is a
+  *statistically* identical superposition of the unsharded one, not a
+  bit-identical replay.  Extensive metrics must land within a pinned
+  relative band of the unsharded run and intensive ones within a
+  pinned absolute band; the bands are part of the repo's contract
+  (committed in ``tests/test_shard_equivalence.py`` and documented in
+  ``EXPERIMENTS.md``), not free parameters.
+
+:func:`check_equivalence` packages both checks for any
+``case x shard_count x worker_count`` combination so the test suite —
+and the CI ``scale-smoke`` job — can parametrize over them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..runner.core import SweepResult, run_sweep
+from ..runner.spec import SweepSpec
+from .merge import MEAN, reduction_for
+
+#: (relative, absolute) slack; a metric passes if EITHER band holds —
+#: relative bands are meaningless near zero, absolute bands are
+#: meaningless for large counts, so each covers the other's blind
+#: spot.
+Tolerance = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric compared across the unsharded and sharded runs."""
+
+    name: str
+    baseline: float
+    sharded: float
+    tolerance: Tolerance
+
+    @property
+    def abs_delta(self) -> float:
+        return abs(self.sharded - self.baseline)
+
+    @property
+    def rel_delta(self) -> float:
+        if self.baseline == 0.0:
+            return 0.0 if self.sharded == 0.0 else float("inf")
+        return self.abs_delta / abs(self.baseline)
+
+    @property
+    def ok(self) -> bool:
+        rel, absolute = self.tolerance
+        return self.rel_delta <= rel or self.abs_delta <= absolute
+
+    def describe(self) -> str:
+        rel, absolute = self.tolerance
+        return (
+            f"{self.name}: baseline={self.baseline:g} "
+            f"sharded={self.sharded:g} rel={self.rel_delta:.3f} "
+            f"abs={self.abs_delta:g} (tol rel<={rel:g} or abs<={absolute:g})"
+        )
+
+
+@dataclass
+class EquivalenceReport:
+    """Outcome of one ``case x shard_count x workers`` check."""
+
+    scenario: str
+    shard_count: int
+    workers: int
+    #: True iff the sharded run's cell payloads (metrics + recorder +
+    #: obs + graph) are exactly the unsharded ones.  Required when
+    #: ``shard_count == 1``; informational otherwise.
+    bit_identical: bool
+    deltas: List[MetricDelta] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[MetricDelta]:
+        return [delta for delta in self.deltas if not delta.ok]
+
+    @property
+    def ok(self) -> bool:
+        if self.shard_count == 1:
+            return self.bit_identical
+        return not self.failures
+
+    def describe(self) -> str:
+        head = (
+            f"{self.scenario} K={self.shard_count} workers={self.workers}: "
+            f"{'OK' if self.ok else 'FAIL'}"
+            f"{' (bit-identical)' if self.bit_identical else ''}"
+        )
+        lines = [head] + [
+            ("  " + delta.describe() + ("" if delta.ok else "  <-- FAIL"))
+            for delta in self.deltas
+        ]
+        return "\n".join(lines)
+
+
+def _cell_payloads(result: SweepResult) -> List[Dict[str, object]]:
+    return [
+        {
+            "metrics": cell.metrics,
+            "recorder": cell.recorder_snapshot,
+            "obs": cell.obs_snapshot,
+            "graph": cell.graph_snapshot,
+        }
+        for cell in result.cells
+    ]
+
+
+#: Default bands for K>1 runs.  Extensive metrics (sums of Poisson-ish
+#: counts) concentrate, so a 15% relative band is generous; intensive
+#: metrics live on [0, 1]-ish scales where an absolute band is the
+#: meaningful one.  Cases pin tighter or looser per-metric bands in
+#: the test suite where these defaults do not fit.
+DEFAULT_EXTENSIVE_TOL: Tolerance = (0.15, 5.0)
+DEFAULT_INTENSIVE_TOL: Tolerance = (0.25, 0.15)
+
+
+def check_equivalence(
+    scenario: str,
+    params: Optional[Mapping[str, object]] = None,
+    shard_count: int = 4,
+    workers: int = 1,
+    master_seed: int = 0,
+    tolerances: Optional[Mapping[str, Tolerance]] = None,
+    ignore: Tuple[str, ...] = (),
+    cache_dir: Optional[str] = None,
+) -> EquivalenceReport:
+    """Run ``scenario`` unsharded and with ``shard_count`` shards and
+    compare.
+
+    ``tolerances`` maps metric names to explicit ``(rel, abs)`` bands;
+    unlisted metrics get the extensive/intensive default matching
+    their merge reduction.  ``ignore`` drops metrics from the
+    comparison entirely (e.g. per-world artifacts with no cross-shard
+    meaning).  The two runs share neither cache entries nor RNG
+    streams, so a passing check is evidence about the simulation, not
+    about cache plumbing.
+    """
+    spec = SweepSpec(
+        scenario=scenario,
+        base=dict(params or {}),
+        master_seed=master_seed,
+    )
+    baseline = run_sweep(spec, workers=1, backend="serial")
+    sharded = run_sweep(
+        spec,
+        workers=workers,
+        backend="process" if workers > 1 else "serial",
+        shards=shard_count,
+        cache_dir=cache_dir,
+    )
+
+    bit_identical = _cell_payloads(baseline) == _cell_payloads(sharded)
+    deltas: List[MetricDelta] = []
+    if shard_count > 1:
+        for base_cell, shard_cell in zip(baseline.cells, sharded.cells):
+            for name in sorted(base_cell.metrics):
+                if name in ignore:
+                    continue
+                tolerance = (tolerances or {}).get(name)
+                if tolerance is None:
+                    tolerance = (
+                        DEFAULT_INTENSIVE_TOL
+                        if reduction_for(scenario, name) == MEAN
+                        else DEFAULT_EXTENSIVE_TOL
+                    )
+                deltas.append(
+                    MetricDelta(
+                        name=name,
+                        baseline=base_cell.metrics[name],
+                        sharded=shard_cell.metrics.get(
+                            name, float("nan")
+                        ),
+                        tolerance=tolerance,
+                    )
+                )
+    return EquivalenceReport(
+        scenario=scenario,
+        shard_count=shard_count,
+        workers=workers,
+        bit_identical=bit_identical,
+        deltas=deltas,
+    )

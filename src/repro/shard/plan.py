@@ -1,0 +1,231 @@
+"""Shard planning: split one sweep cell into K independent sub-worlds.
+
+A *shard* is a full, independently-simulated world carrying ``1/K`` of
+the cell's population: extensive quantities (arrival rates, capacities,
+attack budgets) are divided across shards so the K worlds jointly model
+the original one, while intensive quantities (thresholds, probabilities,
+TTLs) are left alone.  Each shard draws from its own RNG substream —
+:func:`~repro.sim.rng.derive_shard_seed` folds the shard id *and* the
+shard count into the seed, so re-partitioning never reuses streams or
+result-cache entries — and runs through the unmodified scenario cell
+function on the existing runner backends.
+
+How a scenario's parameters split is scenario knowledge, so it lives
+here as a registered *sharder*: a pure function
+``(params, shard_id, shard_count) -> params`` over the scenario's full
+parameter dict (defaults filled in from the config dataclass, seed
+excluded).  Scenarios without a sharder simply cannot be sharded —
+``run_sweep(shards=K)`` fails loudly instead of silently mis-scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import MISSING, fields
+from typing import Callable, Dict, List
+
+from ..runner.registry import get_scenario
+from ..runner.spec import CellSpec, config_hash
+from ..sim.rng import derive_shard_seed
+
+#: A sharder maps the full parameter dict of a cell to one shard's
+#: parameter dict.  Must be pure and must not mutate its input.
+Sharder = Callable[[Dict[str, object], int, int], Dict[str, object]]
+
+_SHARDERS: Dict[str, Sharder] = {}
+
+
+def register_sharder(scenario: str, sharder: Sharder) -> None:
+    """Register (or re-register) the sharder for ``scenario``."""
+    _SHARDERS[scenario] = sharder
+
+
+def get_sharder(scenario: str) -> Sharder:
+    if scenario not in _SHARDERS:
+        raise KeyError(
+            f"scenario {scenario!r} has no registered sharder; "
+            f"shardable scenarios: {shardable_scenarios()}"
+        )
+    return _SHARDERS[scenario]
+
+
+def shardable_scenarios() -> List[str]:
+    return sorted(_SHARDERS)
+
+
+def split_int(total: int, shard_id: int, shard_count: int) -> int:
+    """Shard ``shard_id``'s share of an integer resource.
+
+    Shares differ by at most one and always sum to ``total`` across
+    the K shards (the first ``total % K`` shards carry the remainder).
+    """
+    base, extra = divmod(int(total), shard_count)
+    return base + (1 if shard_id < extra else 0)
+
+
+def split_positive_int(
+    name: str, total: int, shard_id: int, shard_count: int
+) -> int:
+    """Like :func:`split_int` but every shard's share must stay >= 1.
+
+    Raises ``ValueError`` when ``shard_count > total`` — a world whose
+    per-shard budget rounds to zero is not a smaller version of the
+    original, it is a different scenario.
+    """
+    if shard_count > int(total):
+        raise ValueError(
+            f"cannot split {name}={total} across {shard_count} shards: "
+            "at least one shard would get 0"
+        )
+    return split_int(total, shard_id, shard_count)
+
+
+def full_params(scenario: str, params: Dict[str, object]) -> Dict[str, object]:
+    """The cell's complete parameter dict: explicit params over the
+    config dataclass's defaults, seed excluded (the runner derives it).
+    """
+    entry = get_scenario(scenario)
+    config = entry.build_config(dict(params), seed=0)
+    complete: Dict[str, object] = {}
+    for spec in fields(config):
+        if spec.name == "seed":
+            continue
+        if (
+            spec.default is MISSING
+            and spec.default_factory is MISSING  # type: ignore[misc]
+            and spec.name not in params
+        ):
+            raise ValueError(
+                f"scenario {scenario!r} field {spec.name!r} has no "
+                "default and was not supplied"
+            )
+        complete[spec.name] = getattr(config, spec.name)
+    return complete
+
+
+def shard_cell(
+    cell: CellSpec, master_seed: int, shard_count: int
+) -> List[CellSpec]:
+    """Expand one cell into its ``shard_count`` shard cells.
+
+    ``shard_count == 1`` is a strict pass-through: the original cell,
+    the original seed, the original config hash — so an unsharded and
+    a ``shards=1`` sweep are bit-for-bit identical by construction.
+    """
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1: {shard_count}")
+    if shard_count == 1:
+        return [cell]
+    sharder = get_sharder(cell.scenario)
+    complete = full_params(cell.scenario, cell.params_dict())
+    shards = []
+    for shard_id in range(shard_count):
+        sharded = sharder(dict(complete), shard_id, shard_count)
+        shards.append(
+            CellSpec(
+                scenario=cell.scenario,
+                params=tuple(sorted(sharded.items())),
+                replication=cell.replication,
+                # The shard's own config hash keys the result cache;
+                # the *parent* hash seeds the substream, so the same
+                # shard params under two different parent cells still
+                # draw independently.
+                config_hash=config_hash(sharded),
+                seed=derive_shard_seed(
+                    master_seed,
+                    cell.config_hash,
+                    shard_id,
+                    shard_count,
+                    cell.replication,
+                ),
+            )
+        )
+    return shards
+
+
+# -- built-in sharders --------------------------------------------------------
+
+
+def _shard_case_a(
+    params: Dict[str, object], shard_id: int, shard_count: int
+) -> Dict[str, object]:
+    out = dict(params)
+    out["visitor_rate_per_hour"] = (
+        float(params["visitor_rate_per_hour"]) / shard_count
+    )
+    out["target_capacity"] = split_positive_int(
+        "target_capacity", params["target_capacity"], shard_id, shard_count
+    )
+    out["attacker_target_seats"] = split_positive_int(
+        "attacker_target_seats",
+        params["attacker_target_seats"],
+        shard_id,
+        shard_count,
+    )
+    return out
+
+
+def _shard_case_b(
+    params: Dict[str, object], shard_id: int, shard_count: int
+) -> Dict[str, object]:
+    out = dict(params)
+    out["visitor_rate_per_hour"] = (
+        float(params["visitor_rate_per_hour"]) / shard_count
+    )
+    out["automated_target_seats"] = split_positive_int(
+        "automated_target_seats",
+        params["automated_target_seats"],
+        shard_id,
+        shard_count,
+    )
+    return out
+
+
+def _shard_case_c(
+    params: Dict[str, object], shard_id: int, shard_count: int
+) -> Dict[str, object]:
+    """Case C: split the *population*, not the campaign.
+
+    The SMS-pumping attack is one bot at a fixed cadence anchored on a
+    handful of tickets — an intensive campaign, not a population — so
+    replicating it per shard would multiply the attack by K.  Shard 0
+    carries the whole campaign (full ticket stock, full send rate);
+    the other shards run attack-free with identical measurement
+    windows, simulating only their slice of the legitimate baseline.
+    Rate limits stay at full strength everywhere: they are defensive
+    thresholds, and the attack they exist to catch is entirely inside
+    shard 0.
+    """
+    out = dict(params)
+    out["baseline_weekly_total"] = split_positive_int(
+        "baseline_weekly_total",
+        params["baseline_weekly_total"],
+        shard_id,
+        shard_count,
+    )
+    out["attack_enabled"] = shard_id == 0 and bool(
+        params.get("attack_enabled", True)
+    )
+    return out
+
+
+def _shard_scale(
+    params: Dict[str, object], shard_id: int, shard_count: int
+) -> Dict[str, object]:
+    out = dict(params)
+    out["visitors"] = split_positive_int(
+        "visitors", params["visitors"], shard_id, shard_count
+    )
+    out["flights"] = split_positive_int(
+        "flights", params["flights"], shard_id, shard_count
+    )
+    return out
+
+
+register_sharder("case-a", _shard_case_a)
+register_sharder("scale-world", _shard_scale)
+register_sharder("case-b", _shard_case_b)
+register_sharder("case-c", _shard_case_c)
+# Instrumented variants share their base scenario's parameter space.
+register_sharder("profile-case-a", _shard_case_a)
+register_sharder("profile-case-b", _shard_case_b)
+register_sharder("profile-case-c", _shard_case_c)

@@ -120,19 +120,30 @@ class MetricsRecorder:
         """Fold another recorder's counters and series into this one.
 
         Counter merging is associative and commutative (plain sums);
-        series merging is associative and *order-stable*: points are
-        kept time-sorted, and among points with equal timestamps this
-        recorder's points precede ``other``'s (Python's sort is stable),
-        so folding replications in a fixed order always yields the same
-        sequence no matter which worker produced each piece.
+        series merging is associative and *order-independent*: merged
+        points are sorted by ``(time, value)``, so folding worker or
+        shard pieces in any order yields the identical sequence.  (An
+        earlier version broke ties by fold order, which made a shard
+        merge depend on shard completion order; see
+        ``tests/test_shard_merge.py`` for the regression.)  Gauges are
+        last-write-wins and therefore only order-independent when no
+        two pieces set the same gauge.
+
+        Merging an empty recorder — or one rebuilt from a snapshot that
+        carries empty series lists — is an identity: it must not create
+        empty series entries on this recorder (a second regression; an
+        empty merge used to perturb ``snapshot()`` equality).
         """
         for name, value in other._counters.items():
             self._counters[name] += value
         for name, value in other._gauges.items():
             self._gauges[name] = value
         for name, points in other._series.items():
+            if not points:
+                continue
             merged = sorted(
-                self._series[name] + points, key=lambda p: p.time
+                self._series[name] + points,
+                key=lambda p: (p.time, p.value),
             )
             self._series[name] = merged
 

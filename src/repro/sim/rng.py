@@ -46,6 +46,35 @@ def derive_replication_seed(
     return derive_seed(master_seed, f"cell:{config_hash}:rep:{replication}")
 
 
+def derive_shard_seed(
+    master_seed: int,
+    config_hash: str,
+    shard_id: int,
+    shard_count: int,
+    replication: int = 0,
+) -> int:
+    """Seed for one shard of one (possibly replicated) sweep cell.
+
+    Every ``(master_seed, config_hash, shard_id)`` triple maps to an
+    independent 64-bit substream, so a sharded world's populations are
+    statistically independent of each other *and* of every other cell,
+    no matter which worker process simulates which shard.  The shard
+    count is folded in as well: re-partitioning the same cell into a
+    different number of shards (whose per-shard configs differ — e.g.
+    ``visitor_rate / K``) must not silently reuse RNG streams or
+    result-cache entries recorded under another partitioning.
+    """
+    if not 0 <= shard_id < shard_count:
+        raise ValueError(
+            f"shard_id must be in [0, {shard_count}): {shard_id}"
+        )
+    return derive_seed(
+        master_seed,
+        f"cell:{config_hash}:rep:{replication}"
+        f":shard:{shard_id}/{shard_count}",
+    )
+
+
 class RngRegistry:
     """Factory for independent, named, reproducible random streams.
 

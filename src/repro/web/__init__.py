@@ -10,6 +10,7 @@ pipeline with block rules, access policies and CAPTCHA gates
 
 from .application import BlockRule, WebApplication
 from .logs import DEFAULT_IDLE_GAP, LogEntry, Session, WebLog, sessionize
+from .logstore import ColumnarLogStore
 from .ratelimit import (
     RateLimitEngine,
     RateLimitRule,
@@ -46,6 +47,7 @@ from .request import (
 __all__ = [
     "BlockRule",
     "WebApplication",
+    "ColumnarLogStore",
     "DEFAULT_IDLE_GAP",
     "LogEntry",
     "Session",

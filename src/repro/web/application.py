@@ -27,7 +27,7 @@ from ..identity.fingerprint import Fingerprint
 from ..sim.clock import Clock
 from ..sim.metrics import MetricsRecorder
 from ..sms.gateway import BOARDING_PASS, OTP, SmsGateway
-from .logs import LogEntry, WebLog
+from .logs import WebLog
 from .ratelimit import RateLimitEngine
 from .request import (
     BAD_REQUEST,
@@ -287,16 +287,16 @@ class WebApplication:
         return outcome.passed
 
     def _log(self, request: Request, response: Response, now: float) -> None:
-        self.log.append(
-            LogEntry(
-                time=now,
-                method=request.method,
-                path=request.path,
-                status=response.status,
-                client=request.client,
-                blocked_by=response.blocked_by,
-                outcome=response.outcome,
-            )
+        # append_fields writes straight into the columnar store — no
+        # LogEntry object unless a live observer needs one.
+        self.log.append_fields(
+            time=now,
+            method=request.method,
+            path=request.path,
+            status=response.status,
+            client=request.client,
+            blocked_by=response.blocked_by,
+            outcome=response.outcome,
         )
         self.metrics.increment("web.requests")
         self.metrics.increment(f"web.requests.{request.path}")

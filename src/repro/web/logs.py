@@ -40,6 +40,11 @@ class LogEntry:
 LogObserver = Callable[[LogEntry], None]
 
 
+#: Backend names accepted by :class:`WebLog`.
+COLUMNAR = "columnar"
+LIST = "list"
+
+
 class WebLog:
     """Append-only request log with time-ordered access.
 
@@ -48,32 +53,98 @@ class WebLog:
     :meth:`iter_entries` instead, and *online* consumers (the streaming
     detection pipeline, trace capture) should :meth:`subscribe` and be
     handed each entry as it lands.
+
+    Storage is columnar by default (one NumPy array per field, see
+    :mod:`repro.web.logstore`) so million-visitor worlds keep the log
+    at rest in bounded memory; ``backend="list"`` keeps one
+    :class:`LogEntry` object per request instead — the reference
+    implementation the columnar path is tested byte-for-byte against.
+    Producers that already hold the raw fields should call
+    :meth:`append_fields`, which skips ``LogEntry`` construction
+    entirely unless an observer is subscribed.
     """
 
-    def __init__(self) -> None:
-        self._entries: List[LogEntry] = []
+    def __init__(self, backend: str = COLUMNAR) -> None:
+        if backend not in (COLUMNAR, LIST):
+            raise ValueError(f"unknown WebLog backend {backend!r}")
+        self.backend = backend
+        if backend == COLUMNAR:
+            from .logstore import ColumnarLogStore
+
+            self._store: Optional["ColumnarLogStore"] = ColumnarLogStore()
+            self._entries: List[LogEntry] = []
+        else:
+            self._store = None
+            self._entries = []
         self._observers: List[LogObserver] = []
         self._notifying = False
 
-    def append(self, entry: LogEntry) -> None:
+    def _check_order(self, time: float) -> None:
         if self._notifying:
             raise RuntimeError(
                 "re-entrant WebLog.append: a subscribed observer may not "
                 "append to the log it is observing"
             )
-        if self._entries and entry.time < self._entries[-1].time:
-            raise ValueError(
-                f"log entries must be time-ordered: {entry.time} < "
-                f"{self._entries[-1].time}"
+        if len(self):
+            last = (
+                self._store.last_time()
+                if self._store is not None
+                else self._entries[-1].time
             )
+            if time < last:
+                raise ValueError(
+                    f"log entries must be time-ordered: {time} < {last}"
+                )
+
+    def _notify(self, entry: LogEntry) -> None:
+        self._notifying = True
+        try:
+            for observer in tuple(self._observers):
+                observer(entry)
+        finally:
+            self._notifying = False
+
+    def append(self, entry: LogEntry) -> None:
+        self._check_order(entry.time)
+        if self._store is not None:
+            self._store.append_entry(entry)
+        else:
+            self._entries.append(entry)
+        if self._observers:
+            self._notify(entry)
+
+    def append_fields(
+        self,
+        time: float,
+        method: str,
+        path: str,
+        status: int,
+        client: ClientRef,
+        blocked_by: str = "",
+        outcome: str = "",
+    ) -> None:
+        """Append from raw fields — the request hot path.
+
+        On the columnar backend with no observers subscribed this
+        writes straight into the arrays and never builds a
+        :class:`LogEntry`; otherwise it behaves exactly like
+        :meth:`append`.
+        """
+        self._check_order(time)
+        if self._store is not None:
+            self._store.append(
+                time, method, path, status, client, blocked_by, outcome
+            )
+            if self._observers:
+                self._notify(self._store.get(len(self._store) - 1))
+            return
+        entry = LogEntry(
+            time=time, method=method, path=path, status=status,
+            client=client, blocked_by=blocked_by, outcome=outcome,
+        )
         self._entries.append(entry)
         if self._observers:
-            self._notifying = True
-            try:
-                for observer in tuple(self._observers):
-                    observer(entry)
-            finally:
-                self._notifying = False
+            self._notify(entry)
 
     def subscribe(self, observer: LogObserver) -> Callable[[], None]:
         """Register ``observer`` to receive every future entry.
@@ -97,17 +168,29 @@ class WebLog:
         return len(self._observers)
 
     def entries(self) -> List[LogEntry]:
-        """A defensive copy of the whole log (O(n) per call)."""
+        """The whole log as a fresh list (O(n) per call)."""
+        if self._store is not None:
+            return list(self._store.iter_entries())
         return list(self._entries)
 
     def iter_entries(self) -> Iterator[LogEntry]:
-        """Read-only iteration without copying the backing list."""
+        """Lazy iteration without a defensive copy.
+
+        On the columnar backend the row set is pinned at call time:
+        entries appended after the view is taken are not yielded.
+        """
+        if self._store is not None:
+            return self._store.iter_entries()
         return iter(self._entries)
 
     def entries_between(self, start: float, end: float) -> List[LogEntry]:
+        if self._store is not None:
+            return self._store.entries_between(start, end)
         return [e for e in self._entries if start <= e.time < end]
 
     def __len__(self) -> int:
+        if self._store is not None:
+            return len(self._store)
         return len(self._entries)
 
 

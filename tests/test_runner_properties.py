@@ -150,18 +150,21 @@ class TestMergeAlgebra:
 
     @settings(max_examples=100, deadline=None)
     @given(a=recorders, b=recorders)
-    def test_series_stay_sorted_and_order_stable(self, a, b):
+    def test_series_stay_sorted_and_order_independent(self, a, b):
         combined = merged(a, b)
         for name in combined.series_names():
             points = combined.series(name)
             times = [point.time for point in points]
             assert times == sorted(times)
-            # Order-stable: a's points precede b's at equal timestamps,
-            # i.e. the merge equals a stable sort of a-then-b.
+            # Order-independent: equal-timestamp ties break on value,
+            # not on fold order, so merging b-then-a gives the same
+            # sequence — the property shard merges rely on.
             expected = sorted(
-                a.series(name) + b.series(name), key=lambda p: p.time
+                a.series(name) + b.series(name),
+                key=lambda p: (p.time, p.value),
             )
             assert points == expected
+            assert merged(b, a).series(name) == points
 
     @settings(max_examples=100, deadline=None)
     @given(a=recorders)
