@@ -598,6 +598,22 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve.server import run_server
+
+    return run_server(
+        args.db,
+        host=args.host,
+        port=args.port,
+        checkpoint_interval=args.checkpoint_interval,
+        refresh_every=(
+            args.refresh_every if args.refresh_every > 0 else None
+        ),
+        replay=args.replay,
+        quiet=args.quiet,
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .runner import SweepSpec, run_sweep, scenario_names
 
@@ -640,12 +656,32 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _package_version() -> str:
+    """Installed distribution version, falling back to the source tree's
+    ``repro.__version__`` when running uninstalled from a checkout."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        from . import __version__
+
+        return __version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
-            "Reproduce the DSN 2025 functional-abuse paper's scenarios."
+            "Reproduce the DSN 2025 functional-abuse paper's scenarios. "
+            "Every subcommand below carries a one-line summary; "
+            "run `repro <command> --help` for its options."
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_package_version()}",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -758,6 +794,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="report file format (default: json)",
     )
     add_runner_args(profile)
+    serve = add(
+        "serve", _cmd_serve,
+        "long-running detection service: HTTP ingest/replay + queries, "
+        "SQLite snapshot/journal persistence, /metrics",
+    )
+    serve.add_argument(
+        "--db", required=True, metavar="FILE",
+        help="SQLite state database (created if missing; an existing "
+        "database restores the server to its last acknowledged event)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8940,
+        help="listen port (0 = pick a free port; the real port is "
+        "printed on startup)",
+    )
+    serve.add_argument(
+        "--checkpoint-interval", type=int, default=2000, metavar="N",
+        help="snapshot the pipeline core every N ingested events "
+        "(default: 2000)",
+    )
+    serve.add_argument(
+        "--refresh-every", type=int, default=64, metavar="SESSIONS",
+        help="re-run campaign analysis every N closed sessions "
+        "(0 = only at finish; default: 64)",
+    )
+    serve.add_argument(
+        "--replay", metavar="TRACE", default=None,
+        help="bootstrap: replay this RPTR trace through the service "
+        "before accepting queries (resumes past already-ingested "
+        "events after a restart)",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true",
+        help="suppress startup/shutdown log lines",
+    )
     sweep = add(
         "sweep", _cmd_sweep,
         "parameter sweep x replications via the parallel runner",
@@ -792,6 +867,7 @@ _DEFAULT_SEEDS = {
     "stream": 7,
     "replay": 0,
     "profile": 7,
+    "serve": 0,
     "sweep": 0,
 }
 

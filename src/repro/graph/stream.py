@@ -40,6 +40,7 @@ from .detector import (
     accumulate_seed,
     analyze,
     merged_seeds,
+    seed_from_verdicts,
     session_prior,
 )
 from .entities import EntityId, session_node
@@ -79,6 +80,7 @@ class GraphStreamAdapter(StreamAdapter):
         sms_feed: Optional[RecordFeed] = None,
         refresh_every: Optional[int] = None,
         campaign_sink: Optional[Callable[[Campaign, float], None]] = None,
+        seed_feeds: Optional[Sequence["RecordFeed"]] = None,
         obs: Optional[object] = None,
     ) -> None:
         if refresh_every is not None and refresh_every < 1:
@@ -90,6 +92,15 @@ class GraphStreamAdapter(StreamAdapter):
         self.sms_feed = sms_feed
         self.refresh_every = refresh_every
         self.campaign_sink = campaign_sink
+        #: Cursors over growing :class:`~repro.core.detection.verdict.
+        #: Verdict` lists (e.g. the pipeline's session/entity verdict
+        #: accumulators).  Each new verdict is folded into the seeds
+        #: exactly once, right before the next analysis — how a pure
+        #: web-log deployment (no booking/SMS records) hands the other
+        #: families' convictions to the graph.  Campaign-graph verdicts
+        #: are skipped by ``seed_from_verdicts``, so the adapter's own
+        #: output can never self-amplify through a feed.
+        self.seed_feeds = list(seed_feeds or [])
         self.obs = obs
         self.builder = GraphBuilder(self.config.builder, obs=obs)
         self._seeds: Dict[EntityId, float] = {}
@@ -145,11 +156,18 @@ class GraphStreamAdapter(StreamAdapter):
             for record in self.sms_feed.drain():
                 self.builder.observe_sms(record)
 
+    def _drain_seed_feeds(self) -> None:
+        for feed in self.seed_feeds:
+            tail = list(feed.drain())
+            if tail:
+                seed_from_verdicts(self._seeds, tail, self.config)
+
     def _refresh(
         self, now: float, final: bool = False
     ) -> List[Verdict]:
         """Re-run the analysis; convict newly campaign-bound clusters."""
         self.refreshes += 1
+        self._drain_seed_feeds()
         analysis = analyze(
             self.builder.graph,
             merged_seeds(self._seeds, self.builder, self.config),

@@ -1,0 +1,60 @@
+"""``repro.serve`` — the long-running detection service.
+
+The operational layer the paper's closing argument calls for: the
+streaming pipeline (:mod:`repro.stream`) plus incremental campaign
+detection (:mod:`repro.graph.stream`) behind a stdlib/asyncio HTTP
+API, with journal-first SQLite persistence so a killed server restores
+to a state whose subsequent verdicts are bit-identical to an
+uninterrupted run.
+
+Layers, bottom up:
+
+* :mod:`~repro.serve.codec` — LogEntry ⇄ JSON/row wire format;
+* :mod:`~repro.serve.state` — SQLite snapshot + write-ahead journal;
+* :mod:`~repro.serve.service` — journal-first event application over
+  a persistent pipeline core, checkpointing, final-analysis digest;
+* :mod:`~repro.serve.http` / :mod:`~repro.serve.app` — minimal
+  HTTP/1.1 plumbing and the route table;
+* :mod:`~repro.serve.server` — socket/signal lifecycle
+  (``repro serve`` lands here);
+* :mod:`~repro.serve.client` — stdlib client for tests/benchmarks/CI.
+"""
+
+from .codec import (
+    ENTRY_FIELDS,
+    CodecError,
+    entry_from_dict,
+    entry_to_dict,
+    parse_events,
+)
+from .client import ServeClient, ServeClientError
+from .server import DetectionServer, run_server
+from .service import (
+    DEFAULT_CHECKPOINT_INTERVAL,
+    DEFAULT_REFRESH_EVERY,
+    DetectionService,
+    SeqConflict,
+    ServiceFinished,
+    ingest_payload,
+)
+from .state import StateStore, StateStoreError
+
+__all__ = [
+    "ENTRY_FIELDS",
+    "CodecError",
+    "entry_from_dict",
+    "entry_to_dict",
+    "parse_events",
+    "ServeClient",
+    "ServeClientError",
+    "DetectionServer",
+    "run_server",
+    "DEFAULT_CHECKPOINT_INTERVAL",
+    "DEFAULT_REFRESH_EVERY",
+    "DetectionService",
+    "SeqConflict",
+    "ServiceFinished",
+    "ingest_payload",
+    "StateStore",
+    "StateStoreError",
+]

@@ -1,0 +1,161 @@
+"""Stdlib HTTP client for the detection service.
+
+``urllib``-based, no dependencies — the counterpart tests, benchmarks
+and the CI smoke job drive the server with. Every JSON endpoint gets a
+typed convenience method; errors come back as
+:class:`ServeClientError` carrying the HTTP status and the decoded
+error payload (including ``events_ingested`` on a 409 seq conflict,
+which is how a reconnecting client resynchronises).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Tuple
+
+
+class ServeClientError(Exception):
+    """Non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: object) -> None:
+        message = (
+            payload.get("error", str(payload))
+            if isinstance(payload, dict)
+            else str(payload)
+        )
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """One service endpoint, e.g. ``ServeClient("http://127.0.0.1:8940")``."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[object] = None,
+    ) -> Tuple[int, object]:
+        """One round trip; JSON bodies both ways, text passed through."""
+        body = (
+            json.dumps(payload).encode("utf-8")
+            if payload is not None
+            else None
+        )
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"}
+            if body is not None
+            else {},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.status, self._decode(
+                    response.read(),
+                    response.headers.get("Content-Type", ""),
+                )
+        except urllib.error.HTTPError as error:
+            decoded = self._decode(
+                error.read(), error.headers.get("Content-Type", "")
+            )
+            raise ServeClientError(error.code, decoded)
+
+    @staticmethod
+    def _decode(body: bytes, content_type: str) -> object:
+        text = body.decode("utf-8")
+        if content_type.startswith("application/json"):
+            return json.loads(text)
+        return text
+
+    def get(self, path: str) -> object:
+        return self.request("GET", path)[1]
+
+    def post(self, path: str, payload: Optional[object] = None) -> object:
+        return self.request("POST", path, payload)[1]
+
+    # -- readiness -------------------------------------------------------------
+
+    def wait_ready(self, deadline_seconds: float = 15.0) -> Dict:
+        """Poll ``/healthz`` until the server answers (or time out)."""
+        deadline = time.monotonic() + deadline_seconds
+        last_error: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except (urllib.error.URLError, ConnectionError,
+                    OSError) as error:
+                last_error = error
+                time.sleep(0.05)
+        raise TimeoutError(
+            f"server at {self.base_url} not ready after "
+            f"{deadline_seconds}s: {last_error}"
+        )
+
+    # -- endpoints -------------------------------------------------------------
+
+    def healthz(self) -> Dict:
+        return self.get("/healthz")  # type: ignore[return-value]
+
+    def status(self) -> Dict:
+        return self.get("/status")  # type: ignore[return-value]
+
+    def metrics(self) -> str:
+        return self.get("/metrics")  # type: ignore[return-value]
+
+    def ingest(
+        self, events: List[Dict], seq: Optional[int] = None
+    ) -> Dict:
+        payload: Dict[str, object] = {"events": events}
+        if seq is not None:
+            payload["seq"] = seq
+        return self.post("/ingest", payload)  # type: ignore[return-value]
+
+    def replay(
+        self,
+        path: str,
+        offset: int = 0,
+        limit: Optional[int] = None,
+        batch: Optional[int] = None,
+    ) -> Dict:
+        payload: Dict[str, object] = {"path": path, "offset": offset}
+        if limit is not None:
+            payload["limit"] = limit
+        if batch is not None:
+            payload["batch"] = batch
+        return self.post("/replay", payload)  # type: ignore[return-value]
+
+    def verdicts(self, bot_only: bool = False) -> List[Dict]:
+        suffix = "?bot=1" if bot_only else ""
+        return self.get(f"/verdicts{suffix}")["verdicts"]  # type: ignore[index]
+
+    def campaigns(self) -> List[Dict]:
+        return self.get("/campaigns")["campaigns"]  # type: ignore[index]
+
+    def entities(self) -> List[Dict]:
+        return self.get("/entities")["entities"]  # type: ignore[index]
+
+    def analysis(self) -> Dict:
+        return self.get("/analysis")  # type: ignore[return-value]
+
+    def snapshot(self) -> Dict:
+        return self.post("/snapshot")  # type: ignore[return-value]
+
+    def finish(self) -> Dict:
+        return self.post("/finish")  # type: ignore[return-value]
+
+    def shutdown(self) -> Dict:
+        return self.post("/shutdown")  # type: ignore[return-value]

@@ -1,0 +1,135 @@
+"""Wire codec: :class:`~repro.web.logs.LogEntry` ⇄ JSON-able dicts.
+
+The ingest endpoint, the SQLite journal and the query responses all
+speak the same flat field set — exactly the eleven strings plus three
+scalars the RPTR trace format serialises, so a trace entry, an ingested
+event and a journaled row are interchangeable representations of the
+same request.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..common import ClientRef
+from ..web.logs import LogEntry
+
+#: Journal/ingest column order (stable: the journal schema pins it).
+ENTRY_FIELDS: Tuple[str, ...] = (
+    "time",
+    "method",
+    "path",
+    "status",
+    "blocked_by",
+    "outcome",
+    "ip_address",
+    "ip_country",
+    "ip_residential",
+    "fingerprint_id",
+    "user_agent",
+    "profile_id",
+    "actor",
+    "actor_class",
+)
+
+_REQUIRED = ("time", "method", "path", "status", "ip_address",
+             "fingerprint_id")
+
+
+class CodecError(ValueError):
+    """An ingested event dict does not describe a valid log entry."""
+
+
+def entry_to_dict(entry: LogEntry) -> Dict[str, object]:
+    """Flatten one entry (client fields inlined) for JSON transport."""
+    client = entry.client
+    return {
+        "time": entry.time,
+        "method": entry.method,
+        "path": entry.path,
+        "status": entry.status,
+        "blocked_by": entry.blocked_by,
+        "outcome": entry.outcome,
+        "ip_address": client.ip_address,
+        "ip_country": client.ip_country,
+        "ip_residential": client.ip_residential,
+        "fingerprint_id": client.fingerprint_id,
+        "user_agent": client.user_agent,
+        "profile_id": client.profile_id,
+        "actor": client.actor,
+        "actor_class": client.actor_class,
+    }
+
+
+def entry_from_dict(data: Mapping[str, object]) -> LogEntry:
+    """Parse one flat event dict; raises :class:`CodecError` on bad
+    shape so the ingest endpoint can reject the batch *before* any of
+    it touches pipeline or journal."""
+    if not isinstance(data, Mapping):
+        raise CodecError(f"event must be an object, got {type(data).__name__}")
+    missing = [name for name in _REQUIRED if name not in data]
+    if missing:
+        raise CodecError(f"event missing required fields: {missing}")
+    try:
+        return LogEntry(
+            time=float(data["time"]),  # type: ignore[arg-type]
+            method=str(data["method"]),
+            path=str(data["path"]),
+            status=int(data["status"]),  # type: ignore[arg-type]
+            client=ClientRef(
+                ip_address=str(data["ip_address"]),
+                ip_country=str(data.get("ip_country", "")),
+                ip_residential=bool(data.get("ip_residential", False)),
+                fingerprint_id=str(data["fingerprint_id"]),
+                user_agent=str(data.get("user_agent", "")),
+                profile_id=str(data.get("profile_id", "")),
+                actor=str(data.get("actor", "")),
+                actor_class=str(data.get("actor_class", "legit")),
+            ),
+            blocked_by=str(data.get("blocked_by", "")),
+            outcome=str(data.get("outcome", "")),
+        )
+    except (TypeError, ValueError) as error:
+        raise CodecError(f"bad event field: {error}")
+
+
+def entry_to_row(entry: LogEntry) -> Tuple[object, ...]:
+    """Journal row in :data:`ENTRY_FIELDS` order."""
+    data = entry_to_dict(entry)
+    return tuple(
+        int(data[name]) if name == "ip_residential" else data[name]
+        for name in ENTRY_FIELDS
+    )
+
+
+def entry_from_row(row: Sequence[object]) -> LogEntry:
+    """Rebuild an entry from a journal row (inverse of
+    :func:`entry_to_row`)."""
+    data = dict(zip(ENTRY_FIELDS, row))
+    data["ip_residential"] = bool(data["ip_residential"])
+    return entry_from_dict(data)
+
+
+def parse_events(
+    payload: object, last_time: Optional[float]
+) -> Tuple[LogEntry, ...]:
+    """Validate a full ingest batch up front.
+
+    Checks shape *and* time-ordering (against ``last_time``, the
+    pipeline's latest observed event time, and within the batch) so
+    the caller can journal-then-apply knowing neither step can fail
+    halfway — a partially applied batch would diverge the in-memory
+    pipeline from its own journal.
+    """
+    if not isinstance(payload, Sequence) or isinstance(payload, (str, bytes)):
+        raise CodecError("events must be a list of event objects")
+    entries = tuple(entry_from_dict(item) for item in payload)
+    previous = last_time
+    for index, entry in enumerate(entries):
+        if previous is not None and entry.time < previous:
+            raise CodecError(
+                f"events must be time-ordered: event {index} at "
+                f"{entry.time} arrives before {previous}"
+            )
+        previous = entry.time
+    return entries

@@ -40,6 +40,17 @@ class LogEntry:
 LogObserver = Callable[[LogEntry], None]
 
 
+def _observer_name(observer: LogObserver) -> str:
+    """Best human-readable identity for a subscribed callable."""
+    qualname = getattr(observer, "__qualname__", None)
+    if qualname:
+        owner = getattr(observer, "__self__", None)
+        if owner is not None:
+            return f"{qualname} of {owner!r}"
+        return qualname
+    return repr(observer)
+
+
 #: Backend names accepted by :class:`WebLog`.
 COLUMNAR = "columnar"
 LIST = "list"
@@ -77,13 +88,17 @@ class WebLog:
             self._store = None
             self._entries = []
         self._observers: List[LogObserver] = []
-        self._notifying = False
+        #: The observer currently being dispatched to (``None`` outside
+        #: :meth:`_notify`) — named in the re-entrancy error so the
+        #: offending subscriber is identifiable from the traceback.
+        self._dispatching: Optional[LogObserver] = None
 
     def _check_order(self, time: float) -> None:
-        if self._notifying:
+        if self._dispatching is not None:
             raise RuntimeError(
-                "re-entrant WebLog.append: a subscribed observer may not "
-                "append to the log it is observing"
+                "re-entrant WebLog.append from subscribed observer "
+                f"{_observer_name(self._dispatching)}: an observer may "
+                "not append to the log it is observing"
             )
         if len(self):
             last = (
@@ -97,12 +112,16 @@ class WebLog:
                 )
 
     def _notify(self, entry: LogEntry) -> None:
-        self._notifying = True
+        # Snapshot before dispatch: an observer that unsubscribes
+        # (itself or a peer) mid-dispatch must not perturb this
+        # iteration — removed observers still see the in-flight entry,
+        # and nobody is skipped by list compaction.
         try:
             for observer in tuple(self._observers):
+                self._dispatching = observer
                 observer(entry)
         finally:
-            self._notifying = False
+            self._dispatching = None
 
     def append(self, entry: LogEntry) -> None:
         self._check_order(entry.time)
@@ -151,17 +170,26 @@ class WebLog:
 
         Returns an unsubscribe callable.  Observers run synchronously
         inside :meth:`append` (after the entry is committed) and must
-        not append to the same log — re-entrant appends raise.
+        not append to the same log — re-entrant appends raise, naming
+        the observer that was mid-dispatch.
         """
         self._observers.append(observer)
+        return lambda: self.unsubscribe(observer)
 
-        def unsubscribe() -> None:
-            try:
-                self._observers.remove(observer)
-            except ValueError:
-                pass  # already unsubscribed
+    def unsubscribe(self, observer: LogObserver) -> bool:
+        """Remove ``observer``; returns whether it was subscribed.
 
-        return unsubscribe
+        Idempotent, and safe to call *during dispatch* (from any
+        observer, against itself or a peer): the in-flight notification
+        iterates a snapshot, so the removed observer still receives the
+        entry being dispatched and stops at the next append — clean
+        subscriber teardown for long-running services shutting down.
+        """
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            return False
+        return True
 
     @property
     def observer_count(self) -> int:

@@ -1,0 +1,122 @@
+"""Kill/restart recovery: SIGKILL mid-replay, restore, bit-identical.
+
+The acceptance test for the persistence layer. A real ``repro serve``
+subprocess replays a trace in chunks through ``POST /replay``; we
+SIGKILL it with acknowledged events sitting in both the snapshot and
+the journal tail, restart on the same ``--db``, resume the replay from
+the server's durable count, and require the final analysis digest to
+equal an uninterrupted in-process run's — bit for bit.
+"""
+
+import signal
+
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.serve.service import DetectionService
+from repro.serve.state import StateStore
+
+from tests.serve_util import campaign_entries, launch_server, write_trace
+
+
+@pytest.fixture(scope="module")
+def trace_and_digest(tmp_path_factory):
+    """One shared trace + its uninterrupted-run reference digest."""
+    tmp_path = tmp_path_factory.mktemp("recovery")
+    entries = campaign_entries(
+        rotations=5, holds_per_burst=6, legit_visitors=8
+    )
+    trace = write_trace(tmp_path / "case.rptr", entries)
+    reference = DetectionService(
+        StateStore(str(tmp_path / "reference.db")),
+        checkpoint_interval=10,
+    )
+    reference.replay_file(trace, batch=7)
+    digest = reference.analysis_digest()
+    return trace, len(entries), digest
+
+
+class TestKillRestartRecovery:
+    def test_sigkill_mid_replay_recovers_bit_identical(
+        self, trace_and_digest, tmp_path
+    ):
+        trace, total, reference_digest = trace_and_digest
+        db = tmp_path / "server.db"
+        cut = int(total * 0.6)
+        interval = ["--checkpoint-interval", "10"]
+
+        # Phase 1: replay 60% in small journal batches, then SIGKILL.
+        with launch_server(db, extra=interval) as (process, port):
+            client = ServeClient(f"http://127.0.0.1:{port}")
+            client.wait_ready()
+            result = client.replay(trace, offset=0, limit=cut, batch=7)
+            assert result["events_ingested"] == cut
+            status = client.status()
+            # The kill must exercise BOTH recovery paths: a snapshot
+            # and a non-empty journal tail behind it.
+            assert 0 < status["snapshot_seq"] < cut
+            assert status["journal_rows"] > 0
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=15)
+
+        # Phase 2: restart on the same db, resume, finish.
+        with launch_server(db, extra=interval) as (process, port):
+            client = ServeClient(f"http://127.0.0.1:{port}")
+            client.wait_ready()
+            status = client.status()
+            assert status["restored"] is True
+            assert status["events_ingested"] == cut
+            assert status["journal_replayed"] > 0
+            resumed = client.replay(
+                trace, offset=status["events_ingested"], batch=7
+            )
+            assert resumed["events_ingested"] == total
+            finish = client.finish()
+            assert finish["events_processed"] == total
+            assert finish["campaigns_convicted"] >= 1
+            assert finish["digest"] == reference_digest
+            client.shutdown()
+            assert process.wait(timeout=15) == 0
+
+    def test_clean_restart_after_graceful_shutdown(
+        self, trace_and_digest, tmp_path
+    ):
+        # Graceful shutdown checkpoints at the exact durable seq; a
+        # restart must come back with an empty journal and full state.
+        trace, total, reference_digest = trace_and_digest
+        db = tmp_path / "server.db"
+        with launch_server(db) as (process, port):
+            client = ServeClient(f"http://127.0.0.1:{port}")
+            client.wait_ready()
+            client.replay(trace)
+            client.shutdown()
+            process.wait(timeout=15)
+        with launch_server(db) as (process, port):
+            client = ServeClient(f"http://127.0.0.1:{port}")
+            client.wait_ready()
+            status = client.status()
+            assert status["events_ingested"] == total
+            assert status["journal_rows"] == 0  # all checkpointed
+            assert client.finish()["digest"] == reference_digest
+
+    def test_replay_flag_resumes_from_durable_count(
+        self, trace_and_digest, tmp_path
+    ):
+        # `repro serve --replay` on a warm db must skip what's already
+        # ingested instead of double-applying or erroring.
+        trace, total, reference_digest = trace_and_digest
+        db = tmp_path / "server.db"
+        cut = total // 2
+        with launch_server(db, extra=["--checkpoint-interval", "10"]) \
+                as (process, port):
+            client = ServeClient(f"http://127.0.0.1:{port}")
+            client.wait_ready()
+            client.replay(trace, limit=cut, batch=7)
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=15)
+        with launch_server(db, extra=["--replay", trace]) \
+                as (process, port):
+            client = ServeClient(f"http://127.0.0.1:{port}")
+            client.wait_ready()
+            assert client.status()["events_ingested"] == total
+            assert client.finish()["digest"] == reference_digest

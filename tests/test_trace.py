@@ -193,3 +193,58 @@ class TestReplay:
 
         assert ReplayStats(5, 0.0).events_per_second == 0.0
         assert ReplayStats(10, 2.0).events_per_second == 5.0
+
+
+class TestReplayEdgeCases:
+    """The failure modes the server's /replay endpoint must survive."""
+
+    def test_truncated_trace_raises_through_replay_path(self, tmp_path):
+        # Drop the CRC footer: replay_trace must surface the
+        # corruption, not silently treat the prefix as a full trace.
+        source = write_trace(tmp_path / "ok.rptr", sample_entries())
+        blob = open(source, "rb").read()
+        truncated = tmp_path / "trunc.rptr"
+        truncated.write_bytes(blob[:-13])
+        pipeline = StreamPipeline(adapters=[])
+        with pytest.raises(TraceCorruption, match="missing footer"):
+            replay_trace(str(truncated), pipeline)
+        # Entries framed before the break were already applied; the
+        # pipeline remains usable (the server keeps serving after 400).
+        assert pipeline.events_processed > 0
+        report = pipeline.finish()
+        assert report.events_processed == pipeline.events_processed
+
+    def test_zero_event_trace_replays_cleanly(self, tmp_path):
+        path = write_trace(tmp_path / "empty.rptr", [])
+        report, stats = replay_trace(path, StreamPipeline(adapters=[]))
+        assert stats.entries == 0
+        assert report.events_processed == 0
+        assert report.sessions_closed == 0
+        assert report.fused == []
+
+    def test_replay_into_already_warm_pipeline(self, tmp_path):
+        # A server that ingested live events and then replays a trace
+        # continues the same pipeline: sessions spanning the boundary
+        # must merge, and totals must accumulate.
+        warm = [make_entry(float(i)) for i in range(5)]
+        tail = [make_entry(5.0 + float(i)) for i in range(5)]
+        path = write_trace(tmp_path / "tail.rptr", tail)
+        pipeline = StreamPipeline(adapters=[])
+        for entry in warm:
+            pipeline.process(entry)
+        report, stats = replay_trace(path, pipeline)
+        assert stats.entries == 5
+        assert report.events_processed == 10
+        # Same client, contiguous times: one session across both feeds.
+        assert report.sessions_closed == 1
+
+    def test_replay_out_of_order_against_warm_pipeline(self, tmp_path):
+        # Replaying a trace that starts before the pipeline's clock is
+        # a caller bug; the sessionizer's ordering contract rejects it.
+        early = write_trace(
+            tmp_path / "early.rptr", [make_entry(1.0)]
+        )
+        pipeline = StreamPipeline(adapters=[])
+        pipeline.process(make_entry(100.0))
+        with pytest.raises(ValueError, match="time-ordered"):
+            replay_trace(early, pipeline)

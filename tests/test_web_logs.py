@@ -122,6 +122,81 @@ class TestWebLogSubscribe:
         log.append(make_entry(2.0))  # no lingering re-entrancy latch
         assert len(log) == 2
 
+    def test_reentrant_error_names_the_offending_observer(self):
+        log = WebLog()
+
+        def misbehaving_observer(entry):
+            log.append(make_entry(entry.time))
+
+        log.subscribe(misbehaving_observer)
+        with pytest.raises(RuntimeError, match="misbehaving_observer"):
+            log.append(make_entry(1.0))
+
+    def test_reentrant_error_names_bound_method_owner(self):
+        class Consumer:
+            def __init__(self, log):
+                self.log = log
+
+            def on_entry(self, entry):
+                self.log.append(make_entry(entry.time))
+
+            def __repr__(self):
+                return "<Consumer under test>"
+
+        log = WebLog()
+        consumer = Consumer(log)
+        log.subscribe(consumer.on_entry)
+        with pytest.raises(
+            RuntimeError,
+            match=r"Consumer\.on_entry of <Consumer under test>",
+        ):
+            log.append(make_entry(1.0))
+
+    def test_unsubscribe_method_by_observer(self):
+        log = WebLog()
+        seen = []
+        log.subscribe(seen.append)
+        assert log.unsubscribe(seen.append) is True
+        assert log.unsubscribe(seen.append) is False  # idempotent
+        log.append(make_entry(1.0))
+        assert seen == []
+
+    def test_unsubscribe_self_during_dispatch(self):
+        # An observer removing itself mid-dispatch still receives the
+        # in-flight entry and nothing after — clean service teardown.
+        log = WebLog()
+        seen = []
+
+        def one_shot(entry):
+            seen.append(entry.time)
+            assert log.unsubscribe(one_shot) is True
+
+        log.subscribe(one_shot)
+        log.append(make_entry(1.0))
+        log.append(make_entry(2.0))
+        assert seen == [1.0]
+        assert log.observer_count == 0
+
+    def test_unsubscribe_peer_during_dispatch_no_skips(self):
+        # First observer removes the second mid-dispatch: the second
+        # still sees the entry being dispatched (snapshot iteration),
+        # then stops receiving.
+        log = WebLog()
+        second_seen = []
+
+        def second(entry):
+            second_seen.append(entry.time)
+
+        def first(entry):
+            log.unsubscribe(second)
+
+        log.subscribe(first)
+        log.subscribe(second)
+        log.append(make_entry(1.0))
+        log.append(make_entry(2.0))
+        assert second_seen == [1.0]
+        assert log.observer_count == 1
+
 
 class TestSessionize:
     def test_groups_by_ip_and_fingerprint(self):
