@@ -36,7 +36,7 @@ def test_detector_comparison(benchmark):
 
     rows = []
     for name in ("volume", "logistic", "kmeans", "fingerprint",
-                 "abuse-pipeline"):
+                 "abuse-pipeline", "campaign-graph", "learned"):
         run = result.run_for(name)
         rows.append(
             [name]
@@ -63,6 +63,7 @@ def test_detector_comparison(benchmark):
     fingerprint = result.run_for("fingerprint").recall_by_class
     logistic = result.run_for("logistic").recall_by_class
     pipeline = result.run_for("abuse-pipeline").recall_by_class
+    learned = result.run_for("learned").recall_by_class
 
     # Conventional families: great on the scraper...
     for family in (volume, kmeans, fingerprint):
@@ -83,12 +84,23 @@ def test_detector_comparison(benchmark):
     # pumper sessions (single-request sessions carry no behaviour).
     assert logistic.get("sms-pumper", 0.0) <= 0.10
 
+    # The learned arm (repro.ml MLP rung) generalises from labels
+    # alone: it catches the scraper and both spinners with no
+    # hand-written rule — and, like every session-feature method,
+    # stays blind to the pumper's featureless one-request sessions.
+    assert learned.get("scraper", 0.0) >= 0.75
+    assert learned.get("seat-spinner", 0.0) >= 0.85
+    assert learned.get("manual-spinner", 0.0) >= 0.85
+    assert learned.get("sms-pumper", 0.0) <= 0.10
+
     # The paper-informed pipeline catches every functional-abuse class.
     assert pipeline.get("seat-spinner", 0.0) >= 0.85
     assert pipeline.get("manual-spinner", 0.0) >= 0.85
     assert pipeline.get("sms-pumper", 0.0) >= 0.85
 
     # All detector families keep collateral damage low.
-    for name in ("volume", "kmeans", "fingerprint", "abuse-pipeline"):
+    for name in (
+        "volume", "kmeans", "fingerprint", "abuse-pipeline", "learned",
+    ):
         fpr = result.run_for(name).evaluation.false_positive_rate
         assert fpr < 0.02, name

@@ -57,15 +57,37 @@ class BinaryEvaluation:
         )
 
 
+def predicted_bot_map(verdicts: Iterable[Verdict]) -> Dict[str, bool]:
+    """Merge verdicts into a per-subject bot flag, any-bot-wins.
+
+    A subject can legitimately carry several verdicts (one per detector
+    family, or a detector re-judging a session after a graph refresh).
+    A naive ``{v.subject_id: v.is_bot}`` dict resolves such duplicates
+    last-write-wins, so a benign verdict arriving after a bot verdict
+    silently un-flags the subject — and the measured recall then depends
+    on detector *order*.  Flagged-by-anyone is the deterministic,
+    order-independent merge every evaluation below uses.
+    """
+    predicted: Dict[str, bool] = {}
+    for verdict in verdicts:
+        if verdict.is_bot:
+            predicted[verdict.subject_id] = True
+        else:
+            predicted.setdefault(verdict.subject_id, False)
+    return predicted
+
+
 def evaluate_verdicts(
     sessions: Sequence[Session], verdicts: Sequence[Verdict]
 ) -> BinaryEvaluation:
     """Score session verdicts against session ground truth.
 
     Sessions without a verdict count as predicted-benign (a detector
-    that never looked at a session did not flag it).
+    that never looked at a session did not flag it); sessions with
+    several verdicts count as flagged if *any* verdict flagged them
+    (see :func:`predicted_bot_map`).
     """
-    predicted: Dict[str, bool] = {v.subject_id: v.is_bot for v in verdicts}
+    predicted = predicted_bot_map(verdicts)
     tp = fp = tn = fn = 0
     for session in sessions:
         truth = session.is_attacker
@@ -90,7 +112,7 @@ def recall_by_class(
     shows high recall on ``scraper`` and near-zero on ``seat-spinner`` /
     ``sms-pumper`` / ``manual-spinner``.
     """
-    predicted: Dict[str, bool] = {v.subject_id: v.is_bot for v in verdicts}
+    predicted = predicted_bot_map(verdicts)
     caught: Dict[str, int] = defaultdict(int)
     totals: Dict[str, int] = defaultdict(int)
     for session in sessions:
@@ -112,10 +134,16 @@ def session_actor(session: Session) -> str:
     with the operating actor; like ``actor_class``, the session takes
     the majority.  Evaluation only — detection code must never call
     this.
+
+    A zero-entry session (the sessionizer can surface one at an
+    eviction boundary, before its first entry lands) has no actor —
+    it counts as unattributed rather than crashing ``max()``.
     """
     counts: Dict[str, int] = {}
     for entry in session.entries:
         counts[entry.client.actor] = counts.get(entry.client.actor, 0) + 1
+    if not counts:
+        return ""
     return max(counts.items(), key=lambda item: item[1])[0]
 
 
@@ -286,7 +314,7 @@ def false_positive_sessions(
     sessions: Sequence[Session], verdicts: Sequence[Verdict]
 ) -> List[Session]:
     """Legitimate sessions the detector flagged (collateral damage)."""
-    predicted = {v.subject_id: v.is_bot for v in verdicts}
+    predicted = predicted_bot_map(verdicts)
     return [
         session
         for session in sessions

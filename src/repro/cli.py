@@ -290,7 +290,7 @@ def _cmd_detectors(args: argparse.Namespace) -> int:
             ]
             for name in (
                 "volume", "logistic", "kmeans", "fingerprint",
-                "abuse-pipeline", "campaign-graph",
+                "abuse-pipeline", "campaign-graph", "learned",
             )
         ],
         title="Detector families vs attack classes",
@@ -598,6 +598,145 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_train(args: argparse.Namespace) -> int:
+    from .ml.io import save_model
+    from .ml.train import TrainConfig, train_model
+    from .scenarios.learned import (
+        LearnedCaseConfig,
+        build_training_store,
+    )
+
+    try:
+        case_config = LearnedCaseConfig(
+            seed=args.seed,
+            variant=args.variant,
+            model=args.model,
+            training_worlds=args.worlds,
+            target_fpr=args.target_fpr,
+            epochs=args.epochs,
+            ticks_short=args.ticks_short,
+        )
+        train_config = TrainConfig(
+            model=args.model,
+            master_seed=args.seed,
+            target_fpr=args.target_fpr,
+            epochs=args.epochs,
+        )
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
+    store = build_training_store(case_config)
+    if args.store:
+        store.save(args.store)
+    dataset = store.to_dataset()
+    result = train_model(dataset, train_config)
+    save_model(args.out, result.model, meta=result.meta)
+    print(render_table(
+        ["Metric", "Value"],
+        [
+            ["model", args.model],
+            ["variant", args.variant],
+            ["training sessions", len(dataset)],
+            ["training bots", int(dataset.labels.sum())],
+            ["epochs", result.report.epochs],
+            ["final loss", f"{result.report.final_loss:.6f}"],
+            ["training accuracy",
+             f"{result.report.training_accuracy:.4f}"],
+            ["calibrated threshold", f"{result.threshold:.6f}"],
+            ["config hash", result.meta["config_hash"]],
+            ["dataset digest", result.meta["dataset_digest"]],
+            ["weights digest", result.meta["weights_digest"]],
+        ],
+        title=f"repro train (master seed {args.seed})",
+    ))
+    print(f"\nmodel written: {args.out}")
+    if args.store:
+        print(f"feature store written: {args.store}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    import hashlib
+
+    import numpy as np
+
+    from .analysis.evaluation import evaluate_verdicts
+    from .ml.detector import LearnedSessionDetector
+    from .ml.io import ModelFormatError, load_model
+    from .ml.store import FeatureStore
+
+    try:
+        model, meta = load_model(args.model_file)
+    except (OSError, ModelFormatError) as error:
+        raise SystemExit(f"error: {error}")
+    detector = LearnedSessionDetector(model)
+
+    if args.store:
+        dataset = FeatureStore.load(args.store).to_dataset()
+        probabilities = model.predict_proba(dataset)
+        flagged = probabilities >= model.threshold
+        rows = [
+            ["model kind", model.kind],
+            ["sessions scored", len(dataset)],
+            ["flagged as bot", int(flagged.sum())],
+            ["threshold", f"{model.threshold:.6f}"],
+        ]
+        if dataset.labelled:
+            labels = dataset.labels >= 0.5
+            bots = int(labels.sum())
+            legit = len(dataset) - bots
+            recall = (
+                float((flagged & labels).sum()) / bots if bots else 0.0
+            )
+            fpr = (
+                float((flagged & ~labels).sum()) / legit
+                if legit
+                else 0.0
+            )
+            rows += [
+                ["recall", f"{recall:.4f}"],
+                ["FPR", f"{fpr * 100:.2f}%"],
+            ]
+        digest = hashlib.sha256(
+            np.ascontiguousarray(probabilities).tobytes()
+        ).hexdigest()[:16]
+        rows.append(["predictions digest", digest])
+        print(render_table(
+            ["Metric", "Value"],
+            rows,
+            title=f"repro predict ({args.store})",
+        ))
+        return 0
+
+    from .scenarios.learned import variant_case_config
+    from .scenarios.case_a import run_case_a
+    from .web.logs import sessionize
+
+    world = run_case_a(
+        variant_case_config(args.variant, args.seed, args.ticks_short)
+    ).world
+    sessions = sessionize(world.app.log)
+    verdicts = detector.judge_all(sessions)
+    evaluation = evaluate_verdicts(sessions, verdicts)
+    digest = hashlib.sha256(
+        np.array([v.score for v in verdicts]).tobytes()
+    ).hexdigest()[:16]
+    print(render_table(
+        ["Metric", "Value"],
+        [
+            ["model kind", model.kind],
+            ["trained from", str(meta.get("config_hash", "?"))],
+            ["eval variant", args.variant],
+            ["sessions scored", len(sessions)],
+            ["flagged as bot", sum(1 for v in verdicts if v.is_bot)],
+            ["recall", f"{evaluation.recall:.4f}"],
+            ["FPR", f"{evaluation.false_positive_rate * 100:.2f}%"],
+            ["predictions digest", digest],
+        ],
+        title=f"repro predict (eval seed {args.seed})",
+    ))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve.server import run_server
 
@@ -794,6 +933,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="report file format (default: json)",
     )
     add_runner_args(profile)
+    train = add(
+        "train", _cmd_train,
+        "train a model-ladder rung on streamed sessions from "
+        "disjoint-seed worlds (bit-reproducible for a fixed seed)",
+    )
+    train.add_argument(
+        "--model", choices=("logistic", "mlp", "encoder"),
+        default="encoder",
+        help="ladder rung to train (default: encoder)",
+    )
+    train.add_argument(
+        "--variant", choices=("rotated", "stealth"), default="rotated",
+        help="evasive Case A variant to train against",
+    )
+    train.add_argument(
+        "--out", required=True, metavar="FILE",
+        help="output RPML model file",
+    )
+    train.add_argument(
+        "--worlds", type=int, default=2,
+        help="disjoint-seed training worlds to pool (default: 2)",
+    )
+    train.add_argument(
+        "--epochs", type=int, default=None,
+        help="override the rung's default epoch count",
+    )
+    train.add_argument(
+        "--target-fpr", type=float, default=0.01,
+        help="calibrate the decision threshold to this FPR on the "
+        "training worlds' legitimate sessions (default: 0.01)",
+    )
+    train.add_argument(
+        "--ticks-short", action="store_true",
+        help="compressed timeline for smoke runs",
+    )
+    train.add_argument(
+        "--store", metavar="FILE", default=None,
+        help="also persist the training feature store (.npz)",
+    )
+    predict = add(
+        "predict", _cmd_predict,
+        "score sessions with a trained RPML model "
+        "(a fresh eval world, or a saved feature store)",
+    )
+    predict.add_argument(
+        "model_file", help="RPML model written by `repro train`",
+    )
+    predict.add_argument(
+        "--variant", choices=("rotated", "stealth"), default="rotated",
+        help="eval-world variant when simulating (default: rotated)",
+    )
+    predict.add_argument(
+        "--ticks-short", action="store_true",
+        help="compressed eval world for smoke runs",
+    )
+    predict.add_argument(
+        "--store", metavar="FILE", default=None,
+        help="score a saved feature store instead of simulating",
+    )
     serve = add(
         "serve", _cmd_serve,
         "long-running detection service: HTTP ingest/replay + queries, "
@@ -865,6 +1063,8 @@ _DEFAULT_SEEDS = {
     "graph": 7,
     "behavioural": 41,
     "stream": 7,
+    "train": 7,
+    "predict": 7,
     "replay": 0,
     "profile": 7,
     "serve": 0,

@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ...ml.standardize import Standardiser
 from ...web.logs import Session
 from .features import feature_matrix
 from .verdict import Verdict
@@ -59,16 +60,18 @@ class LogisticSessionClassifier:
         self.threshold = threshold
         self._weights: Optional[np.ndarray] = None
         self._bias = 0.0
-        self._mean: Optional[np.ndarray] = None
-        self._std: Optional[np.ndarray] = None
+        self._standardiser: Optional[Standardiser] = None
 
     @property
     def fitted(self) -> bool:
         return self._weights is not None
 
     def _standardise(self, matrix: np.ndarray) -> np.ndarray:
-        assert self._mean is not None and self._std is not None
-        return (matrix - self._mean) / self._std
+        # Shared constant-column-safe standardisation (repro.ml); the
+        # old per-model copy clamped only exact std == 0.0 and turned
+        # constant non-zero columns into amplified rounding noise.
+        assert self._standardiser is not None
+        return self._standardiser.transform(matrix)
 
     def fit(
         self, sessions: Sequence[Session], labels: Sequence[bool]
@@ -85,10 +88,7 @@ class LogisticSessionClassifier:
         if len(set(labels)) < 2:
             raise ValueError("training labels must contain both classes")
 
-        self._mean = matrix.mean(axis=0)
-        std = matrix.std(axis=0)
-        std[std == 0.0] = 1.0
-        self._std = std
+        self._standardiser = Standardiser.fit(matrix)
         x = self._standardise(matrix)
 
         n_samples, n_features = x.shape

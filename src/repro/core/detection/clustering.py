@@ -14,6 +14,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from ...ml.standardize import Standardiser
 from ...web.logs import Session
 from .features import FEATURE_NAMES, feature_matrix
 from .verdict import Verdict
@@ -115,12 +116,13 @@ class ClusteringDetector:
                 for s in sessions
             ]
         matrix = feature_matrix(sessions)
-        # Standardise so distance is not dominated by large-scale features.
-        mean = matrix.mean(axis=0)
-        std = matrix.std(axis=0)
-        std[std == 0.0] = 1.0
+        # Standardise so distance is not dominated by large-scale
+        # features (constant-column-safe, see repro.ml.standardize;
+        # distances are invariant to the constant-column anchoring).
         labels, _ = kmeans(
-            (matrix - mean) / std, self.config.k, self._rng
+            Standardiser.fit(matrix).transform(matrix),
+            self.config.k,
+            self._rng,
         )
 
         count_index = FEATURE_NAMES.index("request_count")

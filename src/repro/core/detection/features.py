@@ -78,9 +78,34 @@ class SessionFeatures:
 
 
 def extract_features(session: Session) -> SessionFeatures:
-    """Compute the behaviour feature bundle for one session."""
+    """Compute the behaviour feature bundle for one session.
+
+    A zero-entry session (the sessionizer can surface one at an
+    eviction boundary) yields the all-zeros bundle instead of dividing
+    by its zero request count.
+    """
     entries = session.entries
     count = len(entries)
+    if count == 0:
+        return SessionFeatures(
+            session_id=session.session_id,
+            request_count=0,
+            duration_minutes=0.0,
+            requests_per_minute=0.0,
+            get_fraction=0.0,
+            post_fraction=0.0,
+            unique_paths=0,
+            search_count=0,
+            details_count=0,
+            hold_count=0,
+            pay_count=0,
+            sms_request_count=0,
+            hold_to_pay_gap=0,
+            mean_interrequest=0.0,
+            cv_interrequest=0.0,
+            error_fraction=0.0,
+            trap_hits=0,
+        )
     duration_min = session.duration / 60.0
     # A single-request session has zero duration; rate uses a 1-minute
     # floor so it stays finite and comparable.

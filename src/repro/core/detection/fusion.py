@@ -31,6 +31,10 @@ DEFAULT_WEIGHTS: Dict[str, float] = {
     "navigation-graph": 0.6,
     "logistic-behaviour": 0.7,
     "kmeans-behaviour": 0.5,
+    # The trained session-sequence arm (repro.ml): its threshold is
+    # FPR-calibrated at train time, so a conviction is high-precision
+    # evidence, but it stays below the knowledge-based rules.
+    "learned-sequence": 0.85,
 }
 
 

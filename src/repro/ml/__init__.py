@@ -1,0 +1,48 @@
+"""Learned detection arm: feature store, model ladder, training.
+
+``repro.ml`` holds everything trainable: the shared constant-column-safe
+:class:`~repro.ml.standardize.Standardiser`, sequence/feature dataset
+encoding, the model ladder (logistic baseline, MLP head, attention
+encoder over per-session event sequences), the versioned on-disk model
+format, and the deterministic training loop behind ``repro train`` /
+``repro predict``.
+"""
+
+from .data import Dataset, build_dataset, encode_sequence
+from .detector import LEARNED_DETECTOR, LearnedSessionDetector
+from .encoder import SequenceEncoder
+from .io import load_model, save_model
+from .models import LogisticHead, MLPHead, TrainReport
+from .standardize import Standardiser
+from .store import FeatureStore, FeatureStoreAdapter
+from .train import (
+    TrainConfig,
+    TrainResult,
+    config_hash,
+    dataset_digest,
+    train_model,
+    weights_digest,
+)
+
+__all__ = [
+    "Dataset",
+    "FeatureStore",
+    "FeatureStoreAdapter",
+    "LEARNED_DETECTOR",
+    "LearnedSessionDetector",
+    "LogisticHead",
+    "MLPHead",
+    "SequenceEncoder",
+    "Standardiser",
+    "TrainConfig",
+    "TrainReport",
+    "TrainResult",
+    "build_dataset",
+    "config_hash",
+    "dataset_digest",
+    "encode_sequence",
+    "load_model",
+    "save_model",
+    "train_model",
+    "weights_digest",
+]

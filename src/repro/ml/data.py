@@ -1,0 +1,195 @@
+"""Datasets for the learned detection arm.
+
+The payoff of owning the traffic generator is labeled data: every
+simulated session carries ground truth, so the learned arm can train on
+synthetic traces instead of hand-labelled production samples.  This
+module turns reconstructed sessions into the two model inputs:
+
+* the :data:`~repro.core.detection.features.FEATURE_NAMES` vector the
+  whole behaviour-detection stack already shares, and
+* a **per-event token sequence** — one discrete token per log entry
+  (endpoint × outcome) plus the log-scaled inter-event gap — which is
+  what the attention encoder reads.  Sequences keep the *order* and
+  *cadence* information the aggregate vector throws away: a seat
+  spinner's search→details→hold loop on a timer is invisible in
+  endpoint counts but obvious as a sequence.
+
+Token ids, paddings and sequence length are frozen constants so a
+model trained today can score sequences encoded tomorrow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.detection.features import (
+    FEATURE_NAMES,
+    extract_features,
+)
+from ..web.logs import Session
+from ..web.request import (
+    BOARDING_PASS_SMS,
+    FLIGHT_DETAILS,
+    HOLD,
+    OTP_LOGIN,
+    PAY,
+    SEARCH,
+    TRAP,
+)
+
+#: Endpoint bucket per known path; anything else maps to OTHER_PATH.
+PATH_BUCKETS: Dict[str, int] = {
+    SEARCH: 0,
+    FLIGHT_DETAILS: 1,
+    HOLD: 2,
+    PAY: 3,
+    OTP_LOGIN: 4,
+    BOARDING_PASS_SMS: 5,
+    TRAP: 6,
+}
+OTHER_PATH = 7
+_PATH_COUNT = 8
+
+#: Outcome buckets: success vs anything else (errors, blocks).
+OK_STATUS = 0
+ERROR_STATUS = 1
+_STATUS_COUNT = 2
+
+#: Token = path bucket × outcome bucket; id 0..VOCAB_SIZE-1 are real
+#: events, PAD_TOKEN marks positions past the session's end.
+VOCAB_SIZE = _PATH_COUNT * _STATUS_COUNT
+PAD_TOKEN = VOCAB_SIZE
+
+#: Fixed sequence length: long enough for the behavioural loop to show
+#: several iterations, short enough that the tiny encoder stays tiny.
+#: Longer sessions keep their *first* MAX_SEQUENCE_LENGTH events — the
+#: funnel entry is where automation cadence is most regular.
+MAX_SEQUENCE_LENGTH = 48
+
+
+def entry_token(path: str, status: int) -> int:
+    """Token id for one log entry."""
+    bucket = PATH_BUCKETS.get(path, OTHER_PATH)
+    outcome = OK_STATUS if status == 200 else ERROR_STATUS
+    return bucket * _STATUS_COUNT + outcome
+
+
+def encode_sequence(session: Session) -> Tuple[np.ndarray, np.ndarray]:
+    """``(tokens, gaps)`` arrays of length :data:`MAX_SEQUENCE_LENGTH`.
+
+    ``tokens`` is int16 with :data:`PAD_TOKEN` padding; ``gaps`` holds
+    ``log1p(seconds since previous event)`` (0.0 for the first event
+    and at padded positions) — log-scaled so second-cadence bots and
+    minute-cadence humans land on comparable magnitudes.
+    """
+    tokens = np.full(MAX_SEQUENCE_LENGTH, PAD_TOKEN, dtype=np.int16)
+    gaps = np.zeros(MAX_SEQUENCE_LENGTH, dtype=np.float64)
+    previous: Optional[float] = None
+    for position, entry in enumerate(
+        session.entries[:MAX_SEQUENCE_LENGTH]
+    ):
+        tokens[position] = entry_token(entry.path, entry.status)
+        if previous is not None:
+            gaps[position] = np.log1p(max(entry.time - previous, 0.0))
+        previous = entry.time
+    return tokens, gaps
+
+
+@dataclass
+class Dataset:
+    """Aligned model inputs for one batch of sessions.
+
+    ``labels`` is float (1.0 = bot) and may be all-NaN for inference
+    batches built without ground truth.
+    """
+
+    session_ids: List[str]
+    features: np.ndarray        # (n, len(FEATURE_NAMES)) float64
+    tokens: np.ndarray          # (n, MAX_SEQUENCE_LENGTH) int16
+    gaps: np.ndarray            # (n, MAX_SEQUENCE_LENGTH) float64
+    labels: np.ndarray          # (n,) float64, NaN when unknown
+    #: Ground-truth actor class per session ("" when unknown) — kept
+    #: for per-class recall reporting, never fed to a model.
+    actor_classes: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        n = len(self.session_ids)
+        for name, rows in (
+            ("features", self.features.shape[0]),
+            ("tokens", self.tokens.shape[0]),
+            ("gaps", self.gaps.shape[0]),
+            ("labels", self.labels.shape[0]),
+        ):
+            if rows != n:
+                raise ValueError(
+                    f"{name} has {rows} rows for {n} sessions"
+                )
+
+    def __len__(self) -> int:
+        return len(self.session_ids)
+
+    @property
+    def labelled(self) -> bool:
+        return len(self) > 0 and not np.isnan(self.labels).any()
+
+    def subset(self, indices: Sequence[int]) -> "Dataset":
+        index = np.asarray(list(indices), dtype=int)
+        return Dataset(
+            session_ids=[self.session_ids[i] for i in index],
+            features=self.features[index],
+            tokens=self.tokens[index],
+            gaps=self.gaps[index],
+            labels=self.labels[index],
+            actor_classes=(
+                [self.actor_classes[i] for i in index]
+                if self.actor_classes
+                else []
+            ),
+        )
+
+
+def build_dataset(
+    sessions: Sequence[Session],
+    labels: Optional[Sequence[bool]] = None,
+    with_truth: bool = False,
+) -> Dataset:
+    """Encode sessions into a :class:`Dataset`.
+
+    ``labels`` supplies explicit ground truth; ``with_truth=True``
+    reads it from the simulation labels instead (training on our own
+    generator).  With neither, the dataset is unlabelled.
+    """
+    sessions = list(sessions)
+    if labels is not None and len(labels) != len(sessions):
+        raise ValueError(
+            f"{len(sessions)} sessions but {len(labels)} labels"
+        )
+    n = len(sessions)
+    features = np.zeros((n, len(FEATURE_NAMES)))
+    tokens = np.full(
+        (n, MAX_SEQUENCE_LENGTH), PAD_TOKEN, dtype=np.int16
+    )
+    gaps = np.zeros((n, MAX_SEQUENCE_LENGTH))
+    target = np.full(n, np.nan)
+    actor_classes: List[str] = []
+    for row, session in enumerate(sessions):
+        features[row] = extract_features(session).vector()
+        tokens[row], gaps[row] = encode_sequence(session)
+        if labels is not None:
+            target[row] = float(labels[row])
+        elif with_truth:
+            target[row] = float(session.is_attacker)
+        actor_classes.append(
+            session.actor_class if (with_truth or labels is None) else ""
+        )
+    return Dataset(
+        session_ids=[s.session_id for s in sessions],
+        features=features,
+        tokens=tokens,
+        gaps=gaps,
+        labels=target,
+        actor_classes=actor_classes,
+    )

@@ -1,0 +1,315 @@
+"""Tiny from-scratch attention encoder over per-session event sequences.
+
+The sequence rung of the model ladder: reads the token/gap encoding
+from :mod:`repro.ml.data` (endpoint×outcome tokens plus log inter-event
+gaps), runs one masked single-head self-attention block with a residual
+connection, pools with a learned attention query, and scores with a
+logistic head.  Everything — forward, backward, Adam — is hand-written
+NumPy: no autograd, no framework, and the analytic gradients are
+finite-difference-checked in the test suite.
+
+Why attention at all: rotated low-and-slow abuse is engineered to keep
+every *aggregate* feature inside legitimate ranges, but the per-event
+structure (the same search→details→hold loop on a near-constant timer,
+session after session) survives rotation because the attacker's script
+doesn't change when their fingerprint does.  A sequence model reads
+that structure directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .data import Dataset, MAX_SEQUENCE_LENGTH, PAD_TOKEN, VOCAB_SIZE
+from .models import (
+    TrainReport,
+    _check_trainable,
+    class_weights,
+    sigmoid,
+    weighted_cross_entropy,
+)
+
+#: Batch rows processed per forward/backward chunk.  The attention
+#: matrix is (rows, L, L); chunking caps peak memory without changing
+#: results (gradients are exact sums over rows).
+CHUNK_ROWS = 512
+
+#: Parameter order is part of the on-disk contract (see repro.ml.io).
+PARAM_NAMES: Tuple[str, ...] = (
+    "embed",    # (VOCAB_SIZE + 1, d) token embeddings incl. PAD row
+    "w_gap",    # (d,) projection of the log-gap channel
+    "pos",      # (L, d) learned positional embeddings
+    "wq",       # (d, d) attention query projection
+    "wk",       # (d, d) attention key projection
+    "wv",       # (d, d) attention value projection
+    "q_pool",   # (d,) learned pooling query
+    "w_out",    # (d,) logistic head weights
+    "b_out",    # (1,) logistic head bias
+)
+
+#: Matrices under L2 (embeddings and biases stay unregularised).
+_L2_PARAMS = ("wq", "wk", "wv", "w_out")
+
+
+def _masked_softmax(scores: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Row softmax with masked entries forced to exactly 0.0.
+
+    ``mask`` broadcasts over ``scores``; masked logits are shifted to
+    -1e9 so after max-subtraction their ``exp`` underflows to zero and
+    no gradient leaks through padding.
+    """
+    shifted = np.where(mask, scores, -1e9)
+    shifted = shifted - shifted.max(axis=-1, keepdims=True)
+    weights = np.exp(shifted)
+    return weights / weights.sum(axis=-1, keepdims=True)
+
+
+class SequenceEncoder:
+    """Single-block attention encoder with a logistic head."""
+
+    kind = "encoder"
+
+    def __init__(
+        self,
+        d_model: int = 16,
+        learning_rate: float = 0.01,
+        l2: float = 1e-4,
+        epochs: int = 150,
+        threshold: float = 0.5,
+    ) -> None:
+        self.d_model = d_model
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.epochs = epochs
+        self.threshold = threshold
+        self.params: Dict[str, np.ndarray] = {}
+
+    @property
+    def fitted(self) -> bool:
+        return bool(self.params)
+
+    def init_params(self, rng: np.random.Generator) -> None:
+        """Seeded parameter init (exposed for the gradient-check test)."""
+        d = self.d_model
+        scale = 1.0 / np.sqrt(d)
+        self.params = {
+            "embed": rng.normal(0.0, scale, size=(VOCAB_SIZE + 1, d)),
+            "w_gap": rng.normal(0.0, scale, size=d),
+            "pos": rng.normal(0.0, scale, size=(MAX_SEQUENCE_LENGTH, d)),
+            "wq": rng.normal(0.0, scale, size=(d, d)),
+            "wk": rng.normal(0.0, scale, size=(d, d)),
+            "wv": rng.normal(0.0, scale, size=(d, d)),
+            "q_pool": rng.normal(0.0, scale, size=d),
+            "w_out": rng.normal(0.0, scale, size=d),
+            "b_out": np.zeros(1),
+        }
+
+    # -- forward -------------------------------------------------------
+
+    def _forward(
+        self, tokens: np.ndarray, gaps: np.ndarray
+    ) -> Dict[str, np.ndarray]:
+        """Forward pass over one chunk; returns every cached tensor the
+        backward pass needs, keyed by name."""
+        p = self.params
+        d = self.d_model
+        mask = tokens != PAD_TOKEN                        # (n, L)
+        x = (
+            p["embed"][tokens]
+            + gaps[:, :, None] * p["w_gap"][None, None, :]
+            + p["pos"][None, :, :]
+        )                                                  # (n, L, d)
+        q = x @ p["wq"]
+        k = x @ p["wk"]
+        v = x @ p["wv"]
+        scores = q @ k.transpose(0, 2, 1) / np.sqrt(d)     # (n, L, L)
+        attn = _masked_softmax(scores, mask[:, None, :])
+        h = x + attn @ v                                   # residual
+        pool_scores = h @ p["q_pool"] / np.sqrt(d)         # (n, L)
+        alpha = _masked_softmax(pool_scores, mask)
+        pooled = (alpha[:, :, None] * h).sum(axis=1)       # (n, d)
+        logits = pooled @ p["w_out"] + p["b_out"][0]
+        return {
+            "mask": mask, "x": x, "q": q, "k": k, "v": v,
+            "attn": attn, "h": h, "alpha": alpha, "pooled": pooled,
+            "probabilities": sigmoid(logits),
+        }
+
+    # -- backward ------------------------------------------------------
+
+    def _chunk_grads(
+        self,
+        tokens: np.ndarray,
+        gaps: np.ndarray,
+        dlogits: np.ndarray,
+        cache: Dict[str, np.ndarray],
+        grads: Dict[str, np.ndarray],
+    ) -> None:
+        """Accumulate exact analytic gradients for one chunk into
+        ``grads`` (data term only; L2 is added once by the caller)."""
+        p = self.params
+        d = self.d_model
+        x, h, alpha = cache["x"], cache["h"], cache["alpha"]
+
+        # Head.
+        grads["w_out"] += cache["pooled"].T @ dlogits
+        grads["b_out"][0] += float(dlogits.sum())
+        dpooled = dlogits[:, None] * p["w_out"][None, :]   # (n, d)
+
+        # Attention pooling: pooled = sum_l alpha_l * h_l.
+        dalpha = (dpooled[:, None, :] * h).sum(axis=2)     # (n, L)
+        dh = alpha[:, :, None] * dpooled[:, None, :]       # (n, L, d)
+        dscores_pool = alpha * (
+            dalpha - (alpha * dalpha).sum(axis=1, keepdims=True)
+        )
+        dh += dscores_pool[:, :, None] * p["q_pool"][None, None, :] / np.sqrt(d)
+        grads["q_pool"] += np.einsum("nl,nld->d", dscores_pool, h) / np.sqrt(d)
+
+        # Residual block: h = x + attn @ v.
+        attn, v, q, k = cache["attn"], cache["v"], cache["q"], cache["k"]
+        dx = dh.copy()
+        dv = attn.transpose(0, 2, 1) @ dh
+        dattn = dh @ v.transpose(0, 2, 1)
+        dscores = attn * (
+            dattn - (attn * dattn).sum(axis=2, keepdims=True)
+        )
+        dq = dscores @ k / np.sqrt(d)
+        dk = dscores.transpose(0, 2, 1) @ q / np.sqrt(d)
+        dx += dq @ p["wq"].T + dk @ p["wk"].T + dv @ p["wv"].T
+        grads["wq"] += np.einsum("nld,nle->de", x, dq)
+        grads["wk"] += np.einsum("nld,nle->de", x, dk)
+        grads["wv"] += np.einsum("nld,nle->de", x, dv)
+
+        # Input channels.
+        np.add.at(
+            grads["embed"],
+            tokens.reshape(-1),
+            dx.reshape(-1, d),
+        )
+        grads["w_gap"] += np.einsum("nl,nld->d", gaps, dx)
+        grads["pos"] += dx.sum(axis=0)
+
+    def loss_and_grads(
+        self,
+        tokens: np.ndarray,
+        gaps: np.ndarray,
+        labels: np.ndarray,
+        row_weights: np.ndarray,
+    ) -> Tuple[float, Dict[str, np.ndarray]]:
+        """Weighted-CE loss plus exact gradients for the full batch."""
+        n = len(labels)
+        grads = {
+            name: np.zeros_like(array)
+            for name, array in self.params.items()
+        }
+        loss = 0.0
+        for start in range(0, n, CHUNK_ROWS):
+            stop = min(start + CHUNK_ROWS, n)
+            chunk_tokens = tokens[start:stop]
+            chunk_gaps = gaps[start:stop]
+            cache = self._forward(chunk_tokens, chunk_gaps)
+            probabilities = cache["probabilities"]
+            chunk_labels = labels[start:stop]
+            chunk_weights = row_weights[start:stop]
+            eps = 1e-12
+            loss += float(
+                -np.sum(
+                    chunk_weights
+                    * (
+                        chunk_labels * np.log(probabilities + eps)
+                        + (1 - chunk_labels)
+                        * np.log(1 - probabilities + eps)
+                    )
+                )
+            ) / n
+            dlogits = chunk_weights * (probabilities - chunk_labels) / n
+            self._chunk_grads(
+                chunk_tokens, chunk_gaps, dlogits, cache, grads
+            )
+        for name in _L2_PARAMS:
+            loss += 0.5 * self.l2 * float((self.params[name] ** 2).sum())
+            grads[name] += self.l2 * self.params[name]
+        return loss, grads
+
+    # -- training ------------------------------------------------------
+
+    def fit(
+        self, dataset: Dataset, rng: np.random.Generator
+    ) -> TrainReport:
+        labels = _check_trainable(dataset)
+        row_weights = class_weights(labels)
+        self.init_params(rng)
+        # Full-batch Adam: deterministic (no sampling) and far fewer
+        # epochs than plain GD on the attention block's loss surface.
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        m = {k: np.zeros_like(a) for k, a in self.params.items()}
+        s = {k: np.zeros_like(a) for k, a in self.params.items()}
+        loss = float("inf")
+        for step in range(1, self.epochs + 1):
+            loss, grads = self.loss_and_grads(
+                dataset.tokens, dataset.gaps, labels, row_weights
+            )
+            for name, grad in grads.items():
+                m[name] = beta1 * m[name] + (1 - beta1) * grad
+                s[name] = beta2 * s[name] + (1 - beta2) * grad**2
+                m_hat = m[name] / (1 - beta1**step)
+                s_hat = s[name] / (1 - beta2**step)
+                self.params[name] -= (
+                    self.learning_rate * m_hat / (np.sqrt(s_hat) + eps)
+                )
+        accuracy = float(
+            np.mean(
+                (self.predict_proba(dataset) >= self.threshold)
+                == (labels >= 0.5)
+            )
+        )
+        return TrainReport(
+            epochs=self.epochs,
+            final_loss=loss,
+            training_accuracy=accuracy,
+        )
+
+    def predict_proba(self, dataset: Dataset) -> np.ndarray:
+        if not self.fitted:
+            raise RuntimeError("model is not fitted")
+        n = len(dataset)
+        probabilities = np.zeros(n)
+        for start in range(0, n, CHUNK_ROWS):
+            stop = min(start + CHUNK_ROWS, n)
+            cache = self._forward(
+                dataset.tokens[start:stop], dataset.gaps[start:stop]
+            )
+            probabilities[start:stop] = cache["probabilities"]
+        return probabilities
+
+    # -- persistence ---------------------------------------------------
+
+    def get_state(self) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+        if not self.fitted:
+            raise RuntimeError("model is not fitted")
+        header = {
+            "d_model": self.d_model,
+            "learning_rate": self.learning_rate,
+            "l2": self.l2,
+            "epochs": self.epochs,
+            "threshold": self.threshold,
+        }
+        return header, {name: self.params[name] for name in PARAM_NAMES}
+
+    @classmethod
+    def from_state(
+        cls,
+        header: Dict[str, object],
+        arrays: Dict[str, np.ndarray],
+    ) -> "SequenceEncoder":
+        model = cls(
+            d_model=int(header["d_model"]),
+            learning_rate=float(header["learning_rate"]),
+            l2=float(header["l2"]),
+            epochs=int(header["epochs"]),
+            threshold=float(header["threshold"]),
+        )
+        model.params = {name: arrays[name] for name in PARAM_NAMES}
+        return model

@@ -1,0 +1,67 @@
+"""Shared feature standardisation for every trainable model.
+
+All classifiers in the ladder (logistic, MLP head, attention encoder)
+standardise the session feature matrix before training.  Centralising
+the fit/transform pair here fixes a real correctness bug the per-model
+copies shared: clamping zero-variance columns with an exact
+``std == 0.0`` comparison.
+
+A column that is *constant at a non-zero value* (e.g. every session in
+a trap-free world has ``trap_hits == 0`` — that one is exact — but
+``duration_minutes`` constant at ``0.1`` is not) computes a floating
+point std of ~1e-17, not 0.0: the mean of n identical doubles is not
+always that double, so the deviations are rounding residue.  Dividing
+by that residue turns an information-free column into amplified noise
+— O(1) garbage values in training, and arbitrarily huge activations at
+predict time for inputs one ulp away from the training constant, which
+is how NaN/inf reaches the weights.  The fix detects constant columns
+structurally (``max == min``), anchors their mean at the constant
+itself, and clamps their std to 1.0, so a constant column transforms
+to *exactly* zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class Standardiser:
+    """Per-column ``(x - mean) / std`` with degenerate-column safety.
+
+    Fit once on the training matrix; transform train and inference
+    matrices with the frozen statistics.  Columns with zero variance
+    (including float-rounding-residue variance on constant non-zero
+    columns) transform to exactly 0.0 and therefore carry no gradient.
+    """
+
+    mean: np.ndarray
+    std: np.ndarray
+
+    @classmethod
+    def fit(cls, matrix: np.ndarray) -> "Standardiser":
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError(
+                f"expected a 2-D feature matrix, got shape {matrix.shape}"
+            )
+        if matrix.shape[0] == 0:
+            return cls(
+                mean=np.zeros(matrix.shape[1]),
+                std=np.ones(matrix.shape[1]),
+            )
+        mean = matrix.mean(axis=0)
+        std = matrix.std(axis=0)
+        constant = matrix.max(axis=0) == matrix.min(axis=0)
+        # Anchor a constant column's mean at the constant itself (the
+        # computed mean can differ in the last ulp) and never divide by
+        # its rounding-residue std.
+        mean = np.where(constant, matrix[0], mean)
+        std = np.where(constant | (std == 0.0), 1.0, std)
+        return cls(mean=mean, std=std)
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        matrix = np.asarray(matrix, dtype=float)
+        return (matrix - self.mean) / self.std

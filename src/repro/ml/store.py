@@ -1,0 +1,142 @@
+"""Feature store: the persistence layer between pipeline and trainer.
+
+The stream pipeline sees every session exactly once, at close; the
+trainer wants to iterate over all of them, repeatedly, later.  The
+:class:`FeatureStore` bridges the two: sessions are encoded the moment
+they close (aggregate :mod:`~repro.core.detection.features` vector plus
+the raw per-event token/gap sequence from :mod:`repro.ml.data`) and
+appended to columnar arrays that round trip through a single ``.npz``
+file.  :class:`FeatureStoreAdapter` is the pipeline hook — a silent
+adapter that captures training data while the detection adapters judge.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+from ..core.detection.features import FEATURE_NAMES, extract_features
+from ..core.detection.verdict import Verdict
+from ..stream.adapters import StreamAdapter
+from ..web.logs import Session
+from .data import Dataset, MAX_SEQUENCE_LENGTH, encode_sequence
+
+
+class FeatureStore:
+    """Append-only columnar store of encoded sessions."""
+
+    def __init__(self) -> None:
+        self.session_ids: List[str] = []
+        self.actor_classes: List[str] = []
+        self._features: List[np.ndarray] = []
+        self._tokens: List[np.ndarray] = []
+        self._gaps: List[np.ndarray] = []
+        self._labels: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self.session_ids)
+
+    def add_session(
+        self, session: Session, with_truth: bool = True
+    ) -> None:
+        """Encode and append one closed session.
+
+        ``with_truth`` keeps the simulation's ground-truth label (the
+        point of training on our own generator); pass ``False`` when
+        capturing unlabelled traffic for scoring.
+        """
+        self.session_ids.append(session.session_id)
+        self._features.append(extract_features(session).vector())
+        tokens, gaps = encode_sequence(session)
+        self._tokens.append(tokens)
+        self._gaps.append(gaps)
+        if with_truth:
+            self._labels.append(float(session.is_attacker))
+            self.actor_classes.append(session.actor_class)
+        else:
+            self._labels.append(float("nan"))
+            self.actor_classes.append("")
+
+    def extend(
+        self, sessions: Iterable[Session], with_truth: bool = True
+    ) -> None:
+        for session in sessions:
+            self.add_session(session, with_truth=with_truth)
+
+    def to_dataset(self) -> Dataset:
+        """Materialise the store as a training/scoring dataset."""
+        n = len(self)
+        return Dataset(
+            session_ids=list(self.session_ids),
+            features=(
+                np.vstack(self._features)
+                if n
+                else np.zeros((0, len(FEATURE_NAMES)))
+            ),
+            tokens=(
+                np.vstack(self._tokens)
+                if n
+                else np.zeros((0, MAX_SEQUENCE_LENGTH), dtype=np.int16)
+            ),
+            gaps=(
+                np.vstack(self._gaps)
+                if n
+                else np.zeros((0, MAX_SEQUENCE_LENGTH))
+            ),
+            labels=np.asarray(self._labels, dtype=float),
+            actor_classes=list(self.actor_classes),
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist the store as one compressed ``.npz``."""
+        dataset = self.to_dataset()
+        np.savez_compressed(
+            path,
+            session_ids=np.array(dataset.session_ids, dtype=np.str_),
+            actor_classes=np.array(
+                dataset.actor_classes, dtype=np.str_
+            ),
+            features=dataset.features,
+            tokens=dataset.tokens,
+            gaps=dataset.gaps,
+            labels=dataset.labels,
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FeatureStore":
+        with np.load(path, allow_pickle=False) as archive:
+            store = cls()
+            store.session_ids = [str(s) for s in archive["session_ids"]]
+            store.actor_classes = [
+                str(s) for s in archive["actor_classes"]
+            ]
+            store._features = list(archive["features"])
+            store._tokens = list(archive["tokens"])
+            store._gaps = list(archive["gaps"])
+            store._labels = [float(v) for v in archive["labels"]]
+        return store
+
+
+class FeatureStoreAdapter(StreamAdapter):
+    """Stream adapter that captures every closed session into a store.
+
+    Emits no verdicts — it rides the same pipeline as the detection
+    adapters, so training data comes from the exact sessionizer the
+    learned detector will later be judged behind (no train/serve skew).
+    """
+
+    name = "feature-store"
+
+    def __init__(
+        self,
+        store: Optional[FeatureStore] = None,
+        with_truth: bool = True,
+    ) -> None:
+        self.store = store if store is not None else FeatureStore()
+        self.with_truth = with_truth
+
+    def on_session_closed(self, session: Session) -> Iterable[Verdict]:
+        self.store.add_session(session, with_truth=self.with_truth)
+        return ()

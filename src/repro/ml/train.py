@@ -1,0 +1,178 @@
+"""Deterministic training harness behind ``repro train``.
+
+One entry point, :func:`train_model`, owns everything that has to be
+reproducible about a training run:
+
+* **seeding** — the model's init generator is derived from the master
+  seed and the rung name via :func:`~repro.sim.rng.derive_seed`, the
+  same scheme every simulation stream uses, so ``(master_seed,
+  config)`` fully determines the weights, bit for bit;
+* **threshold calibration** — instead of a hard-coded 0.5, the decision
+  threshold is set on the *training* split's legitimate sessions to a
+  target false-positive rate.  That is what makes "beats the hand-tuned
+  stack at equal-or-lower FPR" a property of the model rather than of a
+  lucky operating point;
+* **provenance** — the returned meta block (config hash, dataset
+  digest, weights digest) is stamped into the RPML file so a model can
+  always be traced to the exact run that produced it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..sim.rng import derive_seed
+from .data import Dataset
+from .encoder import SequenceEncoder
+from .io import ModelType
+from .models import LogisticHead, MLPHead, TrainReport
+
+#: Ladder rung names accepted by TrainConfig.model.
+MODEL_CHOICES = ("logistic", "mlp", "encoder")
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Everything that determines a training run (hashable provenance)."""
+
+    model: str = "encoder"
+    master_seed: int = 7
+    #: Per-rung architecture knobs (ignored by rungs without them).
+    hidden: int = 32
+    d_model: int = 16
+    #: ``None`` = the rung's default.
+    epochs: Optional[int] = None
+    learning_rate: Optional[float] = None
+    l2: Optional[float] = None
+    #: Calibrate the decision threshold to this false-positive rate on
+    #: the training split's legitimate sessions.
+    target_fpr: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.model not in MODEL_CHOICES:
+            raise ValueError(
+                f"unknown model {self.model!r}; expected {MODEL_CHOICES}"
+            )
+        if not 0.0 < self.target_fpr < 1.0:
+            raise ValueError(
+                f"target_fpr must be in (0, 1): {self.target_fpr}"
+            )
+
+
+def config_hash(config: TrainConfig) -> str:
+    """Stable digest of the full training configuration."""
+    payload = json.dumps(asdict(config), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def dataset_digest(dataset: Dataset) -> str:
+    """Content digest of the training inputs (order-sensitive)."""
+    digest = hashlib.sha256()
+    digest.update("\x00".join(dataset.session_ids).encode("utf-8"))
+    for array in (
+        dataset.features,
+        dataset.tokens,
+        dataset.gaps,
+        dataset.labels,
+    ):
+        digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()[:16]
+
+
+def weights_digest(model: ModelType) -> str:
+    """Bit-exact digest of a fitted model's parameters + threshold."""
+    _, arrays = model.get_state()
+    digest = hashlib.sha256()
+    digest.update(repr(model.threshold).encode("utf-8"))
+    for name in sorted(arrays):
+        digest.update(name.encode("utf-8"))
+        digest.update(np.ascontiguousarray(arrays[name]).tobytes())
+    return digest.hexdigest()[:16]
+
+
+def build_model(config: TrainConfig) -> ModelType:
+    """Instantiate the configured (unfitted) ladder rung."""
+    overrides: Dict[str, object] = {}
+    if config.epochs is not None:
+        overrides["epochs"] = config.epochs
+    if config.learning_rate is not None:
+        overrides["learning_rate"] = config.learning_rate
+    if config.l2 is not None:
+        overrides["l2"] = config.l2
+    if config.model == "logistic":
+        return LogisticHead(**overrides)
+    if config.model == "mlp":
+        return MLPHead(hidden=config.hidden, **overrides)
+    return SequenceEncoder(d_model=config.d_model, **overrides)
+
+
+def calibrate_threshold(
+    probabilities: np.ndarray,
+    labels: np.ndarray,
+    target_fpr: float,
+) -> float:
+    """Smallest threshold whose FPR on ``labels==0`` rows is within
+    ``target_fpr`` (clamped inside (0, 1))."""
+    legit = np.sort(probabilities[labels < 0.5])[::-1]
+    if len(legit) == 0:
+        return 0.5
+    allowed = int(np.floor(target_fpr * len(legit)))
+    if allowed >= len(legit):
+        threshold = float(legit[-1])
+    elif allowed == 0:
+        threshold = float(np.nextafter(legit[0], 1.0))
+    else:
+        # Just above the (allowed)-th largest legit score: exactly
+        # `allowed` legitimate sessions stay flagged.
+        threshold = float(np.nextafter(legit[allowed - 1], 1.0))
+    return min(max(threshold, 1e-6), 1.0 - 1e-6)
+
+
+@dataclass
+class TrainResult:
+    """A fitted rung plus its convergence report and provenance."""
+
+    model: ModelType
+    report: TrainReport
+    #: FPR-calibrated decision threshold (also set on the model).
+    threshold: float
+    #: Provenance block stamped into the RPML file by ``repro train``.
+    meta: Dict[str, object]
+
+
+def train_model(dataset: Dataset, config: TrainConfig) -> TrainResult:
+    """Train one ladder rung, bit-reproducibly.
+
+    All randomness flows through one generator derived from
+    ``(master_seed, "ml.train.<rung>")``; identical ``(dataset,
+    config)`` pairs produce identical weights, thresholds and digests
+    on every run, serial or inside a worker process.
+    """
+    model = build_model(config)
+    rng = np.random.default_rng(
+        derive_seed(config.master_seed, f"ml.train.{config.model}")
+    )
+    report = model.fit(dataset, rng)
+    threshold = calibrate_threshold(
+        model.predict_proba(dataset), dataset.labels, config.target_fpr
+    )
+    model.threshold = threshold
+    meta: Dict[str, object] = {
+        "config": asdict(config),
+        "config_hash": config_hash(config),
+        "dataset_digest": dataset_digest(dataset),
+        "weights_digest": weights_digest(model),
+        "training_sessions": len(dataset),
+        "training_bots": int(dataset.labels.sum()),
+        "threshold": threshold,
+        "final_loss": report.final_loss,
+        "training_accuracy": report.training_accuracy,
+    }
+    return TrainResult(
+        model=model, report=report, threshold=threshold, meta=meta
+    )

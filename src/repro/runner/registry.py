@@ -26,6 +26,7 @@ from ..scenarios.graph_case import (
     graph_case_a_cell,
     graph_case_c_cell,
 )
+from ..scenarios.learned import LearnedCaseConfig, learned_case_cell
 from ..scenarios.scale import ScaleConfig, scale_cell
 from ..scenarios.streaming import StreamCaseAConfig, stream_case_a_cell
 
@@ -81,6 +82,8 @@ register_scenario("stream-case-a", StreamCaseAConfig, stream_case_a_cell)
 # the case field so sweep params cannot cross-wire the two entries.
 register_scenario("graph-case-a", GraphCaseConfig, graph_case_a_cell)
 register_scenario("graph-case-c", GraphCaseConfig, graph_case_c_cell)
+# Learned-vs-hand-tuned arms on the evasive Case A variants (repro.ml).
+register_scenario("learned-case-a", LearnedCaseConfig, learned_case_cell)
 # Instrumented variants: same configs, cells also carry an "obs"
 # registry snapshot (merged across workers by SweepResult.merged_obs).
 register_scenario("profile-case-a", CaseAConfig, profile_case_a_cell)

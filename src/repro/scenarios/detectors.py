@@ -56,6 +56,9 @@ from ..identity.forge import (
     RotationPolicy,
 )
 from ..identity.ip import ResidentialProxyPool
+from ..ml.data import build_dataset
+from ..ml.detector import LearnedSessionDetector
+from ..ml.train import TrainConfig, train_model
 from ..sim.clock import DAY, HOUR
 from ..traffic.legitimate import LegitimateConfig, LegitimatePopulation
 from ..traffic.manual_spinner import ManualSeatSpinner, ManualSpinnerConfig
@@ -370,6 +373,24 @@ def run_detector_comparison(
             sms=world.sms.delivered_records(),
             seed_verdicts=seed_verdicts,
         ),
+    )
+
+    # 7. The learned arm (repro.ml): the MLP rung of the model ladder,
+    #    trained on the same disjoint world as the logistic family but
+    #    class-weighted and with its threshold calibrated on the
+    #    training world's legitimate sessions.  ~25% of the training
+    #    rows are the pumper's single-request sessions — bot-labelled
+    #    but featureless, so the weighted loss never converges on them
+    #    (training accuracy plateaus near 0.57); the long epoch budget
+    #    is what lets the six scraper rows carve out their island
+    #    against that irreducible mass.
+    learned_train = train_model(
+        build_dataset(training_sessions, with_truth=True),
+        TrainConfig(model="mlp", master_seed=config.seed, epochs=4000),
+    )
+    score(
+        "learned",
+        LearnedSessionDetector(learned_train.model).judge_all(sessions),
     )
 
     session_counts: Dict[str, int] = {}

@@ -53,10 +53,18 @@ def default_stream_adapters(
     hold_velocity_window: float = 6 * HOUR,
     sms_velocity_threshold: int = 20,
     sms_velocity_window: float = 1 * HOUR,
+    learned_model_path: Optional[str] = None,
 ) -> List[StreamAdapter]:
     """The standard adapter set: batch volume detection on closed
-    sessions plus both per-fingerprint velocity fast paths."""
-    return [
+    sessions plus both per-fingerprint velocity fast paths.
+
+    ``learned_model_path`` (an RPML file from ``repro train``) adds the
+    trained session-sequence arm as a fourth adapter; its verdicts are
+    batch-equivalent because the model's standardiser and weights are
+    frozen at train time, so judging sessions one at a time matches
+    judging them all at once.
+    """
+    adapters: List[StreamAdapter] = [
         SessionDetectorAdapter(VolumeDetector()),
         HoldVelocityAdapter(
             threshold=hold_velocity_threshold,
@@ -67,6 +75,14 @@ def default_stream_adapters(
             window=sms_velocity_window,
         ),
     ]
+    if learned_model_path is not None:
+        from ..ml.detector import LearnedSessionDetector
+
+        detector, _ = LearnedSessionDetector.from_file(
+            learned_model_path
+        )
+        adapters.append(SessionDetectorAdapter(detector))
+    return adapters
 
 
 def build_stream_pipeline(

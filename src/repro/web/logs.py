@@ -249,12 +249,18 @@ class Session:
 
     @property
     def actor_class(self) -> str:
-        """Ground-truth majority actor class (evaluation only)."""
+        """Ground-truth majority actor class (evaluation only).
+
+        A zero-entry session carries no evidence of anything — it
+        counts as legitimate rather than crashing ``max()``.
+        """
         counts: Dict[str, int] = {}
         for entry in self.entries:
             counts[entry.client.actor_class] = (
                 counts.get(entry.client.actor_class, 0) + 1
             )
+        if not counts:
+            return "legit"
         return max(counts.items(), key=lambda item: item[1])[0]
 
     @property
