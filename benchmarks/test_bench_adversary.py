@@ -1,0 +1,142 @@
+"""E15 — the adaptive adversary vs single-case and layered defenses.
+
+The paper's systemic argument, stated in the attacker's own currency:
+an industrial operation treats abuse features as a *portfolio* and
+moves budget to whatever still clears its return threshold.  This
+benchmark runs :mod:`repro.scenarios.portfolio` across every defense
+posture and pins the headline:
+
+* with **no defense** the attacker parks on the best channel and the
+  operation is strongly profitable;
+* under **every single-case defense** (Case A honeypot, Case C rate
+  limits, Case D number reputation, Case E destination surge) the
+  attacker routes around the protected feature and *stays* profitable —
+  per-feature prevention does not close the business;
+* under the **layered posture** every channel's windowed ROI collapses
+  below threshold, the attacker retires, and the standing
+  infrastructure burn leaves the whole operation net negative — all at
+  a bounded false-positive cost on legitimate traffic.
+
+The numbers land in the committed ``output/bench_adversary.json``.
+"""
+
+import json
+import os
+
+from conftest import OUTPUT_DIR, quick_mode, save_artifact
+
+from repro.analysis.reports import render_table
+from repro.scenarios.portfolio import (
+    DEFENSE_ALL,
+    DEFENSE_NONE,
+    DEFENSES,
+    SINGLE_DEFENSES,
+    PortfolioConfig,
+    run_portfolio,
+)
+from repro.sim.clock import DAY
+
+ARTIFACT_PATH = os.path.join(OUTPUT_DIR, "bench_adversary.json")
+
+#: Quick mode shortens the campaign; the qualitative shape (open
+#: channel under any single defense, retirement under all) is stable.
+DURATION = 1 * DAY if quick_mode() else 3 * DAY
+
+
+def run_posture(defense):
+    return run_portfolio(
+        PortfolioConfig(defense=defense, duration=DURATION)
+    )
+
+
+def _sweep():
+    return {defense: run_posture(defense) for defense in DEFENSES}
+
+
+def test_portfolio_defense_closes_the_business(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    save_artifact(
+        "adversary_portfolio",
+        render_table(
+            ["Defense", "spent", "earned", "net", "ROI",
+             "retired", "legit FPR"],
+            [
+                [
+                    defense,
+                    f"{r.attacker_spent:.2f}",
+                    f"{r.attacker_earned:.2f}",
+                    f"{r.attacker_net:+.2f}",
+                    f"{r.attacker_roi:+.2f}",
+                    "yes" if r.retired else "no",
+                    f"{r.legit_fp_conviction_rate:.4f}",
+                ]
+                for defense, r in results.items()
+            ],
+            title=(
+                "Adaptive attacker vs defense postures "
+                f"({DURATION / DAY:.0f}-day campaign)"
+            ),
+        ),
+    )
+
+    artifact = {}
+    for defense, r in results.items():
+        artifact[defense] = {
+            "attacker_spent": round(r.attacker_spent, 4),
+            "attacker_earned": round(r.attacker_earned, 4),
+            "attacker_net": round(r.attacker_net, 4),
+            "attacker_roi": round(r.attacker_roi, 4),
+            "infrastructure_cost": round(r.infrastructure_cost, 4),
+            "retired": r.retired,
+            "decisions": len(r.decisions),
+            "legit_requests_blocked": r.legit_requests_blocked,
+            "legit_fp_conviction_rate": round(
+                r.legit_fp_conviction_rate, 6
+            ),
+            "channels": {
+                c.name: {
+                    "spent": round(c.spent, 4),
+                    "earned": round(c.earned, 4),
+                    "activations": c.activations,
+                }
+                for c in r.channels
+            },
+        }
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    with open(ARTIFACT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+    print(f"wrote {ARTIFACT_PATH}")
+
+    undefended = results[DEFENSE_NONE]
+    layered = results[DEFENSE_ALL]
+
+    # No defense: the operation is clearly profitable.
+    assert undefended.attacker_net > 0.0
+    assert undefended.attacker_roi > 0.0
+    assert not undefended.retired
+
+    # Every single-case defense leaves an open channel: the attacker
+    # keeps positive ROI by routing budget around the protected feature.
+    for defense in SINGLE_DEFENSES:
+        r = results[defense]
+        assert r.attacker_net > 0.0, defense
+        assert r.attacker_roi > 0.0, defense
+        assert not r.retired, defense
+
+    # The layered posture closes the business: every channel tried,
+    # every channel collapsed, operation retired at a net loss deeper
+    # than the infrastructure burn alone (the channels themselves lost
+    # money too).
+    assert layered.retired
+    assert layered.attacker_net < 0.0
+    assert layered.attacker_roi < 0.0
+    assert layered.attacker_net < -layered.infrastructure_cost
+    activated = {
+        d["channel"] for d in layered.decisions if d["action"] == "activate"
+    }
+    assert activated == {c.name for c in layered.channels}
+
+    # ... and at a bounded false-positive cost on legitimate traffic.
+    for defense, r in results.items():
+        assert r.legit_fp_conviction_rate < 0.01, defense

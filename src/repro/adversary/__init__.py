@@ -1,0 +1,37 @@
+"""repro.adversary — the adaptive, economically rational attacker.
+
+The case studies model one campaign each; Section V's closing argument
+is that the *attacker* is a business that moves between features: when
+one abuse channel's return collapses (a defense lands, a feature is
+removed), the budget flows to the next one.  This package models that
+portfolio behaviour:
+
+* :mod:`~repro.adversary.channels` — one :class:`AbuseChannel` wrapper
+  per monetisable feature (seat spinning, SMS pumping, OTP number
+  cycling, notification amplification), each owning its bot, proxy
+  pool and per-channel profit-and-loss accounting;
+* :mod:`~repro.adversary.attacker` — :class:`AdaptiveAttacker`, a
+  deterministic controller that re-estimates per-channel ROI on a
+  cadence, abandons channels whose return falls below threshold, and
+  retires once no channel clears it (at which point the fixed
+  infrastructure burn has made the whole operation a loss).
+"""
+
+from .attacker import AdaptiveAttacker, AttackerDecision
+from .channels import (
+    AbuseChannel,
+    AmplifyChannel,
+    OtpAbuseChannel,
+    SeatSpinChannel,
+    SmsPumpChannel,
+)
+
+__all__ = [
+    "AbuseChannel",
+    "AdaptiveAttacker",
+    "AmplifyChannel",
+    "AttackerDecision",
+    "OtpAbuseChannel",
+    "SeatSpinChannel",
+    "SmsPumpChannel",
+]

@@ -1,0 +1,239 @@
+"""The adaptive attacker: a budgeted portfolio manager over channels.
+
+Section V frames industrial fraud as a business: the attacker funds
+whatever feature currently yields, and a defense "wins" not when it
+blocks requests but when it pushes the channel's return below what the
+attacker's capital could earn elsewhere.  :class:`AdaptiveAttacker`
+implements the smallest faithful version of that behaviour:
+
+* one channel active at a time, drawn from a fixed shared budget;
+* on a reassessment cadence, the *windowed* ROI of the active channel
+  (earnings delta over spend delta since the last look) is compared to
+  ``roi_threshold``; a channel that stops clearing it is benched;
+* untried channels are preferred (optimism under uncertainty, in
+  declaration order); once all are tried, the best lifetime-ROI channel
+  still above threshold gets a second run, bounded by
+  ``max_activations``;
+* when nothing clears the threshold the attacker **retires** — and the
+  fixed infrastructure burn (panel rent, accounts, developers) that
+  accrued per day of operation stays on the books, which is what turns
+  "every channel suppressed" into "the operation lost money".
+
+The controller draws no randomness at all: given the same channel
+P&L trajectories it makes the same decisions at the same times, which
+keeps serial and ProcessPool portfolio runs bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.clock import DAY, HOUR
+from ..sim.events import EventLoop
+from ..sim.process import Process
+from .channels import AbuseChannel
+
+
+@dataclass(frozen=True)
+class AttackerDecision:
+    """One entry in the attacker's decision journal."""
+
+    time: float
+    action: str  # "activate" | "bench" | "retire" | "budget-exhausted"
+    channel: str
+    #: Windowed ROI that triggered the decision (None for activations).
+    window_roi: Optional[float] = None
+
+
+class _ChannelBook:
+    """Per-channel P&L bookkeeping between reassessments."""
+
+    def __init__(self, channel: AbuseChannel) -> None:
+        self.channel = channel
+        self.last_spent = 0.0
+        self.last_earned = 0.0
+
+    def window(self) -> tuple:
+        """(spend delta, earn delta) since the last call; advances the
+        snapshot."""
+        spent, earned = self.channel.spent(), self.channel.earned()
+        d_spent = spent - self.last_spent
+        d_earned = earned - self.last_earned
+        self.last_spent, self.last_earned = spent, earned
+        return d_spent, d_earned
+
+    def lifetime_roi(self) -> float:
+        spent = self.channel.spent()
+        if spent <= 0.0:
+            return 0.0
+        return (self.channel.earned() - spent) / spent
+
+
+class AdaptiveAttacker(Process):
+    """Deterministic ROI-driven channel switching over a shared budget."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        channels: Sequence[AbuseChannel],
+        budget: float = 500.0,
+        roi_threshold: float = 0.0,
+        reassess_interval: float = 2 * HOUR,
+        infrastructure_per_day: float = 5.0,
+        max_activations: int = 2,
+        name: str = "adaptive-attacker",
+    ) -> None:
+        if not channels:
+            raise ValueError("adaptive attacker needs at least one channel")
+        if budget <= 0:
+            raise ValueError(f"budget must be positive: {budget}")
+        if reassess_interval <= 0:
+            raise ValueError(
+                f"reassess_interval must be positive: {reassess_interval}"
+            )
+        super().__init__(loop, name=name)
+        self.channels = list(channels)
+        self.budget = budget
+        self.roi_threshold = roi_threshold
+        self.reassess_interval = reassess_interval
+        self.infrastructure_per_day = infrastructure_per_day
+        self.max_activations = max_activations
+        self._books: Dict[str, _ChannelBook] = {
+            c.name: _ChannelBook(c) for c in self.channels
+        }
+        self._active: Optional[AbuseChannel] = None
+        self._last_accrual: Optional[float] = None
+        self.infrastructure_cost = 0.0
+        self.decisions: List[AttackerDecision] = []
+        self.retired = False
+
+    # -- accounting ---------------------------------------------------
+
+    def total_spent(self) -> float:
+        return (
+            sum(c.spent() for c in self.channels)
+            + self.infrastructure_cost
+        )
+
+    def total_earned(self) -> float:
+        return sum(c.earned() for c in self.channels)
+
+    @property
+    def net(self) -> float:
+        return self.total_earned() - self.total_spent()
+
+    def roi(self) -> float:
+        spent = self.total_spent()
+        if spent <= 0.0:
+            return 0.0
+        return self.net / spent
+
+    @property
+    def active_channel(self) -> Optional[str]:
+        return self._active.name if self._active is not None else None
+
+    def _accrue_infrastructure(self, now: float) -> None:
+        if self._last_accrual is not None:
+            elapsed = now - self._last_accrual
+            self.infrastructure_cost += (
+                self.infrastructure_per_day * elapsed / DAY
+            )
+        self._last_accrual = now
+
+    # -- channel selection --------------------------------------------
+
+    def _activate(self, channel: AbuseChannel, now: float) -> None:
+        self._active = channel
+        # Snapshot so the first reassessment window starts here, not at
+        # whatever the channel spent in an earlier activation.
+        book = self._books[channel.name]
+        book.last_spent = channel.spent()
+        book.last_earned = channel.earned()
+        channel.activate()
+        self.decisions.append(
+            AttackerDecision(
+                time=now, action="activate", channel=channel.name
+            )
+        )
+
+    def _next_channel(self) -> Optional[AbuseChannel]:
+        for channel in self.channels:  # optimism: untried first
+            if channel.activations == 0:
+                return channel
+        candidates = [
+            c
+            for c in self.channels
+            if c.activations < self.max_activations
+            and self._books[c.name].lifetime_roi() > self.roi_threshold
+        ]
+        if not candidates:
+            return None
+        return max(
+            candidates, key=lambda c: self._books[c.name].lifetime_roi()
+        )
+
+    # -- main loop ----------------------------------------------------
+
+    def step(self) -> Optional[float]:
+        now = self.loop.now
+        self._accrue_infrastructure(now)
+
+        if self.total_spent() >= self.budget:
+            if self._active is not None:
+                self._active.deactivate()
+                self.decisions.append(
+                    AttackerDecision(
+                        time=now,
+                        action="budget-exhausted",
+                        channel=self._active.name,
+                    )
+                )
+                self._active = None
+            self.retired = True
+            return None
+
+        if self._active is None:
+            channel = self._next_channel()
+            if channel is None:
+                self.retired = True
+                self.decisions.append(
+                    AttackerDecision(time=now, action="retire", channel="")
+                )
+                return None
+            self._activate(channel, now)
+            return self.reassess_interval
+
+        d_spent, d_earned = self._books[self._active.name].window()
+        if d_spent <= 0.0:
+            # No marginal spend: either the channel earns for free
+            # (keep it forever) or its bot has gone quiet — gave up,
+            # permanently absorbed — and earns nothing (dead, bench it).
+            window_roi = (
+                float("inf") if d_earned > 0.0 else float("-inf")
+            )
+        else:
+            window_roi = (d_earned - d_spent) / d_spent
+
+        if window_roi < self.roi_threshold:
+            self._active.deactivate()
+            self.decisions.append(
+                AttackerDecision(
+                    time=now,
+                    action="bench",
+                    channel=self._active.name,
+                    window_roi=window_roi,
+                )
+            )
+            self._active = None
+            # Pick the replacement immediately (same step) so the
+            # budget never idles while infrastructure burns.
+            replacement = self._next_channel()
+            if replacement is None:
+                self.retired = True
+                self.decisions.append(
+                    AttackerDecision(time=now, action="retire", channel="")
+                )
+                return None
+            self._activate(replacement, now)
+        return self.reassess_interval

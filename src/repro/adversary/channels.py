@@ -1,0 +1,244 @@
+"""Abuse channels: one monetisable feature each, with its own P&L.
+
+An :class:`AbuseChannel` wraps a bot, the resources it consumes (proxy
+pool, rented numbers, stolen cards) and the revenue model it earns
+under, exposing exactly the two numbers the adaptive attacker's
+channel-switching policy needs — cumulative ``spent()`` and
+``earned()`` — plus ``activate()``/``deactivate()`` built on the
+restartable :class:`~repro.sim.process.Process` contract.
+
+Revenue attribution is per-channel by construction: settlements are
+read off the gateway record stream filtered by the channel bot's actor
+name, seat displacement off the channel's own target flight, so four
+channels sharing one world never double-count each other's income.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from ..economics.reports import attacker_seat_seconds
+from ..identity.forge import (
+    BotIdentity,
+    FingerprintForge,
+    MIMICRY,
+    RotationPolicy,
+)
+from ..identity.ip import ResidentialProxyPool
+from ..sim.clock import HOUR
+from ..sms.numbers import PhoneNumber
+from ..sms.rental import NumberRentalService
+from ..traffic.amplifier import AmplifierBot, AmplifierConfig
+from ..traffic.otp_abuser import OtpAbuseBot, OtpAbuserConfig
+from ..traffic.seat_spinner import SeatSpinnerBot, SeatSpinnerConfig
+from ..traffic.sms_pumper import SmsPumperBot, SmsPumperConfig
+
+if TYPE_CHECKING:  # typing only: scenarios imports this package
+    from ..scenarios.world import World
+
+#: Default cost of one stolen card used for a setup ticket.
+STOLEN_CARD_COST = 15.0
+
+
+def _settlement_revenue(world: World, actor: str) -> float:
+    """Carrier kickbacks attributable to one actor's messages."""
+    return sum(
+        r.settlement.attacker_revenue
+        for r in world.sms.records
+        if r.settlement is not None and r.client.actor == actor
+    )
+
+
+def _identity(world: World, stream: str) -> BotIdentity:
+    return BotIdentity(
+        FingerprintForge(MIMICRY),
+        RotationPolicy(mean_interval=5.3 * HOUR, rotate_on_block=True),
+        world.rngs.stream(stream),
+    )
+
+
+class AbuseChannel:
+    """Base: lifecycle + P&L interface over one bot."""
+
+    def __init__(self, name: str, world: World) -> None:
+        self.name = name
+        self.world = world
+        self.proxy_pool = ResidentialProxyPool()
+        self.bot = None  # subclasses construct it
+        self.activations = 0
+
+    # -- lifecycle ----------------------------------------------------
+
+    def activate(self, at: Optional[float] = None) -> None:
+        self.activations += 1
+        self.bot.start(at=at)
+
+    def deactivate(self) -> None:
+        self.bot.stop()
+
+    @property
+    def active(self) -> bool:
+        return self.bot.running
+
+    # -- P&L ----------------------------------------------------------
+
+    def spent(self) -> float:
+        """Cumulative channel expenses (proxies + CAPTCHA solving; the
+        subclasses add their channel-specific costs)."""
+        return (
+            self.proxy_pool.total_cost
+            + self.world.app.captcha_costs_by_actor.get(self.name, 0.0)
+        )
+
+    def earned(self) -> float:
+        raise NotImplementedError
+
+
+class SeatSpinChannel(AbuseChannel):
+    """Denial of Inventory sold as a service: a rival pays per
+    seat-hour the target flight's inventory is kept out of sale."""
+
+    def __init__(
+        self,
+        world: World,
+        target_flight: str,
+        value_per_seat_hour: float = 0.05,
+        target_seats: Optional[int] = 60,
+        name: str = "adv-seat-spinner",
+    ) -> None:
+        super().__init__(name, world)
+        self.target_flight = target_flight
+        self.value_per_seat_hour = value_per_seat_hour
+        self.bot = SeatSpinnerBot(
+            world.loop,
+            world.app,
+            _identity(world, f"adversary.{name}.identity"),
+            self.proxy_pool,
+            world.rngs.stream(f"adversary.{name}"),
+            SeatSpinnerConfig(
+                target_flight=target_flight,
+                target_seats=target_seats,
+                stop_before_departure=0.0,
+            ),
+            name=name,
+        )
+
+    def earned(self) -> float:
+        displacement = attacker_seat_seconds(
+            self.world.reservations, self.target_flight
+        )
+        return displacement.attacker_seat_hours * self.value_per_seat_hour
+
+
+class SmsPumpChannel(AbuseChannel):
+    """Case C economics: boarding-pass SMS to attacker-controlled
+    numbers, monetised through colluding carriers' revenue share."""
+
+    def __init__(
+        self,
+        world: World,
+        setup_flight: str,
+        sms_per_hour: float = 80.0,
+        tickets_to_buy: int = 2,
+        name: str = "adv-sms-pumper",
+    ) -> None:
+        super().__init__(name, world)
+        self.bot = SmsPumperBot(
+            world.loop,
+            world.app,
+            _identity(world, f"adversary.{name}.identity"),
+            self.proxy_pool,
+            world.rngs.stream(f"adversary.{name}"),
+            SmsPumperConfig(
+                setup_flight=setup_flight,
+                tickets_to_buy=tickets_to_buy,
+                sms_per_hour=sms_per_hour,
+            ),
+            name=name,
+        )
+
+    def spent(self) -> float:
+        return (
+            super().spent()
+            + len(self.bot.booking_refs) * STOLEN_CARD_COST
+        )
+
+    def earned(self) -> float:
+        return _settlement_revenue(self.world, self.name)
+
+
+class OtpAbuseChannel(AbuseChannel):
+    """Case D economics: rented disposable numbers cycled against the
+    OTP endpoint, monetised through the same carrier kickbacks."""
+
+    def __init__(
+        self,
+        world: World,
+        otp_per_hour: float = 120.0,
+        otps_per_number: int = 16,
+        rental_cost_per_number: float = 0.40,
+        name: str = "adv-otp-abuser",
+    ) -> None:
+        super().__init__(name, world)
+        self.rental = NumberRentalService(
+            cost_per_number=rental_cost_per_number
+        )
+        self.bot = OtpAbuseBot(
+            world.loop,
+            world.app,
+            _identity(world, f"adversary.{name}.identity"),
+            self.proxy_pool,
+            self.rental,
+            world.rngs.stream(f"adversary.{name}"),
+            OtpAbuserConfig(
+                otps_per_number=otps_per_number,
+                otp_per_hour=otp_per_hour,
+            ),
+            name=name,
+        )
+
+    def spent(self) -> float:
+        return super().spent() + self.rental.total_cost
+
+    def earned(self) -> float:
+        return _settlement_revenue(self.world, self.name)
+
+
+class AmplifyChannel(AbuseChannel):
+    """Case E economics: a sponsor pays per notification landed on the
+    victim destination."""
+
+    def __init__(
+        self,
+        world: World,
+        victims: Sequence[PhoneNumber],
+        notifications_per_hour: float = 600.0,
+        value_per_delivered: float = 0.01,
+        name: str = "adv-amplifier",
+    ) -> None:
+        super().__init__(name, world)
+        self.victims = list(victims)
+        self.value_per_delivered = value_per_delivered
+        self.bot = AmplifierBot(
+            world.loop,
+            world.app,
+            _identity(world, f"adversary.{name}.identity"),
+            self.proxy_pool,
+            self.victims,
+            world.rngs.stream(f"adversary.{name}"),
+            AmplifierConfig(
+                notifications_per_hour=notifications_per_hour,
+            ),
+            name=name,
+        )
+        self._victim_e164s = {v.e164 for v in self.victims}
+
+    def earned(self) -> float:
+        landed = sum(
+            1
+            for r in self.world.sms.records
+            if r.delivered
+            and r.client.actor == self.name
+            and r.number.e164 in self._victim_e164s
+        )
+        return landed * self.value_per_delivered

@@ -7,6 +7,10 @@ Usage::
     python -m repro case-a              # Case A arms-race metrics
     python -m repro case-b              # Case B passenger heuristics
     python -m repro case-c --variant per-ref
+    python -m repro case-d --variant number-reputation
+    python -m repro case-e --variant destination-surge
+    python -m repro portfolio --defense all
+    python -m repro scenarios           # list sweepable scenarios
     python -m repro detectors           # Section III detector matrix
     python -m repro graph case-a        # campaign graph vs session fusion
     python -m repro behavioural         # Section V behavioural stack
@@ -108,6 +112,9 @@ def _run_replicated(
             cache_dir=args.cache_dir,
             shards=getattr(args, "shards", 1),
         )
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
     except (TypeError, ValueError) as error:
         raise SystemExit(f"error: {error}")
     _print_aggregate_table(
@@ -263,6 +270,144 @@ def _cmd_case_c(args: argparse.Namespace) -> int:
             ["defender SMS spend", f"${result.defender_sms_cost:.2f}"],
         ],
         title="Case C: SMS pumping",
+    ))
+    return 0
+
+
+def _cmd_case_d(args: argparse.Namespace) -> int:
+    from .scenarios.case_d import CaseDConfig, run_case_d
+
+    if args.reps > 1 or args.workers > 1:
+        return _run_replicated("case-d", {"variant": args.variant}, args)
+    result = run_case_d(CaseDConfig(seed=args.seed, variant=args.variant))
+    ttfb = result.time_to_first_block
+    print(render_table(
+        ["Metric", "Value"],
+        [
+            ["variant", result.config.variant],
+            ["attacker OTPs delivered", result.attacker_otps_delivered],
+            ["numbers rented", result.numbers_rented],
+            ["OTPs per rented number",
+             f"{result.mean_otps_per_number:.2f}"],
+            ["numbers burned by defense", result.burned_numbers],
+            ["time to first block",
+             format_duration(ttfb) if ttfb is not None else "-"],
+            ["rental spend", f"${result.rental_cost_total:.2f}"],
+            ["attacker net", f"${result.attacker_ledger.net:+.2f}"],
+            ["attacker ROI", f"{result.attacker_roi:+.2f}"],
+            ["legit OTPs delivered", result.legit_otps_delivered],
+            ["legit fp conviction rate",
+             f"{result.legit_fp_conviction_rate * 100:.2f}%"],
+        ],
+        title="Case D: OTP abuse via disposable-number cycling",
+    ))
+    return 0
+
+
+def _cmd_case_e(args: argparse.Namespace) -> int:
+    from .scenarios.case_e import CaseEConfig, run_case_e
+
+    if args.reps > 1 or args.workers > 1:
+        return _run_replicated("case-e", {"variant": args.variant}, args)
+    result = run_case_e(CaseEConfig(seed=args.seed, variant=args.variant))
+    ttfb = result.time_to_first_block
+    cap_at = result.cap_installed_at
+    print(render_table(
+        ["Metric", "Value"],
+        [
+            ["variant", result.config.variant],
+            ["victim", result.victim_number.e164],
+            ["flood messages delivered",
+             result.victim_messages_delivered],
+            ["amplifier attempts", result.amplifier_attempts],
+            ["amplifier blocked", result.amplifier_blocked],
+            ["amplifier rate-limited", result.amplifier_rate_limited],
+            ["surge events", result.surge_events],
+            ["time to first block",
+             format_duration(ttfb) if ttfb is not None else "-"],
+            ["destination cap installed",
+             format_duration(cap_at) if cap_at is not None else "no"],
+            ["attacker net", f"${result.attacker_ledger.net:+.2f}"],
+            ["attacker ROI", f"{result.attacker_roi:+.2f}"],
+            ["legit notifications delivered",
+             result.legit_notifications_delivered],
+            ["legit fp conviction rate",
+             f"{result.legit_fp_conviction_rate * 100:.2f}%"],
+        ],
+        title="Case E: agent-based notification amplification",
+    ))
+    return 0
+
+
+def _cmd_portfolio(args: argparse.Namespace) -> int:
+    from .scenarios.portfolio import PortfolioConfig, run_portfolio
+
+    if args.reps > 1 or args.workers > 1:
+        return _run_replicated(
+            "portfolio-adaptive", {"defense": args.defense}, args
+        )
+    result = run_portfolio(
+        PortfolioConfig(seed=args.seed, defense=args.defense)
+    )
+    print(render_table(
+        ["Channel", "activations", "spent", "earned", "net"],
+        [
+            [
+                outcome.name,
+                outcome.activations,
+                f"${outcome.spent:.2f}",
+                f"${outcome.earned:.2f}",
+                f"${outcome.net:+.2f}",
+            ]
+            for outcome in result.channels
+        ],
+        title=(
+            f"portfolio vs defense={result.config.defense!r}: "
+            f"attacker net ${result.attacker_net:+.2f} "
+            f"(ROI {result.attacker_roi:+.2f}, "
+            f"infrastructure ${result.infrastructure_cost:.2f}, "
+            + ("retired" if result.retired else "still operating")
+            + ")"
+        ),
+    ))
+    print()
+    print(render_table(
+        ["t", "action", "channel", "window ROI"],
+        [
+            [
+                format_duration(d["time"]),
+                d["action"],
+                d["channel"] or "-",
+                (
+                    f"{d['window_roi']:+.2f}"
+                    if d["window_roi"] is not None
+                    else "-"
+                ),
+            ]
+            for d in result.decisions
+        ],
+        title="attacker decision journal",
+    ))
+    if result.legit_requests_blocked or result.legit_fp_conviction_rate:
+        print(
+            f"\ncollateral: {result.legit_requests_blocked} legit "
+            "requests blocked, "
+            f"{result.legit_fp_conviction_rate * 100:.3f}% legit "
+            "fingerprints convicted"
+        )
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from .runner import get_scenario, scenario_names
+
+    print(render_table(
+        ["Scenario", "Config class"],
+        [
+            [name, get_scenario(name).config_cls.__name__]
+            for name in scenario_names()
+        ],
+        title="registered sweepable scenarios (repro sweep --scenario ...)",
     ))
     return 0
 
@@ -754,13 +899,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from .runner import SweepSpec, run_sweep, scenario_names
+    from .runner import SweepSpec, get_scenario, run_sweep
 
-    if args.scenario not in scenario_names():
-        raise SystemExit(
-            f"unknown scenario {args.scenario!r}; "
-            f"choose from {', '.join(scenario_names())}"
-        )
+    try:
+        get_scenario(args.scenario)
+    except KeyError as error:
+        # Exit 2 (usage error), with the registry's own message — the
+        # one place the list of valid names is maintained.
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
     grid: Dict[str, List[object]] = {}
     base: Dict[str, object] = {}
     for name, values in args.param or []:
@@ -869,6 +1016,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     case_c.add_argument("--scale", type=float, default=1.0)
     add_runner_args(case_c)
+    case_d = add(
+        "case-d", _cmd_case_d, "Case D OTP abuse (number cycling)"
+    )
+    case_d.add_argument(
+        "--variant",
+        choices=("unprotected", "number-reputation"),
+        default="unprotected",
+    )
+    add_runner_args(case_d)
+    case_e = add(
+        "case-e", _cmd_case_e, "Case E notification amplification"
+    )
+    case_e.add_argument(
+        "--variant",
+        choices=("unprotected", "destination-surge"),
+        default="unprotected",
+    )
+    add_runner_args(case_e)
+    portfolio = add(
+        "portfolio", _cmd_portfolio,
+        "adaptive attacker moving budget across all abuse channels "
+        "vs the chosen defense posture",
+    )
+    portfolio.add_argument(
+        "--defense",
+        choices=("none", "case-a", "case-c", "case-d", "case-e", "all"),
+        default="none",
+        help="platform defense posture (default: none)",
+    )
+    add_runner_args(portfolio)
+    add("scenarios", _cmd_scenarios,
+        "list the scenarios registered with the sweep runner")
     add("detectors", _cmd_detectors, "Section III detector matrix")
     graph = add(
         "graph", _cmd_graph,
@@ -1059,6 +1238,10 @@ _DEFAULT_SEEDS = {
     "case-a": 7,
     "case-b": 11,
     "case-c": 1,
+    "case-d": 11,
+    "case-e": 13,
+    "portfolio": 17,
+    "scenarios": 0,
     "detectors": 31,
     "graph": 7,
     "behavioural": 41,

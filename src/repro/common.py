@@ -15,8 +15,17 @@ SEAT_SPINNER = "seat-spinner"
 MANUAL_SPINNER = "manual-spinner"
 SMS_PUMPER = "sms-pumper"
 SCRAPER = "scraper"
+OTP_ABUSER = "otp-abuser"
+AMPLIFIER = "amplifier"
 
-ATTACK_CLASSES = (SEAT_SPINNER, MANUAL_SPINNER, SMS_PUMPER, SCRAPER)
+ATTACK_CLASSES = (
+    SEAT_SPINNER,
+    MANUAL_SPINNER,
+    SMS_PUMPER,
+    SCRAPER,
+    OTP_ABUSER,
+    AMPLIFIER,
+)
 
 
 @dataclass(frozen=True, slots=True)

@@ -35,6 +35,10 @@ DEFAULT_WEIGHTS: Dict[str, float] = {
     # FPR-calibrated at train time, so a conviction is high-precision
     # evidence, but it stays below the knowledge-based rules.
     "learned-sequence": 0.85,
+    # SMS-record families (Cases D/E): destination-keyed thresholds are
+    # as precise as the velocity fast paths they mirror.
+    "number-reputation": 0.9,
+    "destination-surge": 0.9,
 }
 
 

@@ -1,0 +1,24 @@
+"""Verdict subject-id namespaces.
+
+Fusion treats subject ids as opaque, so detectors that judge different
+things — sessions, fingerprint entities, phone numbers — need disjoint
+namespaces to never collide inside one fusion pass.  Sessions use their
+raw session id; entity detectors prefix fingerprint ids with ``fp:``
+(the only namespace :class:`~repro.core.mitigation.online.
+OnlineVerdictSink` acts on).
+
+Historically these lived in :mod:`repro.stream.adapters`; they moved
+here so batch detector families in :mod:`repro.core.detection` can emit
+entity verdicts without importing the streaming layer (which imports
+this package back).
+"""
+
+from __future__ import annotations
+
+#: Namespace prefix for fingerprint-entity verdict subjects.
+FP_SUBJECT_PREFIX = "fp:"
+
+
+def entity_subject(fingerprint_id: str) -> str:
+    """Fusion subject id for a fingerprint entity."""
+    return f"{FP_SUBJECT_PREFIX}{fingerprint_id}"

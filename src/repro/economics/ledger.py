@@ -28,6 +28,9 @@ SMS_DELIVERY_COSTS = "sms-delivery"
 LOST_SEAT_REVENUE = "lost-seat-revenue"
 CHARGEBACKS = "stolen-card-chargebacks"
 INFRASTRUCTURE = "infrastructure"
+NUMBER_RENTAL = "number-rental"
+AMPLIFICATION_CONTRACT = "amplification-contract"
+SEAT_DENIAL_CONTRACT = "seat-denial-contract"
 
 
 @dataclass(frozen=True)

@@ -31,6 +31,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..core.detection.verdict import Verdict
 from ..stream.adapters import StreamAdapter, entity_subject
+from ..stream.feed import RecordFeed
 from ..web.logs import LogEntry, Session
 from .builder import GraphBuilder
 from .campaigns import CAMPAIGN_DETECTOR, Campaign
@@ -44,28 +45,6 @@ from .detector import (
     session_prior,
 )
 from .entities import EntityId, session_node
-
-
-class RecordFeed:
-    """Cursor over a growing record list (booking or SMS logs).
-
-    The substrates append to plain lists; a feed remembers how far it
-    has read and :meth:`drain` returns only the new tail — O(new) per
-    call, so polling from the entry hot path is cheap.
-    """
-
-    def __init__(self, source: Sequence) -> None:
-        self._source = source
-        self._cursor = 0
-
-    def drain(self) -> Sequence:
-        tail = self._source[self._cursor:]
-        self._cursor += len(tail)
-        return tail
-
-    @property
-    def consumed(self) -> int:
-        return self._cursor
 
 
 class GraphStreamAdapter(StreamAdapter):

@@ -21,12 +21,15 @@ from ..obs.profile import (
 from ..scenarios.case_a import CaseAConfig, case_a_cell
 from ..scenarios.case_b import CaseBConfig, case_b_cell
 from ..scenarios.case_c import CaseCConfig, case_c_cell
+from ..scenarios.case_d import CaseDConfig, case_d_cell
+from ..scenarios.case_e import CaseEConfig, case_e_cell
 from ..scenarios.graph_case import (
     GraphCaseConfig,
     graph_case_a_cell,
     graph_case_c_cell,
 )
 from ..scenarios.learned import LearnedCaseConfig, learned_case_cell
+from ..scenarios.portfolio import PortfolioConfig, portfolio_cell
 from ..scenarios.scale import ScaleConfig, scale_cell
 from ..scenarios.streaming import StreamCaseAConfig, stream_case_a_cell
 
@@ -77,6 +80,11 @@ def scenario_names() -> List[str]:
 register_scenario("case-a", CaseAConfig, case_a_cell)
 register_scenario("case-b", CaseBConfig, case_b_cell)
 register_scenario("case-c", CaseCConfig, case_c_cell)
+# The repro.adversary additions: the two SMS-record detector families'
+# end-to-end cases plus the adaptive whole-portfolio harness.
+register_scenario("case-d", CaseDConfig, case_d_cell)
+register_scenario("case-e", CaseEConfig, case_e_cell)
+register_scenario("portfolio-adaptive", PortfolioConfig, portfolio_cell)
 register_scenario("stream-case-a", StreamCaseAConfig, stream_case_a_cell)
 # Graph-vs-session fusion arms on the rotated campaigns; the cells pin
 # the case field so sweep params cannot cross-wire the two entries.

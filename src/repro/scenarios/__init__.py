@@ -7,6 +7,12 @@
   passenger-detail heuristics (Section IV-B),
 * :mod:`~repro.scenarios.case_c` — advanced SMS Pumping / Table I
   (Section IV-C),
+* :mod:`~repro.scenarios.case_d` — OTP abuse via disposable-number
+  cycling (number-reputation defense),
+* :mod:`~repro.scenarios.case_e` — agent-based amplification against a
+  victim destination (destination-surge defense),
+* :mod:`~repro.scenarios.portfolio` — the adaptive attacker moving
+  budget across all channels vs single-case and layered defenses,
 * :mod:`~repro.scenarios.detectors` — detector-family comparison
   (Section III).
 """
@@ -38,11 +44,20 @@ from .case_c import (
     case_c_baseline_weekly,
     run_case_c,
 )
+from .case_d import CaseDConfig, CaseDResult, run_case_d
+from .case_e import CaseEConfig, CaseEResult, run_case_e
 from .detectors import (
     DetectorComparisonConfig,
     DetectorComparisonResult,
     DetectorRun,
     run_detector_comparison,
+)
+from .portfolio import (
+    DEFENSES,
+    PortfolioConfig,
+    PortfolioResult,
+    SINGLE_DEFENSES,
+    run_portfolio,
 )
 from .world import (
     FlightSpec,
@@ -77,6 +92,17 @@ __all__ = [
     "case_c_attack_weights",
     "case_c_baseline_weekly",
     "run_case_c",
+    "CaseDConfig",
+    "CaseDResult",
+    "run_case_d",
+    "CaseEConfig",
+    "CaseEResult",
+    "run_case_e",
+    "DEFENSES",
+    "PortfolioConfig",
+    "PortfolioResult",
+    "SINGLE_DEFENSES",
+    "run_portfolio",
     "DetectorComparisonConfig",
     "DetectorComparisonResult",
     "DetectorRun",

@@ -1,0 +1,60 @@
+"""Disposable virtual-number rental: the OTP-abuse supply chain.
+
+The "Your Code is 0000" ecosystem study describes commercial services
+renting *disposable virtual numbers* — real mobile numbers, usually in
+cheap high-termination-fee markets, leased by the message or by the
+hour so a fraudster can receive OTPs without owning a SIM.  Case D's
+attacker cycles such rentals against the OTP login endpoint: each
+number collects a handful of OTP deliveries (monetised through the
+colluding terminating carrier) and is then discarded for a fresh one.
+
+:class:`NumberRentalService` models the service side: per-number rental
+pricing, deterministic number generation off the caller's RNG stream,
+and cost/inventory accounting the economics ledger reads
+(:data:`repro.economics.ledger.NUMBER_RENTAL`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from .countries import get_country
+from .numbers import PhoneNumber, sample_number
+
+
+class NumberRentalService:
+    """Rents attacker-controlled disposable numbers, one at a time.
+
+    Every rented number is ``controlled_by_attacker=True`` — the
+    ground-truth flag the telco settlement uses to route colluding
+    kickbacks — and lands in ``rented`` in rental order so scenarios
+    can audit exactly which destinations the campaign cycled through.
+    """
+
+    def __init__(self, cost_per_number: float = 0.05) -> None:
+        if cost_per_number < 0:
+            raise ValueError(
+                f"negative cost_per_number: {cost_per_number}"
+            )
+        self.cost_per_number = cost_per_number
+        self.rented: List[PhoneNumber] = []
+        self.rentals_by_country: Dict[str, int] = {}
+        self.total_cost = 0.0
+
+    def rent(self, rng: random.Random, country_code: str) -> PhoneNumber:
+        """Rent one fresh disposable number in ``country_code``."""
+        get_country(country_code)  # validate the code early
+        number = sample_number(
+            rng, country_code, controlled_by_attacker=True
+        )
+        self.rented.append(number)
+        self.rentals_by_country[country_code] = (
+            self.rentals_by_country.get(country_code, 0) + 1
+        )
+        self.total_cost += self.cost_per_number
+        return number
+
+    @property
+    def numbers_rented(self) -> int:
+        return len(self.rented)

@@ -26,16 +26,26 @@ from .adapters import (
     StreamAdapter,
     entity_subject,
 )
+from .feed import RecordFeed
 from .fusion import IncrementalFusion
 from .pipeline import StreamPipeline, StreamReport, batch_session_verdicts
 from .sessionizer import StreamSessionizer
+from .sms_records import (
+    DestinationSurgeAdapter,
+    NumberReputationAdapter,
+    SmsRecordAdapter,
+)
 from .store import KeyedStore
 
 __all__ = [
+    "DestinationSurgeAdapter",
     "HoldVelocityAdapter",
     "IncrementalFusion",
     "KeyedStore",
+    "NumberReputationAdapter",
+    "RecordFeed",
     "SessionDetectorAdapter",
+    "SmsRecordAdapter",
     "SmsVelocityAdapter",
     "StreamAdapter",
     "StreamPipeline",

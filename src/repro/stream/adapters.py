@@ -22,18 +22,11 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Iterable, List, Protocol
 
+from ..core.detection.subjects import FP_SUBJECT_PREFIX, entity_subject
 from ..core.detection.verdict import Verdict
 from ..web.logs import LogEntry, Session
 from ..web.request import BOARDING_PASS_SMS, HOLD
 from .store import KeyedStore
-
-#: Namespace prefix for fingerprint-entity verdict subjects.
-FP_SUBJECT_PREFIX = "fp:"
-
-
-def entity_subject(fingerprint_id: str) -> str:
-    """Fusion subject id for a fingerprint entity."""
-    return f"{FP_SUBJECT_PREFIX}{fingerprint_id}"
 
 
 class SessionJudge(Protocol):

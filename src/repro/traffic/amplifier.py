@@ -1,0 +1,145 @@
+"""The agent-based amplification bot (Case E).
+
+Jakobsson & Menczer's "cluster bomb" generalised: any open endpoint
+that sends a message to a user-supplied destination is a free
+amplification node.  Here the abused feature is the airline's
+``/notify`` flight-status endpoint — the attacker's agents feed it the
+*victim's* phone number, turning the airline's SMS budget into a
+harassment / denial-of-service cannon pointed at someone who never
+visited the site.
+
+The bot is paid per message landed (an "amplification contract"), so
+its economics are the mirror of Case C/D: revenue does not flow
+through colluding carriers — the victim's number is **not**
+attacker-controlled — it flows from whoever hired the flood.  The
+defense consequently cannot rely on settlement-side signals at all;
+it has to see the *destination surge* itself
+(:class:`~repro.core.detection.surge.DestinationSurgeScorer`), and the
+scenario accounts for collateral damage to legitimate notifications
+while the defense is active.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..common import AMPLIFIER
+from ..identity.forge import BotIdentity
+from ..identity.ip import ResidentialProxyPool
+from ..sim.clock import HOUR
+from ..sim.events import EventLoop
+from ..sim.process import Process
+from ..sms.numbers import PhoneNumber
+from ..web.application import WebApplication
+from ..web.request import (
+    BLOCKED,
+    CAPTCHA_SOLVER,
+    NOTIFY,
+    RATE_LIMITED,
+    Request,
+)
+from .clients import make_client
+
+
+@dataclass
+class AmplifierConfig:
+    """Flood parameters for one amplification contract."""
+
+    notifications_per_hour: float = 600.0
+    #: Rotate the browser fingerprint every N sends even without a
+    #: block — the flood is distributed across "agents", so no single
+    #: identity accounts for enough volume to trip per-entity velocity.
+    rotate_every: int = 25
+    #: Consecutive edge blocks before abandoning the contract
+    #: (0 = keep hammering for the full run).
+    give_up_after_blocked: int = 0
+
+    def __post_init__(self) -> None:
+        if self.notifications_per_hour <= 0:
+            raise ValueError(
+                "notifications_per_hour must be positive: "
+                f"{self.notifications_per_hour}"
+            )
+        if self.rotate_every < 1:
+            raise ValueError(
+                f"rotate_every must be >= 1: {self.rotate_every}"
+            )
+
+
+class AmplifierBot(Process):
+    """Floods ``/notify`` toward fixed victim destinations."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        app: WebApplication,
+        identity: BotIdentity,
+        proxy_pool: ResidentialProxyPool,
+        victims: Sequence[PhoneNumber],
+        rng: random.Random,
+        config: Optional[AmplifierConfig] = None,
+        name: str = "amplifier",
+    ) -> None:
+        if not victims:
+            raise ValueError("amplifier needs at least one victim number")
+        super().__init__(loop, name=name)
+        self.app = app
+        self.identity = identity
+        self.proxy_pool = proxy_pool
+        self.victims: List[PhoneNumber] = list(victims)
+        self.config = config or AmplifierConfig()
+        self._rng = rng
+        self._victim_index = 0
+        self._since_rotation = 0
+        self.notifications_delivered = 0
+        self.blocks_encountered = 0
+        self.rate_limits_encountered = 0
+        self._blocked_streak = 0
+
+    def step(self) -> Optional[float]:
+        now = self.loop.now
+        if self._since_rotation >= self.config.rotate_every:
+            self.identity.rotate(now)
+            self._since_rotation = 0
+        victim = self.victims[self._victim_index % len(self.victims)]
+        self._victim_index += 1
+        ip = self.proxy_pool.lease(self._rng)
+
+        response = self.app.handle(
+            Request(
+                method="POST",
+                path=NOTIFY,
+                client=make_client(
+                    ip,
+                    self.identity.fingerprint,
+                    actor=self.name,
+                    actor_class=AMPLIFIER,
+                ),
+                params={"phone": victim},
+                fingerprint=self.identity.fingerprint,
+                captcha_ability=CAPTCHA_SOLVER,
+            )
+        )
+        self._since_rotation += 1
+
+        if response.ok:
+            self.notifications_delivered += 1
+            self._blocked_streak = 0
+        elif response.status == BLOCKED:
+            self.blocks_encountered += 1
+            self._blocked_streak += 1
+            self.identity.maybe_rotate(now, was_blocked=True)
+            self._since_rotation = 0
+            give_up = self.config.give_up_after_blocked
+            if give_up and self._blocked_streak >= give_up:
+                return None
+        elif response.status == RATE_LIMITED:
+            self.rate_limits_encountered += 1
+            self.identity.maybe_rotate(now, was_blocked=True)
+            self._since_rotation = 0
+
+        return self._rng.expovariate(
+            self.config.notifications_per_hour / HOUR
+        )

@@ -1,0 +1,182 @@
+"""The OTP-abuse / number-cycling bot (Case D).
+
+Reproduces the disposable-number ecosystem attack ("Your Code is
+0000"): the attacker rents virtual numbers in high-termination-fee
+countries whose carriers collude, then pumps the *login OTP* endpoint
+— which sends an SMS to any number you type, before any account exists
+— cycling each rental for a handful of deliveries and discarding it.
+
+The evasion profile is the inverse of Case C's pumper: instead of one
+long-lived identity hammering one path, the bot **rotates its browser
+fingerprint with every fresh number**, so no single fingerprint ever
+crosses a per-fingerprint velocity threshold.  What it cannot hide is
+the destination side — the same rented number absorbing
+``otps_per_number`` deliveries inside minutes — which is exactly the
+signal the number-reputation family convicts on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..common import OTP_ABUSER
+from ..identity.forge import BotIdentity
+from ..identity.ip import ResidentialProxyPool
+from ..sim.clock import HOUR
+from ..sim.events import EventLoop
+from ..sim.process import Process
+from ..sms.gateway import (
+    REJECT_FEATURE_DISABLED,
+    REJECT_QUOTA_EXHAUSTED,
+)
+from ..sms.numbers import PhoneNumber
+from ..sms.rental import NumberRentalService
+from ..web.application import WebApplication
+from ..web.request import (
+    BLOCKED,
+    CAPTCHA_SOLVER,
+    OTP_LOGIN,
+    RATE_LIMITED,
+    Request,
+)
+from .clients import make_client
+
+#: Default rental-country mix: the colluding high-cost destinations,
+#: weighted toward the highest termination fees (the rental services'
+#: own catalogues price these markets at a premium for a reason).
+DEFAULT_RENTAL_WEIGHTS: Dict[str, float] = {
+    "UZ": 0.30, "KG": 0.22, "IR": 0.18, "KH": 0.12, "JO": 0.10,
+    "NG": 0.08,
+}
+
+
+@dataclass
+class OtpAbuserConfig:
+    """Campaign parameters for one number-cycling operation."""
+
+    #: OTP deliveries to collect per rented number before discarding.
+    otps_per_number: int = 8
+    otp_per_hour: float = 60.0
+    rental_weights: Dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_RENTAL_WEIGHTS)
+    )
+    #: Consecutive gateway rejections (feature off / quota gone) before
+    #: the attacker concludes the channel is dead and stops.
+    give_up_after_rejected: int = 20
+    #: Consecutive edge blocks before giving up (0 = never) — with the
+    #: reputation defense convicting every fresh face on contact, the
+    #: bot's rotations stop buying anything and it eventually walks.
+    give_up_after_blocked: int = 0
+
+    def __post_init__(self) -> None:
+        if self.otps_per_number < 1:
+            raise ValueError(
+                f"otps_per_number must be >= 1: {self.otps_per_number}"
+            )
+        if self.otp_per_hour <= 0:
+            raise ValueError(
+                f"otp_per_hour must be positive: {self.otp_per_hour}"
+            )
+        if not self.rental_weights:
+            raise ValueError("rental_weights must not be empty")
+
+
+class OtpAbuseBot(Process):
+    """Disposable-number OTP pump with per-number identity rotation."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        app: WebApplication,
+        identity: BotIdentity,
+        proxy_pool: ResidentialProxyPool,
+        rental: NumberRentalService,
+        rng: random.Random,
+        config: Optional[OtpAbuserConfig] = None,
+        name: str = "otp-abuser",
+    ) -> None:
+        super().__init__(loop, name=name)
+        self.app = app
+        self.identity = identity
+        self.proxy_pool = proxy_pool
+        self.rental = rental
+        self.config = config or OtpAbuserConfig()
+        self._rng = rng
+        self._countries = sorted(self.config.rental_weights)
+        self._weights = [
+            self.config.rental_weights[c] for c in self._countries
+        ]
+        self._number: Optional[PhoneNumber] = None
+        self._uses = 0
+        self.otps_received = 0
+        self.blocks_encountered = 0
+        self.rate_limits_encountered = 0
+        self._rejected_streak = 0
+        self._blocked_streak = 0
+
+    def _fresh_number(self) -> PhoneNumber:
+        """Rent the next disposable number — and take a fresh face:
+        one fingerprint per number keeps every identity below any
+        per-fingerprint velocity threshold."""
+        country = self._rng.choices(
+            self._countries, weights=self._weights
+        )[0]
+        self.identity.rotate(self.loop.now)
+        self._uses = 0
+        return self.rental.rent(self._rng, country)
+
+    def step(self) -> Optional[float]:
+        now = self.loop.now
+        if (
+            self._number is None
+            or self._uses >= self.config.otps_per_number
+        ):
+            self._number = self._fresh_number()
+        number = self._number
+        ip = self.proxy_pool.lease(self._rng, country=number.country_code)
+
+        response = self.app.handle(
+            Request(
+                method="POST",
+                path=OTP_LOGIN,
+                client=make_client(
+                    ip,
+                    self.identity.fingerprint,
+                    actor=self.name,
+                    actor_class=OTP_ABUSER,
+                ),
+                params={"phone": number},
+                fingerprint=self.identity.fingerprint,
+                captcha_ability=CAPTCHA_SOLVER,
+            )
+        )
+
+        if response.ok:
+            self.otps_received += 1
+            self._uses += 1
+            self._rejected_streak = 0
+            self._blocked_streak = 0
+        elif response.status == BLOCKED:
+            self.blocks_encountered += 1
+            self._blocked_streak += 1
+            # The fingerprint is burned; so (in the attacker's mind) is
+            # the number it was just seen feeding.
+            self.identity.maybe_rotate(now, was_blocked=True)
+            self._number = None
+            give_up = self.config.give_up_after_blocked
+            if give_up and self._blocked_streak >= give_up:
+                return None
+        elif response.status == RATE_LIMITED:
+            self.rate_limits_encountered += 1
+            self.identity.maybe_rotate(now, was_blocked=True)
+        elif response.outcome in (
+            REJECT_FEATURE_DISABLED,
+            REJECT_QUOTA_EXHAUSTED,
+        ):
+            self._rejected_streak += 1
+            if self._rejected_streak >= self.config.give_up_after_rejected:
+                return None  # the channel is dead; the attack ceases
+
+        return self._rng.expovariate(self.config.otp_per_hour / HOUR)

@@ -38,6 +38,7 @@ from ..web.application import WebApplication
 from ..web.request import (
     BOARDING_PASS_SMS,
     CAPTCHA_HUMAN,
+    NOTIFY,
     OTP_LOGIN,
     Request,
 )
@@ -50,6 +51,12 @@ class BaselineSmsConfig:
 
     sms_per_hour: float = 300.0
     otp_fraction: float = 0.25
+    #: Fraction of the stream that is flight-status notifications
+    #: (Case E's legitimate background on ``/notify``).  The default 0
+    #: keeps the pre-Case-E scenarios draw-for-draw identical: kind
+    #: selection reuses the single ``otp_fraction`` draw with cascading
+    #: thresholds, so enabling notifications adds no RNG draws.
+    notification_fraction: float = 0.0
     country_weights: Optional[Dict[str, float]] = None
     #: Interarrival gaps per bulk-scheduled block (1 = scalar reference
     #: path; any value yields a bit-identical simulation).
@@ -63,6 +70,16 @@ class BaselineSmsConfig:
         if not 0.0 <= self.otp_fraction <= 1.0:
             raise ValueError(
                 f"otp_fraction must be in [0, 1]: {self.otp_fraction}"
+            )
+        if not 0.0 <= self.notification_fraction <= 1.0:
+            raise ValueError(
+                "notification_fraction must be in [0, 1]: "
+                f"{self.notification_fraction}"
+            )
+        if self.otp_fraction + self.notification_fraction > 1.0:
+            raise ValueError(
+                "otp_fraction + notification_fraction must be <= 1: "
+                f"{self.otp_fraction} + {self.notification_fraction}"
             )
         if self.arrival_block_size < 1:
             raise ValueError(
@@ -150,10 +167,23 @@ class BaselineSmsTraffic(Process):
             actor=f"legit-sms-{self._user_counter:07d}",
             actor_class=LEGIT,
         )
-        if rng.random() < self.config.otp_fraction:
+        # One draw decides the message kind via cascading thresholds:
+        # with notification_fraction == 0 the second band is empty and
+        # the RNG sequence is identical to the historical two-way split.
+        draw = rng.random()
+        if draw < self.config.otp_fraction:
             request = Request(
                 method="POST",
                 path=OTP_LOGIN,
+                client=client,
+                params={"phone": phone},
+                fingerprint=fingerprint,
+                captcha_ability=CAPTCHA_HUMAN,
+            )
+        elif draw < self.config.otp_fraction + self.config.notification_fraction:
+            request = Request(
+                method="POST",
+                path=NOTIFY,
                 client=client,
                 params={"phone": phone},
                 fingerprint=fingerprint,

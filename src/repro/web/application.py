@@ -26,7 +26,7 @@ from ..identity.captcha import CaptchaGateModel
 from ..identity.fingerprint import Fingerprint
 from ..sim.clock import Clock
 from ..sim.metrics import MetricsRecorder
-from ..sms.gateway import BOARDING_PASS, OTP, SmsGateway
+from ..sms.gateway import BOARDING_PASS, NOTIFICATION, OTP, SmsGateway
 from .logs import WebLog
 from .ratelimit import RateLimitEngine
 from .request import (
@@ -40,6 +40,7 @@ from .request import (
     FLIGHT_DETAILS,
     HOLD,
     NOT_FOUND,
+    NOTIFY,
     OK,
     OTP_LOGIN,
     PAY,
@@ -120,6 +121,7 @@ class WebApplication:
             PAY: self._handle_pay,
             OTP_LOGIN: self._handle_otp_login,
             BOARDING_PASS_SMS: self._handle_boarding_pass_sms,
+            NOTIFY: self._handle_notify,
             TRAP: self._handle_trap,
         }
 
@@ -364,6 +366,16 @@ class WebApplication:
         if not record.delivered:
             return Response(status=CONFLICT, outcome=record.reject_reason)
         return Response(status=OK, outcome="otp-sent", data=record)
+
+    def _handle_notify(self, request: Request) -> Response:
+        """The open notification form: sends a flight-update SMS to any
+        phone number the caller supplies, with no account or booking
+        reference required — the amplification surface of Case E."""
+        phone = request.param("phone")
+        record = self.sms.send(phone, NOTIFICATION, request.client)
+        if not record.delivered:
+            return Response(status=CONFLICT, outcome=record.reject_reason)
+        return Response(status=OK, outcome="notification-sent", data=record)
 
     def _handle_trap(self, request: Request) -> Response:
         """The hidden trap endpoint: serves an innocuous page and

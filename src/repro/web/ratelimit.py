@@ -115,6 +115,21 @@ def key_by_booking_ref(request: Request) -> Optional[str]:
     return str(value) if value else None
 
 
+def key_by_destination(request: Request) -> Optional[str]:
+    """Per destination phone number (None when no phone is attached).
+
+    The Case E operational response: once a destination is surging, a
+    per-destination cap strangles the flood at the *victim* dimension —
+    the one key the amplifier cannot rotate — while legitimate
+    destinations never come near the limit.
+    """
+    value = request.params.get("phone")
+    if value is None:
+        return None
+    e164 = getattr(value, "e164", None)
+    return e164 if e164 is not None else str(value)
+
+
 @dataclass
 class RateLimitRule:
     """One named sliding-window rule over a request key.

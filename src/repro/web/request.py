@@ -23,6 +23,10 @@ HOLD = sys.intern("/hold")
 PAY = sys.intern("/pay")
 OTP_LOGIN = sys.intern("/login/otp")
 BOARDING_PASS_SMS = sys.intern("/boarding-pass/sms")
+#: Open notification form: "text me about my flight" — no login, no
+#: booking reference, free text destination.  Exactly the class of
+#: feature Jakobsson & Menczer's cluster-bomb attack abuses.
+NOTIFY = sys.intern("/notify")
 #: Hidden trap endpoint: linked invisibly in page markup, so humans
 #: never reach it while link-following crawlers do (the classic trap
 #: file from the web-robot detection literature the paper cites [38]).
@@ -35,6 +39,7 @@ ALL_PATHS = (
     PAY,
     OTP_LOGIN,
     BOARDING_PASS_SMS,
+    NOTIFY,
     TRAP,
 )
 

@@ -118,9 +118,33 @@ class TestSweepCommand:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep"])
 
-    def test_sweep_rejects_unknown_scenario(self):
-        with pytest.raises(SystemExit):
-            main(["sweep", "--scenario", "case-z"])
+    def test_sweep_rejects_unknown_scenario(self, capsys):
+        # Usage errors exit 2 with the registry's message, no traceback.
+        assert main(["sweep", "--scenario", "case-z"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario 'case-z'" in err
+        assert "registered:" in err
+        assert "case-a" in err
+
+    def test_replicated_command_rejects_unknown_scenario(self, capsys):
+        from repro.cli import _run_replicated
+        import argparse
+
+        args = argparse.Namespace(
+            reps=2, workers=1, seed=1, cache_dir=None
+        )
+        assert _run_replicated("case-z", {}, args) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_scenarios_lists_the_registry(self, capsys):
+        from repro.runner import scenario_names
+
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+        assert "PortfolioConfig" in out
+        assert "CaseDConfig" in out
 
     def test_sweep_small_case_a(self, capsys):
         assert main([
@@ -139,6 +163,30 @@ class TestSweepCommand:
         assert "2 points x 2 replications" in out
         assert "attacker_holds_created" in out
         assert "+/-" in out
+
+    def test_case_d_defended(self, capsys):
+        assert main(["case-d", "--variant", "number-reputation"]) == 0
+        out = capsys.readouterr().out
+        assert "Case D" in out
+        assert "numbers rented" in out
+        assert "attacker ROI" in out
+
+    def test_case_e_defended(self, capsys):
+        assert main(["case-e", "--variant", "destination-surge"]) == 0
+        out = capsys.readouterr().out
+        assert "Case E" in out
+        assert "destination cap installed" in out
+
+    def test_portfolio_layered(self, capsys):
+        assert main(["portfolio", "--defense", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "defense='all'" in out
+        assert "attacker decision journal" in out
+        assert "retire" in out
+
+    def test_portfolio_rejects_unknown_defense(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["portfolio", "--defense", "case-z"])
 
     def test_case_b_replicated(self, capsys):
         assert main([

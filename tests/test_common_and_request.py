@@ -3,10 +3,12 @@
 import pytest
 
 from repro.common import (
+    AMPLIFIER,
     ATTACK_CLASSES,
     ClientRef,
     LEGIT,
     MANUAL_SPINNER,
+    OTP_ABUSER,
     SCRAPER,
     SEAT_SPINNER,
     SMS_PUMPER,
@@ -41,7 +43,8 @@ class TestClientRef:
 
     @pytest.mark.parametrize(
         "actor_class",
-        [SEAT_SPINNER, MANUAL_SPINNER, SMS_PUMPER, SCRAPER],
+        [SEAT_SPINNER, MANUAL_SPINNER, SMS_PUMPER, SCRAPER,
+         OTP_ABUSER, AMPLIFIER],
     )
     def test_attack_classes_are_attackers(self, actor_class):
         assert make_client(actor_class).is_attacker
@@ -49,6 +52,7 @@ class TestClientRef:
     def test_attack_classes_constant_complete(self):
         assert set(ATTACK_CLASSES) == {
             SEAT_SPINNER, MANUAL_SPINNER, SMS_PUMPER, SCRAPER,
+            OTP_ABUSER, AMPLIFIER,
         }
 
     def test_frozen(self):

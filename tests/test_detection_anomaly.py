@@ -200,3 +200,85 @@ class TestEwmaMonitor:
         for _ in range(30):
             monitor.update(100.0)
         assert monitor.mean == pytest.approx(100.0, rel=0.01)
+
+
+class TestEwmaEdgeCases:
+    """Cold start, zero-variance streams, single-window surges."""
+
+    def test_cold_start_first_observation_seeds_the_mean(self):
+        monitor = EwmaMonitor(warmup=1)
+        assert not monitor.update(42.0)
+        assert monitor.mean == 42.0
+        assert monitor.std == 0.0
+
+    def test_cold_start_extreme_first_value_never_alarms(self):
+        monitor = EwmaMonitor(warmup=1)
+        assert not monitor.update(1e12)
+
+    def test_constant_stream_keeps_zero_variance(self):
+        monitor = EwmaMonitor(alpha=0.3, warmup=2)
+        for _ in range(100):
+            assert not monitor.update(7.0)
+        assert monitor.std == 0.0
+        assert monitor.mean == 7.0
+
+    def test_departure_from_constant_stream_does_not_div_by_zero(self):
+        # Zero variance means no z-score is computable; the monitor must
+        # decline to alarm (std == 0 guard) rather than divide by zero.
+        monitor = EwmaMonitor(alpha=0.2, warmup=3)
+        for _ in range(20):
+            monitor.update(5.0)
+        assert not monitor.update(500.0)
+        # ... but the spike does seed the variance, so a *second* spike
+        # after re-settling is catchable.
+        for _ in range(10):
+            monitor.update(5.0)
+        assert monitor.std > 0.0
+
+    def test_single_window_surge_flags_only_the_surge(self):
+        monitor = EwmaMonitor(alpha=0.2, z_threshold=4.0, warmup=5)
+        noisy = [10.0, 11.0, 9.0, 10.0, 12.0, 9.0, 10.0, 11.0, 10.0]
+        flags = [monitor.update(v) for v in noisy]
+        assert not any(flags)
+        assert monitor.update(60.0)  # the one surging window
+        assert not monitor.update(10.0)  # back to baseline
+
+    @given(
+        value=st.floats(
+            allow_nan=False, allow_infinity=False, width=32
+        )
+    )
+    def test_first_observation_never_alarms(self, value):
+        monitor = EwmaMonitor(warmup=1)
+        assert not monitor.update(float(value))
+
+    @given(
+        level=st.floats(
+            min_value=-1e6, max_value=1e6,
+            allow_nan=False, allow_infinity=False,
+        ),
+        length=st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=50)
+    def test_constant_stream_never_alarms(self, level, length):
+        monitor = EwmaMonitor(alpha=0.2, warmup=3)
+        assert not any(monitor.update(level) for _ in range(length))
+
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=-1e9, max_value=1e9,
+                allow_nan=False, allow_infinity=False,
+            ),
+            min_size=1, max_size=50,
+        )
+    )
+    @settings(max_examples=50)
+    def test_update_is_total_and_state_stays_finite(self, values):
+        # Whatever the stream, update() returns a bool and the smoothed
+        # state never escapes to NaN/inf.
+        monitor = EwmaMonitor(alpha=0.4, warmup=2)
+        for value in values:
+            assert monitor.update(value) in (True, False)
+        assert math.isfinite(monitor.mean)
+        assert math.isfinite(monitor.std)

@@ -203,3 +203,47 @@ class TestStreamingGolden:
         assert verdict_cell.startswith("yes")
         assert as_number(rows["bytes/entry"][1]) < 100.0
         assert as_number(rows["trace entries"][1]) > 5_000
+
+
+class TestAdversaryPortfolioGolden:
+    """The committed adaptive-adversary economics (bench_adversary.json):
+    every single-case defense leaves the attacker profitable; only the
+    layered posture closes the business."""
+
+    def artifact(self):
+        import json
+
+        path = os.path.join(OUTPUT_DIR, "bench_adversary.json")
+        assert os.path.exists(path), (
+            f"missing benchmark artifact {path}; "
+            "run the adversary benchmark"
+        )
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def test_single_defenses_leave_an_open_channel(self):
+        artifact = self.artifact()
+        for defense in ("none", "case-a", "case-c", "case-d", "case-e"):
+            posture = artifact[defense]
+            assert posture["attacker_net"] > 0.0, defense
+            assert posture["attacker_roi"] > 0.0, defense
+            assert not posture["retired"], defense
+
+    def test_layered_defense_retires_the_attacker_at_a_loss(self):
+        layered = self.artifact()["all"]
+        assert layered["retired"]
+        assert layered["attacker_net"] < 0.0
+        assert layered["attacker_roi"] < 0.0
+        # The loss exceeds the standing infrastructure burn: the
+        # channels themselves lost money, not just the overhead.
+        assert layered["attacker_net"] < -layered["infrastructure_cost"]
+        # Nothing was left untried before retiring.
+        activations = [
+            channel["activations"]
+            for channel in layered["channels"].values()
+        ]
+        assert all(count >= 1 for count in activations)
+
+    def test_collateral_stays_bounded_everywhere(self):
+        for defense, posture in self.artifact().items():
+            assert posture["legit_fp_conviction_rate"] < 0.01, defense

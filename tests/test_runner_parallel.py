@@ -51,6 +51,30 @@ CASE_C_SPEC = SweepSpec(
     master_seed=26,
 )
 
+CASE_D_SPEC = SweepSpec(
+    scenario="case-d",
+    base={"duration": 12 * HOUR, "attack_start": 2 * HOUR},
+    grid={"variant": ("unprotected", "number-reputation")},
+    replications=1,
+    master_seed=27,
+)
+
+CASE_E_SPEC = SweepSpec(
+    scenario="case-e",
+    base={"duration": 8 * HOUR, "attack_start": 1 * HOUR},
+    grid={"variant": ("unprotected", "destination-surge")},
+    replications=1,
+    master_seed=28,
+)
+
+PORTFOLIO_SPEC = SweepSpec(
+    scenario="portfolio-adaptive",
+    base={"duration": 1 * DAY},
+    grid={"defense": ("none", "all")},
+    replications=1,
+    master_seed=29,
+)
+
 
 def assert_equivalent(spec: SweepSpec) -> None:
     serial = run_sweep(spec, workers=1)
@@ -87,6 +111,15 @@ class TestSerialParallelEquivalence:
 
     def test_case_c(self):
         assert_equivalent(CASE_C_SPEC)
+
+    def test_case_d(self):
+        assert_equivalent(CASE_D_SPEC)
+
+    def test_case_e(self):
+        assert_equivalent(CASE_E_SPEC)
+
+    def test_portfolio_adaptive(self):
+        assert_equivalent(PORTFOLIO_SPEC)
 
 
 class TestSweepStructure:
