@@ -730,6 +730,28 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                 "events/sec busy throughput)"
             ),
         ))
+    analysis = sorted(registry.timers("detect.").items()) + sorted(
+        registry.timers("graph.").items()
+    )
+    if analysis:
+        print()
+        print(render_table(
+            ["Analysis stage", "calls", "total s", "mean us"],
+            [
+                [
+                    name,
+                    timer.count,
+                    f"{timer.total:.3f}",
+                    f"{timer.mean * 1e6:.1f}",
+                ]
+                for name, timer in analysis
+            ],
+            title=(
+                "batch analysis: columnar fast path "
+                f"({registry.counter('detect.sessions'):,.0f} sessions / "
+                f"{registry.counter('detect.entries'):,.0f} entries)"
+            ),
+        ))
     wall = registry.gauge("run.wall_seconds")
     if wall:
         print(f"\ntotal wall time: {wall:.2f}s "

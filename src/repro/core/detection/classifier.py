@@ -81,11 +81,24 @@ class LogisticSessionClassifier:
             raise ValueError(
                 f"{len(sessions)} sessions but {len(labels)} labels"
             )
-        if len(sessions) < 2:
+        return self.fit_matrix(feature_matrix(list(sessions)), labels)
+
+    def fit_matrix(
+        self, matrix: np.ndarray, labels: Sequence[bool]
+    ) -> TrainingReport:
+        """Train on a prebuilt feature matrix (True = bot).
+
+        Training is bit-identical to :meth:`fit` on the sessions the
+        matrix was extracted from.
+        """
+        if matrix.shape[0] != len(labels):
+            raise ValueError(
+                f"{matrix.shape[0]} feature rows but {len(labels)} labels"
+            )
+        if matrix.shape[0] < 2:
             raise ValueError("need at least two training sessions")
-        matrix = feature_matrix(list(sessions))
         target = np.asarray(labels, dtype=float)
-        if len(set(labels)) < 2:
+        if len({bool(label) for label in labels}) < 2:
             raise ValueError("training labels must contain both classes")
 
         self._standardiser = Standardiser.fit(matrix)
@@ -119,7 +132,7 @@ class LogisticSessionClassifier:
 
         self._weights = weights
         self._bias = bias
-        predictions = self.predict_proba(list(sessions)) >= self.threshold
+        predictions = self.predict_proba_matrix(matrix) >= self.threshold
         accuracy = float(np.mean(predictions == (target >= 0.5)))
         return TrainingReport(
             iterations=iterations,
@@ -127,27 +140,45 @@ class LogisticSessionClassifier:
             training_accuracy=accuracy,
         )
 
-    def predict_proba(self, sessions: Sequence[Session]) -> np.ndarray:
+    def predict_proba_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Probabilities straight from a prebuilt feature matrix."""
         if not self.fitted:
             raise RuntimeError("classifier is not fitted")
-        matrix = feature_matrix(list(sessions))
         if matrix.shape[0] == 0:
             return np.zeros(0)
         x = self._standardise(matrix)
         assert self._weights is not None
         return _sigmoid(x @ self._weights + self._bias)
 
-    def judge_all(self, sessions: Sequence[Session]) -> List[Verdict]:
-        probabilities = self.predict_proba(sessions)
-        verdicts = []
-        for session, probability in zip(sessions, probabilities):
-            verdicts.append(
-                Verdict(
-                    subject_id=session.session_id,
-                    detector=self.name,
-                    score=float(probability),
-                    is_bot=bool(probability >= self.threshold),
-                    reasons=("model-probability",),
-                )
+    def predict_proba(self, sessions: Sequence[Session]) -> np.ndarray:
+        if not self.fitted:
+            raise RuntimeError("classifier is not fitted")
+        return self.predict_proba_matrix(feature_matrix(list(sessions)))
+
+    def _verdicts(
+        self, session_ids: Sequence[str], probabilities: np.ndarray
+    ) -> List[Verdict]:
+        return [
+            Verdict(
+                subject_id=session_id,
+                detector=self.name,
+                score=float(probability),
+                is_bot=bool(probability >= self.threshold),
+                reasons=("model-probability",),
             )
-        return verdicts
+            for session_id, probability in zip(session_ids, probabilities)
+        ]
+
+    def judge_all(self, sessions: Sequence[Session]) -> List[Verdict]:
+        return self._verdicts(
+            [session.session_id for session in sessions],
+            self.predict_proba(sessions),
+        )
+
+    def judge_index(self, index) -> List[Verdict]:
+        """Judge a :class:`~repro.core.detection.session_index.
+        SessionIndex` — same verdicts as :meth:`judge_all` on the
+        corresponding sessions, no per-session feature extraction."""
+        return self._verdicts(
+            index.session_ids, self.predict_proba_matrix(index.matrix)
+        )

@@ -110,12 +110,26 @@ class ClusteringDetector:
 
     def judge_all(self, sessions: Sequence[Session]) -> List[Verdict]:
         sessions = list(sessions)
-        if len(sessions) < self.config.k:
+        return self.judge_matrix(
+            [session.session_id for session in sessions],
+            feature_matrix(sessions),
+        )
+
+    def judge_index(self, index) -> List[Verdict]:
+        """Judge a :class:`~repro.core.detection.session_index.
+        SessionIndex` — verdict- and RNG-stream-identical to
+        :meth:`judge_all` on the corresponding sessions."""
+        return self.judge_matrix(index.session_ids, index.matrix)
+
+    def judge_matrix(
+        self, session_ids: Sequence[str], matrix: np.ndarray
+    ) -> List[Verdict]:
+        if len(session_ids) < self.config.k:
             return [
-                Verdict(s.session_id, self.name, 0.0, False)
-                for s in sessions
+                Verdict(session_id, self.name, 0.0, False)
+                for session_id in session_ids
             ]
-        matrix = feature_matrix(sessions)
+
         # Standardise so distance is not dominated by large-scale
         # features (constant-column-safe, see repro.ml.standardize;
         # distances are invariant to the constant-column anchoring).
@@ -146,11 +160,11 @@ class ClusteringDetector:
                 bot_clusters.add(cluster)
 
         verdicts = []
-        for session, label in zip(sessions, labels):
+        for session_id, label in zip(session_ids, labels):
             flagged = int(label) in bot_clusters
             verdicts.append(
                 Verdict(
-                    subject_id=session.session_id,
+                    subject_id=session_id,
                     detector=self.name,
                     score=1.0 if flagged else 0.0,
                     is_bot=flagged,

@@ -12,10 +12,12 @@ that.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Sequence
+
+import numpy as np
 
 from ...web.logs import Session
-from .features import extract_features
+from .features import FEATURE_NAMES, extract_features
 from .verdict import Verdict
 
 
@@ -79,3 +81,52 @@ class VolumeDetector:
 
     def judge_all(self, sessions: List[Session]) -> List[Verdict]:
         return [self.judge(session) for session in sessions]
+
+    def judge_matrix(
+        self, session_ids: Sequence[str], matrix: np.ndarray
+    ) -> List[Verdict]:
+        """Vectorized :meth:`judge` over a prebuilt feature matrix.
+
+        Verdict-identical to judging the corresponding sessions one by
+        one — the thresholds and the score arithmetic see the exact
+        same float64 values the per-session path computes.
+        """
+        counts = matrix[:, FEATURE_NAMES.index("request_count")]
+        durations = matrix[:, FEATURE_NAMES.index("duration_minutes")]
+        rates = matrix[:, FEATURE_NAMES.index("requests_per_minute")]
+        count_hit = counts > self.thresholds.max_requests_per_session
+        rate_eligible = durations >= self.thresholds.min_duration_for_rate
+        rate_hit = rate_eligible & (
+            rates > self.thresholds.max_requests_per_minute
+        )
+        count_ratio = counts / self.thresholds.max_requests_per_session
+        rate_ratio = np.where(
+            rate_eligible,
+            rates / self.thresholds.max_requests_per_minute,
+            0.0,
+        )
+        scores = np.minimum(
+            np.maximum(count_ratio, rate_ratio) / 2.0, 1.0
+        )
+        verdicts = []
+        for row, session_id in enumerate(session_ids):
+            reasons = []
+            if count_hit[row]:
+                reasons.append("session-request-count")
+            if rate_hit[row]:
+                reasons.append("request-rate")
+            verdicts.append(
+                Verdict(
+                    subject_id=session_id,
+                    detector=self.name,
+                    score=float(scores[row]),
+                    is_bot=bool(reasons),
+                    reasons=tuple(reasons),
+                )
+            )
+        return verdicts
+
+    def judge_index(self, index) -> List[Verdict]:
+        """Judge every session in a :class:`~repro.core.detection.
+        session_index.SessionIndex` without materialising any."""
+        return self.judge_matrix(index.session_ids, index.matrix)

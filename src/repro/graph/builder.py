@@ -27,7 +27,16 @@ itself grows like the log it summarises.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..booking.reservation import BookingRecord
 from ..sms.gateway import SmsRecord
@@ -69,6 +78,13 @@ class EntityGraph:
         self._first_seen: Dict[EntityId, float] = {}
         self._last_seen: Dict[EntityId, float] = {}
         self.edge_count = 0
+        #: Structural version stamp: bumped on every node insertion,
+        #: edge insertion and edge weight raise (never by :meth:`touch`
+        #: — timestamps are not structure).  Consumers that compile the
+        #: graph (:func:`repro.graph.propagation.compile_graph`) cache
+        #: the compiled form keyed on this and recompile only when the
+        #: structure actually changed.
+        self.version = 0
 
     # -- construction --------------------------------------------------------
 
@@ -77,6 +93,7 @@ class EntityGraph:
     ) -> None:
         if node not in self._adjacency:
             self._adjacency[node] = {}
+            self.version += 1
         if time is not None:
             self.touch(node, time)
 
@@ -108,9 +125,11 @@ class EntityGraph:
             self.edge_count += 1
             self._adjacency[a][b] = weight
             self._adjacency[b][a] = weight
+            self.version += 1
         elif weight > existing:
             self._adjacency[a][b] = weight
             self._adjacency[b][a] = weight
+            self.version += 1
 
     # -- reads ---------------------------------------------------------------
 
@@ -129,6 +148,18 @@ class EntityGraph:
 
     def neighbors(self, node: EntityId) -> Dict[EntityId, float]:
         return dict(self._adjacency.get(node, {}))
+
+    _EMPTY_ADJACENCY: Dict[EntityId, float] = {}
+
+    def neighbors_view(self, node: EntityId) -> Mapping[EntityId, float]:
+        """The node's live adjacency dict — read-only by contract.
+
+        :meth:`neighbors` returns a defensive copy, which is the right
+        default but O(degree) allocation per call; hot analysis loops
+        (graph compile, campaign corroboration/attachment scans) read
+        this view instead and must not mutate it.
+        """
+        return self._adjacency.get(node, self._EMPTY_ADJACENCY)
 
     def weighted_degree(self, node: EntityId) -> float:
         return sum(self._adjacency.get(node, {}).values())

@@ -40,10 +40,20 @@ other detector family's output.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..core.detection.verdict import Verdict
 from .builder import EntityGraph
+from .propagation import CompiledGraph
 from .entities import (
     BOOKING_REF,
     FINGERPRINT,
@@ -224,7 +234,7 @@ def _campaign_risk(
 
 
 def _corroborated(
-    graph: EntityGraph,
+    neighbors_of: Callable[[EntityId], Iterable[EntityId]],
     node: EntityId,
     scores: Mapping[EntityId, float],
     seeds: Mapping[EntityId, float],
@@ -240,7 +250,7 @@ def _corroborated(
     the device's own session.
     """
     hot = 0
-    for neighbor in graph.neighbors(node):
+    for neighbor in neighbors_of(node):
         if neighbor.kind in config.hub_kinds:
             continue
         evidence = (
@@ -261,6 +271,7 @@ def extract_campaigns(
     config: Optional[CampaignConfig] = None,
     obs: Optional[object] = None,
     seeds: Optional[Mapping[EntityId, float]] = None,
+    compiled: Optional[CompiledGraph] = None,
 ) -> List[Campaign]:
     """Core components plus their attached sessions.
 
@@ -270,11 +281,21 @@ def extract_campaigns(
     merits, while one that merely inherited heat from a single shared
     identity node needs ``min_device_corroboration`` risky neighbours.
 
+    ``compiled`` (when given) serves the neighbour scans from the CSR
+    arrays :func:`~repro.graph.propagation.compile_graph` already
+    built for propagation, skipping per-call adjacency dict copies;
+    corroboration counts and attachment sets are order-independent,
+    so the result is identical either way.
+
     Campaigns are ordered largest-first (session count, then first
     member id) and named ``C001``, ``C002``, ... deterministically.
     """
     config = config or CampaignConfig()
     seeds = seeds or {}
+    if compiled is not None and compiled.version == graph.version:
+        neighbors_of = compiled.neighbors_of
+    else:
+        neighbors_of = graph.neighbors_view
     core = [
         node
         for node in graph.nodes()
@@ -283,7 +304,7 @@ def extract_campaigns(
         and (
             node.kind not in DEVICE_KINDS
             or seeds.get(node, 0.0) > 0.0
-            or _corroborated(graph, node, scores, seeds, config)
+            or _corroborated(neighbors_of, node, scores, seeds, config)
         )
     ]
     components = graph.components(core)
@@ -294,7 +315,7 @@ def extract_campaigns(
             {
                 neighbor
                 for node in component
-                for neighbor in graph.neighbors(node)
+                for neighbor in neighbors_of(node)
                 if neighbor.kind == SESSION
             }
         )

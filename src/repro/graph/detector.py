@@ -46,8 +46,10 @@ from .entities import (
     session_node,
 )
 from .propagation import (
+    CompiledGraph,
     PropagationConfig,
     PropagationResult,
+    compile_graph,
     propagate,
 )
 
@@ -198,6 +200,10 @@ class GraphAnalysis:
     propagation: PropagationResult
     campaigns: List[Campaign]
     campaign_verdicts: List[CampaignVerdict]
+    #: The merged seed map the sweep started from — kept so equivalence
+    #: harnesses can replay the exact analysis through the dict
+    #: reference path (``propagate_dict`` + uncompiled extraction).
+    seeds: Dict[EntityId, float] = field(default_factory=dict)
 
 
 def analyze(
@@ -205,14 +211,24 @@ def analyze(
     seeds: Mapping[EntityId, float],
     config: GraphDetectorConfig,
     obs: Optional[object] = None,
+    compiled: Optional[CompiledGraph] = None,
 ) -> GraphAnalysis:
-    """Propagate ``seeds`` and extract campaign verdicts (pure)."""
+    """Propagate ``seeds`` and extract campaign verdicts (pure).
+
+    The graph is compiled to CSR form once (or reused via ``compiled``
+    when the caller's cached copy is still structurally current) and
+    shared by both the propagation sweep and the campaign extraction's
+    neighbour scans.
+    """
+    if compiled is None or compiled.version != graph.version:
+        compiled = compile_graph(graph, obs=obs)
     result = propagate(
-        graph, seeds, config=config.propagation, obs=obs
+        graph, seeds, config=config.propagation, obs=obs,
+        compiled=compiled,
     )
     campaigns = extract_campaigns(
         graph, result.scores, config=config.campaigns, obs=obs,
-        seeds=seeds,
+        seeds=seeds, compiled=compiled,
     )
     return GraphAnalysis(
         graph=graph,
@@ -221,6 +237,7 @@ def analyze(
         campaign_verdicts=campaign_verdicts(
             campaigns, threshold=config.verdict_threshold
         ),
+        seeds=dict(seeds),
     )
 
 

@@ -193,3 +193,39 @@ def build_dataset(
         labels=target,
         actor_classes=actor_classes,
     )
+
+
+def build_dataset_columnar(
+    index,
+    labels: Optional[Sequence[bool]] = None,
+    with_truth: bool = False,
+) -> Dataset:
+    """:func:`build_dataset` from a :class:`~repro.core.detection.
+    session_index.SessionIndex` — bit-identical features, tokens, gaps
+    and labels, with no per-session encoding loop.
+
+    Arrays are copied out of the index so a caller mutating the
+    dataset cannot corrupt the index's caches.
+    """
+    n = len(index)
+    if labels is not None and len(labels) != n:
+        raise ValueError(f"{n} sessions but {len(labels)} labels")
+    tokens, gaps = index.sequences()
+    if labels is not None:
+        target = np.asarray(labels, dtype=float).copy()
+    elif with_truth:
+        target = index.is_attacker.astype(float)
+    else:
+        target = np.full(n, np.nan)
+    return Dataset(
+        session_ids=list(index.session_ids),
+        features=index.matrix.copy(),
+        tokens=tokens.copy(),
+        gaps=gaps.copy(),
+        labels=target,
+        actor_classes=(
+            list(index.actor_classes)
+            if (with_truth or labels is None)
+            else [""] * n
+        ),
+    )

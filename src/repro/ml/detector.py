@@ -71,3 +71,20 @@ class LearnedSessionDetector:
             self._verdict(session.session_id, float(probability))
             for session, probability in zip(sessions, probabilities)
         ]
+
+    def judge_index(self, index) -> List[Verdict]:
+        """Judge a :class:`~repro.core.detection.session_index.
+        SessionIndex` — verdict-identical to :meth:`judge_all` on the
+        corresponding sessions, via the columnar dataset builder."""
+        from .data import build_dataset_columnar
+
+        if not len(index):
+            return []
+        dataset = build_dataset_columnar(index)
+        probabilities = self.model.predict_proba(dataset)
+        return [
+            self._verdict(session_id, float(probability))
+            for session_id, probability in zip(
+                index.session_ids, probabilities
+            )
+        ]

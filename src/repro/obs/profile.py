@@ -116,6 +116,32 @@ def instrument_world(
     return pipeline
 
 
+def batch_analysis(world, context: RunContext) -> None:
+    """Run the columnar batch-analysis fast path, instrumented.
+
+    Builds the :class:`~repro.core.detection.session_index.
+    SessionIndex` (populating the ``detect.features`` timer and the
+    ``detect.sessions`` / ``detect.entries`` counters) and judges it
+    with the matrix detector families under ``detect.family.<name>``
+    timers — the per-stage breakdown ``repro profile`` reports next to
+    the sim-kernel and stream tables.
+    """
+    # Imported lazily, like the stream tap: the detector stack is not
+    # an :mod:`repro.obs` dependency.
+    from ..core.detection.clustering import ClusteringDetector
+    from ..core.detection.session_index import SessionIndex
+    from ..core.detection.volume import VolumeDetector
+
+    registry = context.registry
+    index = SessionIndex.from_log(world.app.log, obs=registry)
+    with registry.timer("detect.family.volume-threshold").time():
+        VolumeDetector().judge_index(index)
+    with registry.timer("detect.family.kmeans-behaviour").time():
+        ClusteringDetector(
+            world.rngs.numpy_stream("detector.kmeans")
+        ).judge_index(index)
+
+
 def _case_entry(case: str) -> Tuple[type, Callable]:
     """(config class, run function) for a profiled case, resolved lazily
     so importing :mod:`repro.obs` stays cheap."""
@@ -173,6 +199,8 @@ def profile_case(
     registry = context.registry
     world = getattr(result, "world", None)
     if world is not None:
+        with context.phase("batch-analysis"):
+            batch_analysis(world, context)
         registry.set_gauge(
             "sim.events_processed", float(world.loop.events_processed)
         )
@@ -199,6 +227,7 @@ def _profile_cell(case: str, config: object) -> Dict[str, object]:
             "web_requests": registry.gauge("web.requests"),
             "sim_event_seconds": registry.total_time("sim.event."),
             "stream_entries": registry.counter("stream.entries"),
+            "detect_seconds": registry.total_time("detect."),
         },
         "info": {"run_id": run.context.run_id},
         "recorder": {},

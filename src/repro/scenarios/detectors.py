@@ -44,6 +44,7 @@ from ..core.detection.clustering import ClusteringDetector
 from ..core.detection.fingerprint_rules import FingerprintDetector
 from ..core.detection.passenger_details import PassengerDetailAnalyzer
 from ..core.detection.rotation import link_sms_records
+from ..core.detection.session_index import SessionIndex
 from ..core.detection.verdict import Verdict
 from ..core.detection.volume import VolumeDetector
 from ..graph.campaigns import Campaign
@@ -56,7 +57,7 @@ from ..identity.forge import (
     RotationPolicy,
 )
 from ..identity.ip import ResidentialProxyPool
-from ..ml.data import build_dataset
+from ..ml.data import build_dataset_columnar
 from ..ml.detector import LearnedSessionDetector
 from ..ml.train import TrainConfig, train_model
 from ..sim.clock import DAY, HOUR
@@ -70,7 +71,7 @@ from ..traffic.seat_spinner import (
 )
 from ..traffic.sms_baseline import BaselineSmsConfig, BaselineSmsTraffic
 from ..traffic.sms_pumper import SmsPumperBot, SmsPumperConfig
-from ..web.logs import Session, sessionize
+from ..web.logs import Session
 from .world import (
     FlightSpec,
     World,
@@ -124,8 +125,8 @@ class DetectorComparisonResult:
 
 def _build_mixed_world(
     config: DetectorComparisonConfig, seed: int
-) -> Tuple[World, List[Session]]:
-    """Stand up one mixed-traffic world and return its sessions."""
+) -> Tuple[World, SessionIndex]:
+    """Stand up one mixed-traffic world and return its session index."""
     flights = default_flight_schedule(
         count=25, horizon=config.duration, capacity=200
     )
@@ -220,7 +221,7 @@ def _build_mixed_world(
     ).start(at=1 * DAY)
 
     world.run_until(config.duration)
-    return world, sessionize(world.app.log)
+    return world, SessionIndex.from_log(world.app.log)
 
 
 def _identity_pairs_to_verdicts(
@@ -253,7 +254,11 @@ def run_detector_comparison(
 ) -> DetectorComparisonResult:
     """Run the mixed world and score all five detector families."""
     config = config or DetectorComparisonConfig()
-    world, sessions = _build_mixed_world(config, config.seed)
+    world, index = _build_mixed_world(config, config.seed)
+    # Matrix families judge straight off the columnar index; Session
+    # objects are materialised once for the consumers that need
+    # per-entry data (evaluation, identity heuristics, the graph).
+    sessions = index.sessions()
 
     runs: Dict[str, DetectorRun] = {}
     family_verdicts: Dict[str, List[Verdict]] = {}
@@ -267,40 +272,41 @@ def run_detector_comparison(
         )
 
     # 1. Volume thresholds.
-    score("volume", VolumeDetector().judge_all(sessions))
+    score("volume", VolumeDetector().judge_index(index))
 
     # 2. Supervised classifier, trained on a disjoint world.
-    training_world, training_sessions = _build_mixed_world(
+    training_world, training_index = _build_mixed_world(
         config, config.seed + 1000
     )
     del training_world
     classifier = LogisticSessionClassifier()
-    classifier.fit(
-        training_sessions,
-        [session.is_attacker for session in training_sessions],
-    )
-    score("logistic", classifier.judge_all(sessions))
+    classifier.fit_matrix(training_index.matrix, training_index.is_attacker)
+    score("logistic", classifier.judge_index(index))
 
     # 3. Unsupervised clustering.
     clustering = ClusteringDetector(
         world.rngs.numpy_stream("detector.kmeans")
     )
-    score("kmeans", clustering.judge_all(sessions))
+    score("kmeans", clustering.judge_index(index))
 
     # 4. Fingerprint rules: a session inherits its fingerprint's verdict.
     fingerprint_detector = FingerprintDetector()
     fingerprint_verdicts = []
-    for session in sessions:
-        fingerprint = world.app.fingerprints_seen.get(
-            session.fingerprint_id
-        )
-        is_bot = (
-            fingerprint is not None
-            and fingerprint_detector.judge(fingerprint).is_bot
-        )
+    judged_fingerprints: Dict[str, bool] = {}
+    for session_id, fingerprint_id in zip(
+        index.session_ids, index.fingerprints
+    ):
+        is_bot = judged_fingerprints.get(fingerprint_id)
+        if is_bot is None:
+            fingerprint = world.app.fingerprints_seen.get(fingerprint_id)
+            is_bot = (
+                fingerprint is not None
+                and fingerprint_detector.judge(fingerprint).is_bot
+            )
+            judged_fingerprints[fingerprint_id] = is_bot
         fingerprint_verdicts.append(
             Verdict(
-                subject_id=session.session_id,
+                subject_id=session_id,
                 detector="fingerprint",
                 score=1.0 if is_bot else 0.0,
                 is_bot=is_bot,
@@ -327,8 +333,8 @@ def run_detector_comparison(
     for entity in sms_entities:
         if not entity.rotates_identity:
             continue
-        for index in entity.record_indices:
-            record = delivered[index]
+        for record_index in entity.record_indices:
+            record = delivered[record_index]
             flagged_pairs.add(
                 (record.client.ip_address, record.client.fingerprint_id)
             )
@@ -385,12 +391,12 @@ def run_detector_comparison(
     #    is what lets the six scraper rows carve out their island
     #    against that irreducible mass.
     learned_train = train_model(
-        build_dataset(training_sessions, with_truth=True),
+        build_dataset_columnar(training_index, with_truth=True),
         TrainConfig(model="mlp", master_seed=config.seed, epochs=4000),
     )
     score(
         "learned",
-        LearnedSessionDetector(learned_train.model).judge_all(sessions),
+        LearnedSessionDetector(learned_train.model).judge_index(index),
     )
 
     session_counts: Dict[str, int] = {}

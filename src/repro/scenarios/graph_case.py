@@ -39,13 +39,14 @@ from ..analysis.evaluation import (
 from ..core.detection.clustering import ClusteringDetector
 from ..core.detection.fingerprint_rules import FingerprintDetector
 from ..core.detection.fusion import DEFAULT_WEIGHTS, FusionDetector
+from ..core.detection.session_index import SessionIndex
 from ..core.detection.verdict import Verdict
 from ..core.detection.volume import VolumeDetector
 from ..graph.campaigns import CAMPAIGN_DETECTOR, Campaign
 from ..graph.detector import GraphDetector, GraphDetectorConfig
 from ..sim.clock import DAY, HOUR
 from ..traffic.seat_spinner import FIXED_NAME_ROTATING_DOB
-from ..web.logs import Session, sessionize
+from ..web.logs import Session
 from .world import World
 
 CASE_A = "case-a"
@@ -192,25 +193,41 @@ def _run_case(config: GraphCaseConfig) -> Tuple[object, World]:
 
 
 def _fingerprint_session_verdicts(
-    world: World, sessions: List[Session]
+    world: World, index: SessionIndex
 ) -> List[Verdict]:
     """Sessions inherit their fingerprint's rule verdict (family 4)."""
     detector = FingerprintDetector()
     verdicts = []
-    for session in sessions:
-        fingerprint = world.app.fingerprints_seen.get(session.fingerprint_id)
-        is_bot = (
-            fingerprint is not None and detector.judge(fingerprint).is_bot
-        )
+    # Fingerprints repeat across sessions; judge each digest once.
+    judged: Dict[str, bool] = {}
+    for session_id, fingerprint_id in zip(
+        index.session_ids, index.fingerprints
+    ):
+        is_bot = judged.get(fingerprint_id)
+        if is_bot is None:
+            fingerprint = world.app.fingerprints_seen.get(fingerprint_id)
+            is_bot = (
+                fingerprint is not None
+                and detector.judge(fingerprint).is_bot
+            )
+            judged[fingerprint_id] = is_bot
         verdicts.append(
             Verdict(
-                subject_id=session.session_id,
+                subject_id=session_id,
                 detector=detector.name,
                 score=1.0 if is_bot else 0.0,
                 is_bot=is_bot,
             )
         )
     return verdicts
+
+
+def _timed(obs: Optional[object], family: str, run: Callable[[], List[Verdict]]):
+    """Run one detector family under a ``detect.family.<name>`` timer."""
+    if obs is None:
+        return run()
+    with obs.timer(f"detect.family.{family}").time():
+        return run()
 
 
 def run_graph_case(
@@ -220,14 +237,29 @@ def run_graph_case(
     """Run one case study and score both fusion arms on its sessions."""
     config = config or GraphCaseConfig()
     case_config, world = _run_case(config)
-    sessions = sessionize(world.app.log)
+    # One columnar pass sessionizes the log and extracts every feature
+    # vector; the matrix families judge straight off it and Session
+    # objects are materialised once, only for the consumers that need
+    # per-entry data (graph builder, evaluation).
+    index = SessionIndex.from_log(world.app.log, obs=obs)
+    sessions = index.sessions()
 
     # Shared session-level families — identical inputs to both arms.
-    volume = VolumeDetector().judge_all(sessions)
-    kmeans = ClusteringDetector(
+    volume = _timed(
+        obs, "volume-threshold",
+        lambda: VolumeDetector().judge_index(index),
+    )
+    kmeans_detector = ClusteringDetector(
         world.rngs.numpy_stream("detector.kmeans")
-    ).judge_all(sessions)
-    fingerprint = _fingerprint_session_verdicts(world, sessions)
+    )
+    kmeans = _timed(
+        obs, "kmeans-behaviour",
+        lambda: kmeans_detector.judge_index(index),
+    )
+    fingerprint = _timed(
+        obs, "fingerprint-rules",
+        lambda: _fingerprint_session_verdicts(world, index),
+    )
     base_families = [volume, kmeans, fingerprint]
 
     session_fused = FusionDetector().fuse(base_families)

@@ -211,10 +211,26 @@ class WebLog:
             return self._store.iter_entries()
         return iter(self._entries)
 
+    def entry_at(self, index: int) -> LogEntry:
+        """Random access to one entry by row index."""
+        if self._store is not None:
+            return self._store.get(index)
+        return self._entries[index]
+
     def entries_between(self, start: float, end: float) -> List[LogEntry]:
         if self._store is not None:
             return self._store.entries_between(start, end)
         return [e for e in self._entries if start <= e.time < end]
+
+    def columns(self):
+        """Whole-log columnar view (:class:`~repro.web.logstore.
+        LogColumns`) — free of per-row materialisation on the columnar
+        backend, built by one interning pass on the list backend."""
+        if self._store is not None:
+            return self._store.columns()
+        from .logstore import columns_from_entries
+
+        return columns_from_entries(self._entries)
 
     def __len__(self) -> int:
         if self._store is not None:

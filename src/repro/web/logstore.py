@@ -28,12 +28,91 @@ the original entries.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Tuple
 
 import numpy as np
 
 from ..common import ClientRef
 from .logs import LogEntry
+
+
+@dataclass
+class LogColumns:
+    """A flat columnar view of a whole log — the analysis read API.
+
+    ``time``/``status``/``method``/``path``/``client`` are one array
+    element per row (string and client columns hold intern-table ids);
+    ``strings``/``clients`` are the intern tables themselves and
+    ``string_ids`` the reverse string lookup.  The arrays are copies
+    (concatenated from the store's blocks, or built from a list
+    backend), but the tables are live references — read-only by
+    contract.  This is what the columnar fast paths (vectorized
+    sessionization + feature extraction) consume instead of
+    materialising ``LogEntry`` objects row by row.
+    """
+
+    time: np.ndarray        # (n,) float64
+    status: np.ndarray      # (n,) int16
+    method: np.ndarray      # (n,) int32 — id into strings
+    path: np.ndarray        # (n,) int32 — id into strings
+    client: np.ndarray      # (n,) int32 — id into clients
+    strings: List[str]
+    clients: List[ClientRef]
+    string_ids: Dict[str, int]
+
+    def __len__(self) -> int:
+        return int(self.time.shape[0])
+
+    def string_id(self, value: str) -> int:
+        """Interned id of ``value``, or -1 when it never occurred
+        (-1 matches no row, which is exactly the semantics a count of
+        a never-seen endpoint needs)."""
+        return self.string_ids.get(value, -1)
+
+
+def columns_from_entries(entries: Iterable[LogEntry]) -> LogColumns:
+    """Build a :class:`LogColumns` view from materialised entries —
+    the list-backend equivalent of :meth:`ColumnarLogStore.columns`.
+
+    Interning mirrors the store's: strings by value into one shared
+    table, clients by object identity (the funnel reuses one
+    ``ClientRef`` per visitor).
+    """
+    entries = list(entries)
+    n = len(entries)
+    time = np.empty(n, dtype=np.float64)
+    status = np.empty(n, dtype=np.int16)
+    method = np.empty(n, dtype=np.int32)
+    path = np.empty(n, dtype=np.int32)
+    client = np.empty(n, dtype=np.int32)
+    string_ids: Dict[str, int] = {}
+    strings: List[str] = []
+    client_ids: Dict[int, int] = {}
+    clients: List[ClientRef] = []
+    for row, entry in enumerate(entries):
+        time[row] = entry.time
+        status[row] = entry.status
+        sid = string_ids.get(entry.method)
+        if sid is None:
+            sid = string_ids[entry.method] = len(strings)
+            strings.append(entry.method)
+        method[row] = sid
+        sid = string_ids.get(entry.path)
+        if sid is None:
+            sid = string_ids[entry.path] = len(strings)
+            strings.append(entry.path)
+        path[row] = sid
+        cid = client_ids.get(id(entry.client))
+        if cid is None:
+            cid = client_ids[id(entry.client)] = len(clients)
+            clients.append(entry.client)
+        client[row] = cid
+    return LogColumns(
+        time=time, status=status, method=method, path=path,
+        client=client, strings=strings, clients=clients,
+        string_ids=string_ids,
+    )
 
 #: Rows per block.  64Ki rows x ~22 bytes/row of arrays ~= 1.4 MiB per
 #: block — large enough that block bookkeeping is noise, small enough
@@ -205,6 +284,46 @@ class ColumnarLogStore:
             remaining -= take
             if remaining <= 0:
                 return
+
+    def columns(self) -> LogColumns:
+        """The whole store as one :class:`LogColumns` view.
+
+        Array columns are concatenated copies of the block slices (one
+        allocation each — analysis use, not per-row); the intern
+        tables are live references, read-only by contract.
+        """
+        if not self._blocks:
+            empty = LogColumns(
+                time=np.empty(0, dtype=np.float64),
+                status=np.empty(0, dtype=np.int16),
+                method=np.empty(0, dtype=np.int32),
+                path=np.empty(0, dtype=np.int32),
+                client=np.empty(0, dtype=np.int32),
+                strings=self._strings,
+                clients=self._clients,
+                string_ids=self._string_ids,
+            )
+            return empty
+        return LogColumns(
+            time=np.concatenate(
+                [b.time[: b.used] for b in self._blocks]
+            ),
+            status=np.concatenate(
+                [b.status[: b.used] for b in self._blocks]
+            ),
+            method=np.concatenate(
+                [b.method[: b.used] for b in self._blocks]
+            ),
+            path=np.concatenate(
+                [b.path[: b.used] for b in self._blocks]
+            ),
+            client=np.concatenate(
+                [b.client[: b.used] for b in self._blocks]
+            ),
+            strings=self._strings,
+            clients=self._clients,
+            string_ids=self._string_ids,
+        )
 
     def times(self) -> np.ndarray:
         """All timestamps as one array (copies; analysis use only)."""
